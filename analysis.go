@@ -1,0 +1,83 @@
+package symbol
+
+import (
+	"symbol/internal/ic"
+	"symbol/internal/stats"
+)
+
+// InstructionMix is the dynamic instruction-class distribution of a run
+// (the paper's Figure 2 analysis), as fractions of all executed operations.
+type InstructionMix struct {
+	ALU     float64
+	Memory  float64
+	Move    float64
+	Control float64
+	Sys     float64
+	Total   int64 // dynamic operation count
+}
+
+// BranchReport summarizes dynamic branch behaviour (§4.4).
+type BranchReport struct {
+	// AvgFaultyPrediction is the execution-weighted average P_fp: the
+	// probability that following each branch's majority direction is
+	// wrong. Low values mean trace scheduling picks good traces.
+	AvgFaultyPrediction float64
+	// AvgTaken is the mean taken probability.
+	AvgTaken float64
+	// DynBranches counts executed conditional branches.
+	DynBranches int64
+	// StaticBranches counts distinct executed conditional branches.
+	StaticBranches int
+	// BackwardTaken / ForwardTaken report the 90/50-rule check.
+	BackwardTaken float64
+	ForwardTaken  float64
+	// Histogram is the P_fp distribution over [0, 0.5] in 20 bins, each
+	// entry an execution-weighted share (Figure 4).
+	Histogram []float64
+}
+
+// Analysis bundles the code analyses of one program.
+type Analysis struct {
+	Mix      InstructionMix
+	Branches BranchReport
+	// AmdahlLimit is the shared-memory speed-up asymptote implied by the
+	// measured memory fraction: 1 / memoryFraction (§4.2, "about 3").
+	AmdahlLimit float64
+}
+
+// Analyze profiles the program (if needed) and computes the paper's §4 code
+// analyses for it.
+func (p *Program) Analyze() (*Analysis, error) {
+	prof, err := p.Profile()
+	if err != nil {
+		return nil, err
+	}
+	m := stats.ComputeMix(p.icp, prof)
+	bs := stats.ComputeBranchStats(p.icp, prof, 20)
+	back, fwd := stats.NinetyFifty(p.icp, prof)
+	mem := m.Fraction(ic.ClassMemory)
+	limit := 0.0
+	if mem > 0 {
+		limit = 1 / mem
+	}
+	return &Analysis{
+		Mix: InstructionMix{
+			ALU:     m.Fraction(ic.ClassALU),
+			Memory:  mem,
+			Move:    m.Fraction(ic.ClassMove),
+			Control: m.Fraction(ic.ClassControl),
+			Sys:     m.Fraction(ic.ClassSys),
+			Total:   m.Total,
+		},
+		Branches: BranchReport{
+			AvgFaultyPrediction: bs.AvgPfp,
+			AvgTaken:            bs.AvgTaken,
+			DynBranches:         bs.Executions,
+			StaticBranches:      bs.StaticBranches,
+			BackwardTaken:       back,
+			ForwardTaken:        fwd,
+			Histogram:           bs.Histogram,
+		},
+		AmdahlLimit: limit,
+	}, nil
+}

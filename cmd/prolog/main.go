@@ -1,0 +1,172 @@
+// Command prolog is an interactive top level for the SYMBOL system: it
+// consults a program file and answers queries by compiling each query
+// together with the program and running it on the IntCode emulator.
+//
+// Usage:
+//
+//	prolog program.pl            # interactive: type queries, 'halt.' quits
+//	prolog -q 'app(X,Y,[1,2]).' program.pl
+//	prolog -all -q 'app(X,Y,[1,2]).' program.pl
+//
+// Queries may be written with or without the '?-' prefix. The first
+// solution is printed by default; -all prints every solution.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"symbol/internal/compile"
+	"symbol/internal/emu"
+	"symbol/internal/expand"
+	"symbol/internal/parse"
+	"symbol/internal/rename"
+	"symbol/internal/term"
+)
+
+func main() {
+	query := flag.String("q", "", "run one query and exit")
+	all := flag.Bool("all", false, "print all solutions instead of the first")
+	flag.Parse()
+
+	var program []term.Term
+	for _, f := range flag.Args() {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prolog:", err)
+			os.Exit(1)
+		}
+		clauses, err := parse.All(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prolog: %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		program = append(program, clauses...)
+	}
+
+	if *query != "" {
+		if err := ask(program, *query, *all); err != nil {
+			fmt.Fprintln(os.Stderr, "prolog:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("SYMBOL Prolog — type queries ending in '.', 'halt.' to quit")
+	for {
+		fmt.Print("?- ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "halt." || line == "halt" {
+			return
+		}
+		if err := ask(program, line, *all); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+// ask compiles program + query into a synthetic main/0 that prints the
+// query variables' bindings, and runs it.
+func ask(program []term.Term, query string, all bool) error {
+	query = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(query), "?-"))
+	if !strings.HasSuffix(query, ".") {
+		query += "."
+	}
+	goals, err := parse.All(query)
+	if err != nil {
+		return err
+	}
+	if len(goals) != 1 {
+		return fmt.Errorf("expected exactly one query")
+	}
+	goal := goals[0]
+
+	// Named query variables, in first-occurrence order.
+	var named []*term.Var
+	for _, v := range term.Vars(goal, nil) {
+		if v.Name != "" && v.Name != "_" && !strings.HasPrefix(v.Name, "_") {
+			named = append(named, v)
+		}
+	}
+
+	// Body: goal, then for each variable  write('X = '), write(X), nl.
+	body := goal
+	if len(named) == 0 {
+		body = term.Comma(body, writeLine(term.Atom("yes")))
+	} else {
+		for _, v := range named {
+			body = term.Comma(body, bindingWriter(v))
+		}
+	}
+	if all {
+		// Failure-driven loop over all solutions; separate them.
+		body = term.Comma(body,
+			term.Comma(&term.Compound{Functor: "write", Args: []term.Term{term.Atom(";")}},
+				term.Comma(term.Atom("nl"), term.Atom("fail"))))
+	}
+
+	head := term.Atom("main")
+	clauses := append([]term.Term{}, program...)
+	clauses = append(clauses, &term.Compound{Functor: ":-", Args: []term.Term{head, body}})
+	if all {
+		clauses = append(clauses, head) // main. — succeed after the loop
+	}
+
+	c := compile.New(compile.DefaultOptions())
+	if err := c.AddProgram(clauses); err != nil {
+		return err
+	}
+	unit, err := c.Compile()
+	if err != nil {
+		return err
+	}
+	if u := c.Undefined(); len(u) > 0 {
+		fmt.Fprintf(os.Stderr, "warning: undefined predicates: %v\n", u)
+	}
+	prog, err := expand.Translate(unit, c.Atoms())
+	if err != nil {
+		return err
+	}
+	prog = rename.Fold(prog)
+	res, err := emu.Run(prog, emu.Options{})
+	if err != nil {
+		return err
+	}
+	out := res.Output
+	if all {
+		out = strings.TrimSuffix(out, ";\n")
+	}
+	if res.Status != 0 || strings.TrimSpace(out) == "" && len(named) > 0 {
+		fmt.Println("no")
+		return nil
+	}
+	fmt.Print(out)
+	return nil
+}
+
+// bindingWriter builds  write('X = '), write(X), nl.
+func bindingWriter(v *term.Var) term.Term {
+	return term.Comma(
+		&term.Compound{Functor: "write", Args: []term.Term{term.Atom(v.Name + " = ")}},
+		term.Comma(
+			&term.Compound{Functor: "write", Args: []term.Term{v}},
+			term.Atom("nl")))
+}
+
+// writeLine builds  write(what), nl.
+func writeLine(what term.Term) term.Term {
+	return term.Comma(
+		&term.Compound{Functor: "write", Args: []term.Term{what}},
+		term.Atom("nl"))
+}

@@ -1,0 +1,101 @@
+// Command symbolbench regenerates the paper's tables and figures from live
+// runs of the reproduction pipeline.
+//
+// Usage:
+//
+//	symbolbench                 # everything
+//	symbolbench -exp table3     # one experiment
+//	symbolbench -exp fig2,fig3  # a comma-separated subset
+//
+// Experiments: fig2, fig3, table1, table2 (includes fig4), table3
+// (includes fig6), table4, table5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"symbol/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiments to run (comma separated): fig2,fig3,table1,table2,fig4,table3,fig6,table4,table5,all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	sel := func(names ...string) bool {
+		if all {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	r := experiments.NewRunner()
+	suite := experiments.SuiteNames()
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "symbolbench:", err)
+		os.Exit(1)
+	}
+
+	if sel("fig2") {
+		f2, err := r.Figure2Mix(experiments.Table2Names())
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(f2.Render())
+	}
+	if sel("fig3") {
+		f3, err := r.Figure3Amdahl(experiments.Table2Names())
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(f3.Render())
+	}
+	if sel("table1") {
+		t1, err := r.Table1Compaction(suite)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(t1.Render())
+	}
+	if sel("table2", "fig4") {
+		t2, err := r.Table2Branches(experiments.Table2Names())
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(t2.Render())
+	}
+	if sel("table3", "fig6") {
+		t3, err := r.Table3Sweep(suite, []int{1, 2, 3, 4, 5})
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(t3.Render())
+		fmt.Println(t3.RenderFigure6())
+	}
+	if sel("table4") {
+		t4, err := r.Table4Absolute(suite)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(t4.Render())
+	}
+	if sel("table5") {
+		t5, err := r.Table5Relative(suite)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(t5.Render())
+	}
+}

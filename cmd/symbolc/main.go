@@ -1,0 +1,68 @@
+// Command symbolc is the SYMBOL compiler driver: it compiles a Prolog
+// source file (which must define main/0) and prints the requested
+// intermediate representations.
+//
+// Usage:
+//
+//	symbolc [-bam] [-ic] [-vliw] [-units n] file.pl
+//
+// With -vliw the program is profiled (one sequential run) and compacted for
+// an n-unit machine before listing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"symbol"
+)
+
+func main() {
+	bam := flag.Bool("bam", false, "print the BAM code produced by the front end")
+	icl := flag.Bool("ic", false, "print the Intermediate Code")
+	vl := flag.Bool("vliw", false, "profile, compact and print the VLIW schedule")
+	units := flag.Int("units", 3, "number of units for -vliw")
+	bb := flag.Bool("bb", false, "basic-block compaction only (with -vliw)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: symbolc [-bam] [-ic] [-vliw] [-units n] file.pl")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "symbolc:", err)
+		os.Exit(1)
+	}
+	prog, err := symbol.Compile(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "symbolc:", err)
+		os.Exit(1)
+	}
+	if u := prog.Undefined(); len(u) > 0 {
+		fmt.Fprintf(os.Stderr, "symbolc: warning: undefined predicates: %v\n", u)
+	}
+	if !*bam && !*icl && !*vl {
+		*icl = true
+	}
+	if *bam {
+		fmt.Println("; BAM code")
+		fmt.Println(prog.BAMListing())
+	}
+	if *icl {
+		fmt.Printf("; Intermediate Code (%d ICIs)\n", prog.CodeSize())
+		fmt.Println(prog.ICListing())
+	}
+	if *vl {
+		sched, err := prog.Schedule(symbol.DefaultMachine(*units),
+			symbol.ScheduleOptions{BasicBlocksOnly: *bb})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "symbolc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("; VLIW schedule: %d words, %d ops, avg compaction unit %.2f ops\n",
+			sched.Words(), sched.Ops(), sched.AvgTraceLen())
+		fmt.Println(sched.Listing())
+	}
+}

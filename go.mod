@@ -1,0 +1,3 @@
+module symbol
+
+go 1.22

@@ -1,0 +1,465 @@
+// Package benchprog embeds the Prolog benchmark programs used throughout
+// the paper's evaluation (a re-creation of the Aquarius Benchmark Suite
+// subset named in Tables 1-4): list processing (conc30, reverse, qsort),
+// symbolic differentiation (divide10, log10, ops8, times10), search
+// (queens_8, sendmore, zebra, crypt, mu), deterministic recursion (tak),
+// database queries (query), a theorem prover (prover) and tree building
+// (serialise).
+//
+// Each program is self-contained (its own library predicates) and defines
+// main/0, following the original suite's convention of running one
+// benchmark query to completion.
+package benchprog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Benchmark is one embedded benchmark program.
+type Benchmark struct {
+	Name string
+	// Source is the Prolog text; it defines main/0.
+	Source string
+	// Expect is the exact output of a correct run ("" if the program
+	// writes nothing); used by the equivalence tests.
+	Expect string
+	// Heavy marks long-running programs excluded from -short test runs.
+	Heavy bool
+}
+
+var registry = map[string]*Benchmark{}
+
+func register(b *Benchmark) {
+	if _, dup := registry[b.Name]; dup {
+		panic("duplicate benchmark " + b.Name)
+	}
+	registry[b.Name] = b
+}
+
+// Get returns a benchmark by name.
+func Get(name string) (*Benchmark, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("benchprog: unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+// Names lists all benchmark names in alphabetical order.
+func Names() []string {
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every benchmark in alphabetical order.
+func All() []*Benchmark {
+	var out []*Benchmark
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Suite returns the benchmarks used in the paper's Table 3 / Figure 6
+// experiment, in the paper's row order.
+func Suite() []*Benchmark {
+	names := []string{
+		"conc30", "divide10", "log10", "mu", "reverse", "ops8", "prover",
+		"qsort", "queens_8", "sendmore", "serialise", "tak", "times10", "zebra",
+	}
+	out := make([]*Benchmark, len(names))
+	for i, n := range names {
+		b, err := Get(n)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+const listLib = `
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+`
+
+func init() {
+	register(&Benchmark{
+		Name: "conc30",
+		Source: listLib + `
+main :- app([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,
+             16,17,18,19,20,21,22,23,24,25,26,27,28,29,30],
+            [31,32], R),
+        last(R, X), write(X), nl.
+last([X], X) :- !.
+last([_|T], X) :- last(T, X).
+`,
+		Expect: "32\n",
+	})
+
+	register(&Benchmark{
+		Name: "reverse",
+		Source: listLib + `
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+main :- nrev([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,
+              16,17,18,19,20,21,22,23,24,25,26,27,28,29,30], R),
+        R = [30|_], write(ok), nl.
+`,
+		Expect: "ok\n",
+	})
+
+	register(&Benchmark{
+		Name: "qsort",
+		Source: `
+qsort([], R, R).
+qsort([X|L], R, R0) :-
+    partition(L, X, L1, L2),
+    qsort(L2, R1, R0),
+    qsort(L1, R, [X|R1]).
+partition([], _, [], []).
+partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+main :- qsort([27,74,17,33,94,18,46,83,65,2,
+               32,53,28,85,99,47,28,82,6,11,
+               55,29,39,81,90,37,10,0,66,51,
+               7,21,85,27,31,63,75,4,95,99,
+               11,28,61,74,18,92,40,53,59,8], S, []),
+        S = [F|_], F = 0, write(sorted), nl.
+`,
+		Expect: "sorted\n",
+	})
+
+	// Symbolic differentiation (Warren's deriv family).
+	const derivLib = `
+d(U+V, X, DU+DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U-V, X, DU-DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U*V, X, DU*V+U*DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U/V, X, (DU*V-U*DV)/(V^2)) :- !, d(U, X, DU), d(V, X, DV).
+d(U^N, X, DU*N*U^N1) :- !, integer(N), N1 is N-1, d(U, X, DU).
+d(-U, X, -DU) :- !, d(U, X, DU).
+d(exp(U), X, exp(U)*DU) :- !, d(U, X, DU).
+d(log(U), X, DU/U) :- !, d(U, X, DU).
+d(X, X, D) :- !, D = 1.
+d(_, _, 0).
+`
+	register(&Benchmark{
+		Name: "times10",
+		Source: derivLib + `
+main :- d(((((((((x*x)*x)*x)*x)*x)*x)*x)*x)*x, x, D),
+        nonvar(D), write(done), nl.
+`,
+		Expect: "done\n",
+	})
+	register(&Benchmark{
+		Name: "divide10",
+		Source: derivLib + `
+main :- d(((((((((x/x)/x)/x)/x)/x)/x)/x)/x)/x, x, D),
+        nonvar(D), write(done), nl.
+`,
+		Expect: "done\n",
+	})
+	register(&Benchmark{
+		Name: "log10",
+		Source: derivLib + `
+main :- d(log(log(log(log(log(log(log(log(log(log(x)))))))))), x, D),
+        nonvar(D), write(done), nl.
+`,
+		Expect: "done\n",
+	})
+	register(&Benchmark{
+		Name: "ops8",
+		Source: derivLib + `
+main :- d((x+1) * ((x^2+2) * (x^3+3)), x, D),
+        nonvar(D), write(done), nl.
+`,
+		Expect: "done\n",
+	})
+
+	register(&Benchmark{
+		Name: "tak",
+		Source: `
+tak(X, Y, Z, A) :- X =< Y, !, A = Z.
+tak(X, Y, Z, A) :-
+    X1 is X-1, Y1 is Y-1, Z1 is Z-1,
+    tak(X1, Y, Z, A1),
+    tak(Y1, Z, X, A2),
+    tak(Z1, X, Y, A3),
+    tak(A1, A2, A3, A).
+main :- tak(18, 12, 6, A), write(A), nl.
+`,
+		Expect: "7\n",
+		Heavy:  true,
+	})
+
+	register(&Benchmark{
+		Name: "queens_8",
+		Source: `
+main :- queens(8, Qs), write(Qs), nl.
+queens(N, Qs) :- range(1, N, Ns), place(Ns, [], Qs).
+place([], Qs, Qs).
+place(Unplaced, Safe, Qs) :-
+    selectq(Q, Unplaced, Rest),
+    \+ attack(Q, Safe),
+    place(Rest, [Q|Safe], Qs).
+attack(X, Xs) :- attack3(X, 1, Xs).
+attack3(X, N, [Y|_]) :- X =:= Y+N.
+attack3(X, N, [Y|_]) :- X =:= Y-N.
+attack3(X, N, [_|Ys]) :- N1 is N+1, attack3(X, N1, Ys).
+selectq(X, [X|T], T).
+selectq(X, [H|T], [H|R]) :- selectq(X, T, R).
+range(N, N, [N]) :- !.
+range(M, N, [M|Ns]) :- M < N, M1 is M+1, range(M1, N, Ns).
+`,
+		Expect: "[4,2,7,3,6,8,5,1]\n",
+		Heavy:  true,
+	})
+
+	register(&Benchmark{
+		Name: "serialise",
+		Source: `
+main :- serialise([0'a,0'b,0'l,0'e,0' ,0'w,0'a,0's,0' ,0'i,0' ,
+                   0'e,0'r,0'e,0' ,0'i,0' ,0's,0'a,0'w,0' ,
+                   0'e,0'l,0'b,0'a], R),
+        write(R), nl.
+serialise(L, R) :- pairlists(L, R, A), arrange(A, T), numbered(T, 1, _).
+pairlists([X|L], [Y|R], [pair(X,Y)|A]) :- pairlists(L, R, A).
+pairlists([], [], []).
+arrange([X|L], tree(T1, X, T2)) :-
+    split(L, X, L1, L2),
+    arrange(L1, T1),
+    arrange(L2, T2).
+arrange([], void).
+split([X|L], X, L1, L2) :- !, split(L, X, L1, L2).
+split([X|L], Y, [X|L1], L2) :- before(X, Y), !, split(L, Y, L1, L2).
+split([X|L], Y, L1, [X|L2]) :- before(Y, X), !, split(L, Y, L1, L2).
+split([], _, [], []).
+before(pair(X1,_), pair(X2,_)) :- X1 < X2.
+numbered(tree(T1, pair(_,N1), T2), N0, N) :-
+    numbered(T1, N0, N1),
+    N2 is N1+1,
+    numbered(T2, N2, N).
+numbered(void, N, N).
+`,
+		Expect: "[2,3,6,4,1,9,2,8,1,5,1,4,7,4,1,5,1,8,2,9,1,4,6,3,2]\n",
+	})
+
+	register(&Benchmark{
+		Name: "mu",
+		Source: listLib + `
+main :- theorem(5, [m,u,i,i,u]), write(proved), nl.
+theorem(_, [m,i]).
+theorem(D, S) :-
+    D > 0,
+    D1 is D-1,
+    theorem(D1, S1),
+    rule(S1, S).
+rule(S, NS) :- rule1(S, NS).
+rule(S, NS) :- rule2(S, NS).
+rule(S, NS) :- rule3(S, NS).
+rule(S, NS) :- rule4(S, NS).
+rule1(S, NS) :- app(X, [i], S), app(X, [i,u], NS).
+rule2([m|X], [m|NX]) :- app(X, X, NX).
+rule3(S, NS) :- app(P, R, S), app([i,i,i], T, R), app(P, [u|T], NS).
+rule4(S, NS) :- app(P, R, S), app([u,u], T, R), app(P, T, NS).
+`,
+		Expect: "proved\n",
+		Heavy:  true,
+	})
+
+	register(&Benchmark{
+		Name: "query",
+		Source: `
+main :- query(_), fail.
+main :- write(done), nl.
+query([C1, D1, C2, D2]) :-
+    density(C1, D1),
+    density(C2, D2),
+    D1 > D2,
+    T1 is 20*D1,
+    T2 is 21*D2,
+    T1 < T2.
+density(C, D) :- pop(C, P), area(C, A), D is P*100//A.
+pop(china,      8250).   area(china,      3380).
+pop(india,      5863).   area(india,      1139).
+pop(ussr,       2521).   area(ussr,       8708).
+pop(usa,        2119).   area(usa,        3609).
+pop(indonesia,  1276).   area(indonesia,   570).
+pop(japan,      1097).   area(japan,       148).
+pop(brazil,     1042).   area(brazil,     3288).
+pop(bangladesh,  750).   area(bangladesh,   55).
+pop(pakistan,    682).   area(pakistan,    311).
+pop(w_germany,   620).   area(w_germany,    96).
+pop(nigeria,     613).   area(nigeria,     373).
+pop(mexico,      581).   area(mexico,      764).
+pop(uk,          559).   area(uk,           86).
+pop(italy,       554).   area(italy,       116).
+pop(france,      525).   area(france,      213).
+pop(philippines, 415).   area(philippines, 90).
+pop(thailand,    410).   area(thailand,    200).
+pop(turkey,      383).   area(turkey,      296).
+pop(egypt,       364).   area(egypt,       386).
+pop(spain,       352).   area(spain,       190).
+pop(poland,      337).   area(poland,      121).
+pop(s_korea,     335).   area(s_korea,      37).
+pop(iran,        320).   area(iran,        628).
+pop(ethiopia,    272).   area(ethiopia,    350).
+pop(argentina,   251).   area(argentina,  1080).
+`,
+		Expect: "done\n",
+	})
+
+	register(&Benchmark{
+		Name: "crypt",
+		Source: `
+% Crypt-multiplication with odd/even constraints (Aquarius crypt):
+%     O E E
+%   x   E E
+%   -------
+% every digit of the two partial products and the total must have the
+% parity its position demands. Finds the first solution.
+main :- crypt(L), write(L), nl.
+odd(1). odd(3). odd(5). odd(7). odd(9).
+even(0). even(2). even(4). even(6). even(8).
+evenz(2). evenz(4). evenz(6). evenz(8).
+crypt([A,B,C,D,E]) :-
+    odd(A), even(B), even(C),
+    evenz(D), evenz(E),
+    N is A*100 + B*10 + C,
+    P1 is N*E, pat_eoee(P1),
+    P2 is N*D, pat_eoe(P2),
+    T is P1 + 10*P2, pat_ooee(T).
+pat_eoee(X) :- X >= 1000, X < 10000,
+    D0 is X mod 10, even1(D0),
+    X1 is X // 10, D1 is X1 mod 10, even1(D1),
+    X2 is X1 // 10, D2 is X2 mod 10, odd1(D2),
+    D3 is X2 // 10, even1(D3).
+pat_eoe(X) :- X >= 100, X < 1000,
+    D0 is X mod 10, even1(D0),
+    X1 is X // 10, D1 is X1 mod 10, odd1(D1),
+    D2 is X1 // 10, even1(D2).
+pat_ooee(X) :- X >= 1000, X < 10000,
+    D0 is X mod 10, even1(D0),
+    X1 is X // 10, D1 is X1 mod 10, even1(D1),
+    X2 is X1 // 10, D2 is X2 mod 10, odd1(D2),
+    D3 is X2 // 10, odd1(D3).
+odd1(X) :- 1 =:= X mod 2.
+even1(X) :- 0 =:= X mod 2.
+`,
+		Expect: "[3,4,8,2,8]\n",
+	})
+
+	register(&Benchmark{
+		Name: "sendmore",
+		Source: `
+% SEND + MORE = MONEY by exhaustive generate-and-test over distinct
+% digits (M fixed to 1), the shape of the original benchmark's search.
+main :- solve(S, E, N, D, M, O, R, Y),
+        write([S,E,N,D]), write(+), write([M,O,R,E]), write(=),
+        write([M,O,N,E,Y]), nl.
+selectd(X, [X|T], T).
+selectd(X, [H|T], [H|R]) :- selectd(X, T, R).
+solve(S, E, N, D, M, O, R, Y) :-
+    M = 1,
+    selectd(S, [2,3,4,5,6,7,8,9], D1),
+    selectd(E, [0|D1], D2),
+    selectd(N, D2, D3),
+    selectd(D, D3, D4),
+    selectd(O, D4, D5),
+    selectd(R, D5, D6),
+    selectd(Y, D6, _),
+    V1 is ((S*10+E)*10+N)*10+D,
+    V2 is ((M*10+O)*10+R)*10+E,
+    V3 is ((((M*10+O)*10+N)*10+E)*10)+Y,
+    V3 =:= V1+V2.
+`,
+		Expect: "[9,5,6,7]+[1,0,8,5]=[1,0,6,5,2]\n",
+		Heavy:  true,
+	})
+
+	register(&Benchmark{
+		Name: "zebra",
+		Source: listLib + `
+% The five-houses (zebra) puzzle.
+main :- houses(Hs),
+        member(house(_, zebra, _, _, _), Hs),
+        member(house(N, _, _, water, _), Hs),
+        write(N), nl.
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+right_of(A, B, [B,A|_]).
+right_of(A, B, [_|T]) :- right_of(A, B, T).
+next_to(A, B, [A,B|_]).
+next_to(A, B, [B,A|_]).
+next_to(A, B, [_|T]) :- next_to(A, B, T).
+houses(Hs) :-
+    Hs = [house(norwegian, _, _, _, _), _, house(_, _, _, milk, _), _, _],
+    member(house(englishman, _, _, _, red), Hs),
+    right_of(house(_, _, _, _, green), house(_, _, _, _, ivory), Hs),
+    next_to(house(norwegian, _, _, _, _), house(_, _, _, _, blue), Hs),
+    member(house(_, _, kools, _, yellow), Hs),
+    member(house(spaniard, dog, _, _, _), Hs),
+    member(house(_, _, _, coffee, green), Hs),
+    member(house(ukrainian, _, _, tea, _), Hs),
+    member(house(_, _, luckystrike, orangejuice, _), Hs),
+    member(house(japanese, _, parliaments, _, _), Hs),
+    member(house(_, _, oldgold, _, _), Hs),
+    member(house(_, snails, oldgold, _, _), Hs),
+    next_to(house(_, _, chesterfields, _, _), house(_, fox, _, _, _), Hs),
+    next_to(house(_, _, kools, _, _), house(_, horse, _, _, _), Hs).
+`,
+		Expect: "norwegian\n",
+		Heavy:  true,
+	})
+
+	register(&Benchmark{
+		Name: "prover",
+		Source: listLib + `
+% A Wang-algorithm propositional sequent prover, run over a set of
+% theorems (the shape of the Aquarius 'prover' benchmark).
+main :- theorems(Ts), prove_all(Ts), write(ok), nl.
+theorems([
+    seq([], [imp(and(p,q), p)]),
+    seq([], [imp(p, or(p,q))]),
+    seq([], [imp(and(p, imp(p,q)), q)]),
+    seq([], [imp(imp(p,q), imp(not(q), not(p)))]),
+    seq([], [imp(and(imp(p,q), imp(q,r)), imp(p,r))]),
+    seq([], [or(p, not(p))]),
+    seq([], [imp(not(not(p)), p)]),
+    seq([], [imp(and(or(p,q), not(p)), q)])
+]).
+prove_all([]).
+prove_all([T|Ts]) :- prove(T), prove_all(Ts).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+prove(seq(L, R)) :- member(X, L), member(X, R), !.
+prove(seq(L, R)) :- member(not(X), L), !, del(not(X), L, L1),
+                    prove(seq(L1, [X|R])).
+prove(seq(L, R)) :- member(not(X), R), !, del(not(X), R, R1),
+                    prove(seq([X|L], R1)).
+prove(seq(L, R)) :- member(and(X,Y), L), !, del(and(X,Y), L, L1),
+                    prove(seq([X,Y|L1], R)).
+prove(seq(L, R)) :- member(or(X,Y), R), !, del(or(X,Y), R, R1),
+                    prove(seq(L, [X,Y|R1])).
+prove(seq(L, R)) :- member(imp(X,Y), R), !, del(imp(X,Y), R, R1),
+                    prove(seq([X|L], [Y|R1])).
+prove(seq(L, R)) :- member(or(X,Y), L), !, del(or(X,Y), L, L1),
+                    prove(seq([X|L1], R)),
+                    prove(seq([Y|L1], R)).
+prove(seq(L, R)) :- member(and(X,Y), R), !, del(and(X,Y), R, R1),
+                    prove(seq(L, [X|R1])),
+                    prove(seq(L, [Y|R1])).
+prove(seq(L, R)) :- member(imp(X,Y), L), !, del(imp(X,Y), L, L1),
+                    prove(seq(L1, [X|R])),
+                    prove(seq([Y|L1], R)).
+del(X, [X|T], T) :- !.
+del(X, [H|T], [H|R]) :- del(X, T, R).
+`,
+		Expect: "ok\n",
+	})
+}

@@ -1,0 +1,290 @@
+package benchprog
+
+// Additional classic benchmark programs beyond the paper's tables. They are
+// part of the registry (so the equivalence tests cover them) but not of the
+// Table 3 Suite().
+
+func init() {
+	register(&Benchmark{
+		Name: "hanoi",
+		Source: `
+% Towers of Hanoi, 14 discs: a pure control benchmark (no heap terms).
+main :- hanoi(14), write(done), nl.
+hanoi(N) :- move(N, left, centre, right).
+move(0, _, _, _) :- !.
+move(N, A, B, C) :-
+    M is N-1,
+    move(M, A, C, B),
+    move(M, C, B, A).
+`,
+		Expect: "done\n",
+	})
+
+	register(&Benchmark{
+		Name: "fib",
+		Source: `
+% Naive doubly-recursive Fibonacci: deterministic arithmetic recursion.
+main :- fib(20, F), write(F), nl.
+fib(0, 1) :- !.
+fib(1, 1) :- !.
+fib(N, F) :-
+    N1 is N-1, N2 is N-2,
+    fib(N1, F1), fib(N2, F2),
+    F is F1+F2.
+`,
+		Expect: "10946\n",
+	})
+
+	register(&Benchmark{
+		Name: "flatten",
+		Source: `
+% Flatten a nested list structure (accumulator version with cuts).
+main :- flat([1,[2,[3,4],5],[[[]]],[6|[7]],[],[[8]]], [], R),
+        write(R), nl.
+flat([], R, R) :- !.
+flat([H|T], Acc, R) :- !, flat(T, Acc, R1), flat(H, R1, R).
+flat(X, Acc, [X|Acc]).
+`,
+		Expect: "[1,2,3,4,5,6,7,8]\n",
+	})
+
+	register(&Benchmark{
+		Name: "poly",
+		Source: `
+% Symbolic polynomial arithmetic (the shape of Gabriel's poly_10 as used
+% in the Aquarius suite): raise 1+x+y+z to the 10th power, then check by
+% evaluating at x=y=z=1, which must give 4^10 = 1048576.
+%
+% Representation: an integer, or poly(Var, [term(Exp, Coef)|...]) with
+% exponents ascending and coefficients themselves polynomials in later
+% variables (x < y < z).
+main :- test_poly(P), poly_exp(10, P, R),
+        poly_eval(R, V), write(V), nl.
+
+lessv(x, y). lessv(x, z). lessv(y, z).
+
+test_poly(poly(x, [term(0, Q), term(1, 1)])) :-
+    Q = poly(y, [term(0, R), term(1, 1)]),
+    R = poly(z, [term(0, 1), term(1, 1)]).
+
+% poly_add(P1, P2, Sum)
+poly_add(poly(V, T1), poly(V, T2), poly(V, T3)) :- !,
+    term_add(T1, T2, T3).
+poly_add(poly(V1, T1), poly(V2, T2), R) :- !,
+    poly_poly_add(V1, T1, V2, T2, R).
+poly_add(poly(V, T1), C, poly(V, T2)) :- !,
+    add_to_order_zero(T1, C, T2).
+poly_add(C, poly(V, T1), poly(V, T2)) :- !,
+    add_to_order_zero(T1, C, T2).
+poly_add(C1, C2, C) :- C is C1+C2.
+
+poly_poly_add(V1, T1, V2, T2, poly(V1, T3)) :-
+    lessv(V1, V2), !,
+    add_to_order_zero(T1, poly(V2, T2), T3).
+poly_poly_add(V1, T1, V2, T2, poly(V2, T3)) :-
+    add_to_order_zero(T2, poly(V1, T1), T3).
+
+add_to_order_zero([term(0, C1)|Ts], C2, [term(0, C)|Ts]) :- !,
+    poly_add(C1, C2, C).
+add_to_order_zero(Ts, C, [term(0, C)|Ts]).
+
+term_add([], T, T) :- !.
+term_add(T, [], T) :- !.
+term_add([term(E, C1)|T1], [term(E, C2)|T2], [term(E, C)|T]) :- !,
+    poly_add(C1, C2, C),
+    term_add(T1, T2, T).
+term_add([term(E1, C1)|T1], [term(E2, C2)|T2], [term(E1, C1)|T]) :-
+    E1 < E2, !,
+    term_add(T1, [term(E2, C2)|T2], T).
+term_add(T1, [term(E2, C2)|T2], [term(E2, C2)|T]) :-
+    term_add(T1, T2, T).
+
+% poly_mul(P1, P2, Product)
+poly_mul(poly(V, T1), poly(V, T2), poly(V, T3)) :- !,
+    term_mul(T1, T2, T3).
+poly_mul(poly(V1, T1), poly(V2, T2), R) :- !,
+    poly_poly_mul(V1, T1, V2, T2, R).
+poly_mul(poly(V, T1), C, poly(V, T2)) :- !,
+    mul_through(T1, C, T2).
+poly_mul(C, poly(V, T1), poly(V, T2)) :- !,
+    mul_through(T1, C, T2).
+poly_mul(C1, C2, C) :- C is C1*C2.
+
+poly_poly_mul(V1, T1, V2, T2, poly(V1, T3)) :-
+    lessv(V1, V2), !,
+    mul_through(T1, poly(V2, T2), T3).
+poly_poly_mul(V1, T1, V2, T2, poly(V2, T3)) :-
+    mul_through(T2, poly(V1, T1), T3).
+
+mul_through([], _, []).
+mul_through([term(E, C)|Ts], P, [term(E, C2)|Ts2]) :-
+    poly_mul(C, P, C2),
+    mul_through(Ts, P, Ts2).
+
+term_mul([], _, []) :- !.
+term_mul(_, [], []) :- !.
+term_mul([T|Ts], T2, T3) :-
+    single_term_mul(T, T2, T1s),
+    term_mul(Ts, T2, T2s),
+    term_add(T1s, T2s, T3).
+
+single_term_mul(_, [], []).
+single_term_mul(term(E1, C1), [term(E2, C2)|Ts], [term(E, C)|T]) :-
+    E is E1+E2,
+    poly_mul(C1, C2, C),
+    single_term_mul(term(E1, C1), Ts, T).
+
+% poly_exp(N, P, P^N) by binary exponentiation.
+poly_exp(0, _, 1) :- !.
+poly_exp(N, P, R) :-
+    0 =:= N mod 2, !,
+    M is N // 2,
+    poly_exp(M, P, H),
+    poly_mul(H, H, R).
+poly_exp(N, P, R) :-
+    M is N-1,
+    poly_exp(M, P, H),
+    poly_mul(P, H, R).
+
+% Evaluate with every variable = 1: sum of all coefficients.
+poly_eval(poly(_, Ts), V) :- !, terms_eval(Ts, V).
+poly_eval(C, C).
+terms_eval([], 0).
+terms_eval([term(_, C)|Ts], V) :-
+    poly_eval(C, V1),
+    terms_eval(Ts, V2),
+    V is V1+V2.
+`,
+		Expect: "1048576\n",
+		Heavy:  true,
+	})
+
+	register(&Benchmark{
+		Name: "boyer",
+		Source: `
+% A Boyer-Moore-style tautology checker (the shape of Gabriel's boyer
+% benchmark): terms are rewritten to if-normal form with a rule base,
+% driven generically through functor/3 and arg/3, then decided by case
+% splitting. The theorem is a transitivity chain over opaque leaves that
+% themselves get rewritten structurally.
+main :- formula(W), rewrite(W, N),
+        ( tautology(N, [], []) -> write(proved) ; write(failed) ), nl.
+
+formula(implies(and(implies(X, Y),
+             and(implies(Y, Z),
+             and(implies(Z, U),
+                 implies(U, V)))),
+         implies(X, V))) :-
+    X = f(plus(plus(a, b), plus(c, zero))),
+    Y = f(times(times(a, b), plus(c, d))),
+    Z = f(reverse(append(append(a, b), nil))),
+    U = equal2(plus(a, b), difference(x, y)),
+    V = lessp(remainder(a, b), member(a, length(b))).
+
+% Generic innermost rewriting: rebuild each compound with rewritten
+% arguments, then apply rules at the root until none fires.
+rewrite(Old, New) :- atomic(Old), !, New = Old.
+rewrite(Old, New) :-
+    functor(Old, F, N),
+    functor(Mid, F, N),
+    rewrite_args(N, Old, Mid),
+    ( rule(Mid, Next) -> rewrite(Next, New) ; New = Mid ).
+
+rewrite_args(0, _, _) :- !.
+rewrite_args(N, Old, Mid) :-
+    arg(N, Old, OldArg),
+    arg(N, Mid, MidArg),
+    rewrite(OldArg, MidArg),
+    N1 is N-1,
+    rewrite_args(N1, Old, Mid).
+
+% Boolean connectives in if-form, plus structural simplifications that
+% fire inside the opaque leaves.
+rule(if(if(A, B, C), D, E), if(A, if(B, D, E), if(C, D, E))).
+rule(if(t, X, _), X).
+rule(if(f, _, X), X).
+rule(and(P, Q), if(P, if(Q, t, f), f)).
+rule(or(P, Q), if(P, t, if(Q, t, f))).
+rule(implies(P, Q), if(P, if(Q, t, f), t)).
+rule(not(P), if(P, f, t)).
+rule(plus(plus(X, Y), Z), plus(X, plus(Y, Z))).
+rule(plus(X, zero), X).
+rule(times(times(X, Y), Z), times(X, times(Y, Z))).
+rule(append(append(X, Y), Z), append(X, append(Y, Z))).
+rule(reverse(nil), nil).
+rule(difference(X, X), zero).
+rule(equal2(X, X), t).
+rule(remainder(_, one), zero).
+rule(member(X, cons(X, _)), t).
+
+tautology(t, _, _) :- !.
+tautology(Wff, Tlist, Flist) :-
+    ( memb(Wff, Tlist) -> true
+    ; memb(Wff, Flist) -> fail
+    ; Wff = if(If, Then, Else) ->
+        ( memb(If, Tlist) -> tautology(Then, Tlist, Flist)
+        ; memb(If, Flist) -> tautology(Else, Tlist, Flist)
+        ; tautology(Then, [If|Tlist], Flist),
+          tautology(Else, Tlist, [If|Flist])
+        )
+    ; fail
+    ).
+
+memb(X, [Y|_]) :- X == Y, !.
+memb(X, [_|T]) :- memb(X, T).
+`,
+		Expect: "proved\n",
+	})
+
+	register(&Benchmark{
+		Name: "browse",
+		Source: `
+% Wildcard pattern matching over a database of symbolic structures, the
+% shape of Gabriel's browse benchmark: '?' matches any single symbol,
+% star matches any (possibly empty) run of symbols.
+main :- db(Db), patterns(Ps), run(Ps, Db, 0, N), write(N), nl.
+
+run([], _, N, N).
+run([P|Ps], Db, Acc, N) :-
+    count(P, Db, 0, C),
+    Acc1 is Acc + C,
+    run(Ps, Db, Acc1, N).
+
+count(_, [], C, C).
+count(P, [D|Ds], Acc, C) :-
+    ( match(P, D) -> Acc1 is Acc + 1 ; Acc1 = Acc ),
+    count(P, Ds, Acc1, C).
+
+match([], []).
+match([star|Ps], D) :- matchstar(Ps, D).
+match(['?'|Ps], [_|Ds]) :- match(Ps, Ds).
+match([S|Ps], [S|Ds]) :- atomic(S), match(Ps, Ds).
+match([sub(P)|Ps], [D|Ds]) :- match(P, D), match(Ps, Ds).
+
+matchstar(Ps, D) :- match(Ps, D).
+matchstar(Ps, [_|Ds]) :- matchstar(Ps, Ds).
+
+patterns([
+    [star, a, '?', b, star],
+    [a, star, b],
+    [star, sub([c, star]), star],
+    ['?', '?', '?'],
+    [star]
+]).
+
+db([
+    [a, x, b],
+    [a, b],
+    [x, a, y, b, z],
+    [sub1, [c, d, e]],
+    [c, a, c, b],
+    [a, a, b, b],
+    [x, y, z],
+    [[c], x],
+    [a, q, b, q, b],
+    [b, a, b]
+]).
+`,
+		Expect: "24\n",
+	})
+}

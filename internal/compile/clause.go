@@ -1,0 +1,432 @@
+package compile
+
+import (
+	"fmt"
+
+	"symbol/internal/bam"
+	"symbol/internal/ic"
+	"symbol/internal/term"
+	"symbol/internal/word"
+)
+
+// varLoc tracks where a clause variable currently lives.
+type varLoc struct {
+	temp  ic.Reg // register valid within the current chunk (None if not)
+	deref ic.Reg // cached dereferenced value (None if not)
+	y     int    // permanent slot index, -1 for temporaries
+	init  bool   // true once the variable has a runtime location
+}
+
+// cctx is the per-clause code-generation context.
+type cctx struct {
+	c       *Compiler
+	p       *npred
+	locs    map[*term.Var]*varLoc
+	perms   map[*term.Var]int
+	envSize int
+	hasEnv  bool
+}
+
+func (c *Compiler) compileClause(p *npred, cl *nclause) error {
+	ctx := &cctx{c: c, p: p, locs: map[*term.Var]*varLoc{}}
+	ctx.analyzePerms(cl)
+
+	if ctx.hasEnv {
+		c.emit(bam.Instr{Op: bam.Allocate, N: int64(ctx.envSize)})
+	}
+	// The cut barrier captured in the predicate header must survive into
+	// later chunks if a cut appears there.
+	cutY, cutDeep := ctx.cutSlot(cl)
+	if cutDeep {
+		c.emit(bam.Instr{Op: bam.PutY, N: int64(cutY), Src: bam.Reg(p.cutReg)})
+	}
+
+	// Head unification.
+	if h, ok := cl.head.(*term.Compound); ok {
+		for i, arg := range h.Args {
+			if err := ctx.compileGet(ic.ArgReg(i), arg); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Body.
+	for gi, g := range cl.goals {
+		last := gi == len(cl.goals)-1
+		if err := ctx.compileGoal(g, last, cutY); err != nil {
+			return err
+		}
+		if last && isUserCall(g) {
+			return nil // tail call emitted; no return needed
+		}
+	}
+	if ctx.hasEnv {
+		c.emit(bam.Instr{Op: bam.Deallocate})
+	}
+	c.emit(bam.Instr{Op: bam.Ret})
+	return nil
+}
+
+// cutSlot returns the permanent slot reserved for the cut barrier and
+// whether the clause needs it (a cut occurring after the first call).
+func (ctx *cctx) cutSlot(cl *nclause) (int, bool) {
+	chunk := 0
+	for _, g := range cl.goals {
+		if g == term.Atom("!") && chunk > 0 {
+			return ctx.envSize - 1, true
+		}
+		if isUserCall(g) {
+			chunk++
+		}
+	}
+	return -1, false
+}
+
+// analyzePerms performs WAM-style permanent-variable analysis: a variable
+// that occurs in more than one chunk (chunks are separated by user calls)
+// must live in the environment. A cut after the first call also reserves a
+// slot for the barrier.
+func (ctx *cctx) analyzePerms(cl *nclause) {
+	ctx.perms = map[*term.Var]int{}
+	first := map[*term.Var]int{} // var → chunk of first occurrence
+	perm := map[*term.Var]bool{}
+	chunk := 0
+	see := func(t term.Term) {
+		for _, v := range term.Vars(t, nil) {
+			if f, ok := first[v]; ok {
+				if f != chunk {
+					perm[v] = true
+				}
+			} else {
+				first[v] = chunk
+			}
+		}
+	}
+	see(cl.head)
+	needCutSlot := false
+	calls := 0
+	for _, g := range cl.goals {
+		see(g)
+		if g == term.Atom("!") && chunk > 0 {
+			needCutSlot = true
+		}
+		if isUserCall(g) {
+			chunk++
+			calls++
+		}
+	}
+	i := 0
+	// Deterministic slot order: first occurrence order over head+goals.
+	var order []*term.Var
+	order = term.Vars(cl.head, order)
+	for _, g := range cl.goals {
+		order = term.Vars(g, order)
+	}
+	for _, v := range order {
+		if perm[v] {
+			ctx.perms[v] = i
+			i++
+		}
+	}
+	if needCutSlot {
+		i++ // last slot holds the cut barrier
+	}
+	ctx.envSize = i
+	// An environment is needed if there are permanent variables or more
+	// than one call (CP must be saved across non-final calls).
+	ctx.hasEnv = i > 0 || calls > 1 || (calls == 1 && !lastGoalIsCall(cl))
+}
+
+func lastGoalIsCall(cl *nclause) bool {
+	return len(cl.goals) > 0 && isUserCall(cl.goals[len(cl.goals)-1])
+}
+
+func isUserCall(g term.Term) bool {
+	pi, ok := term.IndicatorOf(g)
+	if !ok {
+		return false
+	}
+	return !builtinGoal(pi)
+}
+
+func builtinGoal(pi term.Indicator) bool {
+	switch pi {
+	case term.Indicator{Name: "true"}, term.Indicator{Name: "fail"},
+		term.Indicator{Name: "false"}, term.Indicator{Name: "!"},
+		term.Indicator{Name: "=", Arity: 2}, term.Indicator{Name: "is", Arity: 2},
+		term.Indicator{Name: "<", Arity: 2}, term.Indicator{Name: ">", Arity: 2},
+		term.Indicator{Name: "=<", Arity: 2}, term.Indicator{Name: ">=", Arity: 2},
+		term.Indicator{Name: "=:=", Arity: 2}, term.Indicator{Name: "=\\=", Arity: 2},
+		term.Indicator{Name: "==", Arity: 2}, term.Indicator{Name: "\\==", Arity: 2},
+		term.Indicator{Name: "var", Arity: 1}, term.Indicator{Name: "nonvar", Arity: 1},
+		term.Indicator{Name: "atom", Arity: 1}, term.Indicator{Name: "integer", Arity: 1},
+		term.Indicator{Name: "atomic", Arity: 1},
+		term.Indicator{Name: "write", Arity: 1}, term.Indicator{Name: "nl"},
+		term.Indicator{Name: "arg", Arity: 3}, term.Indicator{Name: "functor", Arity: 3},
+		term.Indicator{Name: "=..", Arity: 2},
+		term.Indicator{Name: "halt"}:
+		return true
+	}
+	return false
+}
+
+// --- locations ------------------------------------------------------------
+
+func (ctx *cctx) loc(v *term.Var) *varLoc {
+	l, ok := ctx.locs[v]
+	if !ok {
+		y := -1
+		if s, ok := ctx.perms[v]; ok {
+			y = s
+		}
+		l = &varLoc{temp: ic.None, deref: ic.None, y: y}
+		ctx.locs[v] = l
+	}
+	return l
+}
+
+// invalidateTemps kills every register cached across a call boundary.
+func (ctx *cctx) invalidateTemps() {
+	for _, l := range ctx.locs {
+		l.temp = ic.None
+		l.deref = ic.None
+	}
+}
+
+// record notes that v now lives in r (its first runtime location).
+func (ctx *cctx) record(v *term.Var, r ic.Reg) {
+	l := ctx.loc(v)
+	l.temp = r
+	l.deref = ic.None
+	l.init = true
+	if l.y >= 0 {
+		ctx.c.emit(bam.Instr{Op: bam.PutY, N: int64(l.y), Src: bam.Reg(r)})
+	}
+}
+
+// getVal returns a register holding v's value, materializing a fresh
+// unbound heap cell on first occurrence.
+func (ctx *cctx) getVal(v *term.Var) ic.Reg {
+	l := ctx.loc(v)
+	if l.temp != ic.None {
+		return l.temp
+	}
+	if l.init {
+		if l.y < 0 {
+			panic(fmt.Sprintf("compile: variable %s dead across call boundary", v))
+		}
+		t := ctx.c.newTemp()
+		ctx.c.emit(bam.Instr{Op: bam.GetY, Dst: t, N: int64(l.y)})
+		l.temp = t
+		return t
+	}
+	// First occurrence in a construction context: new unbound heap cell.
+	r := ctx.c.newTemp()
+	ctx.c.emit(bam.Instr{Op: bam.LeaH, Dst: r, Tag: word.Ref, N: 0})
+	ctx.c.emit(bam.Instr{Op: bam.StoreH, N: 0, Src: bam.Reg(r)})
+	ctx.c.emit(bam.Instr{Op: bam.AddH, N: 1})
+	ctx.record(v, r)
+	return r
+}
+
+// derefVal returns a register holding the dereferenced value of r.
+func (ctx *cctx) derefReg(r ic.Reg) ic.Reg {
+	d := ctx.c.newTemp()
+	ctx.c.emit(bam.Instr{Op: bam.Deref, Dst: d, Src: bam.Reg(r)})
+	return d
+}
+
+// derefVar returns (and caches) the dereferenced value of a variable.
+func (ctx *cctx) derefVar(v *term.Var) ic.Reg {
+	l := ctx.loc(v)
+	if l.deref != ic.None {
+		return l.deref
+	}
+	d := ctx.derefReg(ctx.getVal(v))
+	l.deref = d
+	return d
+}
+
+// --- head unification (get) ------------------------------------------------
+
+func immOf(c *Compiler, t term.Term) (bam.Val, bool) {
+	switch x := t.(type) {
+	case term.Atom:
+		c.atoms.Intern(string(x))
+		return bam.AtomV(string(x)), true
+	case term.Int:
+		return bam.IntV(int64(x)), true
+	}
+	return bam.Val{}, false
+}
+
+// compileGet emits specialized unification of register reg against head
+// term t, with separate read and write paths joined by reconciliation moves
+// for variables first bound inside t.
+func (ctx *cctx) compileGet(reg ic.Reg, t term.Term) error {
+	c := ctx.c
+	switch x := t.(type) {
+	case *term.Var:
+		l := ctx.loc(x)
+		if !l.init {
+			ctx.record(x, reg)
+			return nil
+		}
+		u := ctx.getVal(x)
+		c.emit(bam.Instr{Op: bam.UnifyCall, Reg1: reg, Reg2: u})
+		ctx.afterUnifyCall()
+		return nil
+	case term.Atom, term.Int:
+		imm, _ := immOf(c, t)
+		d := ctx.derefReg(reg)
+		lWrite, lNext := c.newLabel(), c.newLabel()
+		c.emit(bam.Instr{Op: bam.BrTagI, Reg1: d, Cond: ic.CondEq, Tag: word.Ref, L: lWrite})
+		c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(d), Cond: ic.CondNe, V2: imm, L: 0})
+		c.emit(bam.Instr{Op: bam.Jump, L: lNext})
+		c.emit(bam.Instr{Op: bam.Lbl, L: lWrite})
+		c.emit(bam.Instr{Op: bam.Bind, Reg1: d, Src: imm})
+		c.emit(bam.Instr{Op: bam.Lbl, L: lNext})
+		return nil
+	case *term.Compound:
+		return ctx.compileGetCompound(reg, x)
+	}
+	return fmt.Errorf("cannot unify against %s", t)
+}
+
+func (ctx *cctx) compileGetCompound(reg ic.Reg, x *term.Compound) error {
+	c := ctx.c
+	isList := x.Functor == term.ConsName && len(x.Args) == 2
+
+	// Variables receiving their first binding inside this term need a
+	// single post-join location ("phi" temps), because the read and write
+	// paths bind them differently.
+	var newVars []*term.Var
+	for _, v := range term.Vars(x, nil) {
+		if !ctx.loc(v).init {
+			newVars = append(newVars, v)
+		}
+	}
+	phi := make(map[*term.Var]ic.Reg, len(newVars))
+	for _, v := range newVars {
+		phi[v] = c.newTemp()
+	}
+	reconcile := func() {
+		for _, v := range newVars {
+			c.emit(bam.Instr{Op: bam.Move, Dst: phi[v], Src: bam.Reg(ctx.getVal(v))})
+		}
+		// Forget the per-path locations.
+		for _, v := range newVars {
+			l := ctx.loc(v)
+			l.init = false
+			l.temp = ic.None
+			l.deref = ic.None
+		}
+	}
+
+	d := ctx.derefReg(reg)
+	lWrite, lNext := c.newLabel(), c.newLabel()
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: d, Cond: ic.CondEq, Tag: word.Ref, L: lWrite})
+
+	// Read path.
+	if isList {
+		c.emit(bam.Instr{Op: bam.BrTagI, Reg1: d, Cond: ic.CondNe, Tag: word.Lst, L: 0})
+		h, t := c.newTemp(), c.newTemp()
+		c.emit(bam.Instr{Op: bam.LoadM, Dst: h, Reg1: d, N: 0})
+		c.emit(bam.Instr{Op: bam.LoadM, Dst: t, Reg1: d, N: 1})
+		if err := ctx.compileGet(h, x.Args[0]); err != nil {
+			return err
+		}
+		if err := ctx.compileGet(t, x.Args[1]); err != nil {
+			return err
+		}
+	} else {
+		c.emit(bam.Instr{Op: bam.BrTagI, Reg1: d, Cond: ic.CondNe, Tag: word.Str, L: 0})
+		f := c.newTemp()
+		c.emit(bam.Instr{Op: bam.LoadM, Dst: f, Reg1: d, N: 0})
+		c.atoms.Intern(x.Functor)
+		c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(f), Cond: ic.CondNe,
+			V2: bam.FunV(x.Functor, len(x.Args)), L: 0})
+		args := make([]ic.Reg, len(x.Args))
+		for i := range x.Args {
+			args[i] = c.newTemp()
+			c.emit(bam.Instr{Op: bam.LoadM, Dst: args[i], Reg1: d, N: int64(i + 1)})
+		}
+		for i, a := range x.Args {
+			if err := ctx.compileGet(args[i], a); err != nil {
+				return err
+			}
+		}
+	}
+	reconcile()
+	c.emit(bam.Instr{Op: bam.Jump, L: lNext})
+
+	// Write path: construct the term on the heap and bind.
+	c.emit(bam.Instr{Op: bam.Lbl, L: lWrite})
+	v := ctx.compilePut(x)
+	c.emit(bam.Instr{Op: bam.Bind, Reg1: d, Src: v})
+	reconcile()
+
+	c.emit(bam.Instr{Op: bam.Lbl, L: lNext})
+	// Install the joined locations.
+	for _, v := range newVars {
+		ctx.record(v, phi[v])
+	}
+	return nil
+}
+
+// afterUnifyCall invalidates cached dereferences: general unification may
+// have bound variables whose dereferenced values were cached.
+func (ctx *cctx) afterUnifyCall() {
+	for _, l := range ctx.locs {
+		l.deref = ic.None
+	}
+}
+
+// --- construction (put) ----------------------------------------------------
+
+// compilePut returns a Val holding term t, building compound terms bottom-up
+// on the heap.
+func (ctx *cctx) compilePut(t term.Term) bam.Val {
+	c := ctx.c
+	switch x := t.(type) {
+	case term.Atom, term.Int:
+		imm, _ := immOf(c, t)
+		return imm
+	case *term.Var:
+		return bam.Reg(ctx.getVal(x))
+	case *term.Compound:
+		isList := x.Functor == term.ConsName && len(x.Args) == 2
+		args := make([]bam.Val, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ctx.compilePut(a)
+		}
+		r := c.newTemp()
+		if isList {
+			c.emit(bam.Instr{Op: bam.StoreH, N: 0, Src: args[0]})
+			c.emit(bam.Instr{Op: bam.StoreH, N: 1, Src: args[1]})
+			c.emit(bam.Instr{Op: bam.LeaH, Dst: r, Tag: word.Lst, N: 0})
+			c.emit(bam.Instr{Op: bam.AddH, N: 2})
+		} else {
+			c.atoms.Intern(x.Functor)
+			c.emit(bam.Instr{Op: bam.StoreH, N: 0, Src: bam.FunV(x.Functor, len(x.Args))})
+			for i := range args {
+				c.emit(bam.Instr{Op: bam.StoreH, N: int64(i + 1), Src: args[i]})
+			}
+			c.emit(bam.Instr{Op: bam.LeaH, Dst: r, Tag: word.Str, N: 0})
+			c.emit(bam.Instr{Op: bam.AddH, N: int64(len(x.Args) + 1)})
+		}
+		return bam.Reg(r)
+	}
+	panic("unreachable")
+}
+
+// putReg is compilePut forced into a register.
+func (ctx *cctx) putReg(t term.Term) ic.Reg {
+	v := ctx.compilePut(t)
+	if v.K == bam.VReg {
+		return v.R
+	}
+	r := ctx.c.newTemp()
+	ctx.c.emit(bam.Instr{Op: bam.Move, Dst: r, Src: v})
+	return r
+}

@@ -1,0 +1,227 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"symbol/internal/parse"
+)
+
+func compileSrc(t *testing.T, src string) string {
+	t.Helper()
+	clauses, err := parse.All(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(DefaultOptions())
+	if err := c.AddProgram(clauses); err != nil {
+		t.Fatal(err)
+	}
+	u, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Listing()
+}
+
+func countOccurrences(s, sub string) int { return strings.Count(s, sub) }
+
+func TestIndexingAvoidsChoicePoints(t *testing.T) {
+	// Distinct atom selectors: the dispatch must use switch + compares and
+	// no try instruction at all.
+	l := compileSrc(t, `
+color(red, 1). color(green, 2). color(blue, 3).
+main :- color(green, _).
+`)
+	sec := section(l, "procedure color/2")
+	if !strings.Contains(sec, "switch") {
+		t.Error("first-argument switch missing")
+	}
+	// Exactly one try chain may exist: the unbound-argument entry. The
+	// three constant-selector entries must dispatch with direct jumps.
+	if n := countOccurrences(sec, "\ttry "); n != 1 {
+		t.Errorf("expected one try (var entry only), got %d:\n%s", n, sec)
+	}
+}
+
+func TestVarHeadsUseTryChain(t *testing.T) {
+	l := compileSrc(t, `
+p(X) :- X = 1.
+p(X) :- X = 2.
+p(X) :- X = 3.
+main :- p(_).
+`)
+	sec := section(l, "procedure p/1")
+	if countOccurrences(sec, "\ttry ") != 1 {
+		t.Errorf("expected one try:\n%s", sec)
+	}
+	if countOccurrences(sec, "\tretry ") != 1 || countOccurrences(sec, "\ttrust") != 1 {
+		t.Errorf("expected retry+trust chain:\n%s", sec)
+	}
+}
+
+func TestMixedIndexSharesVarClauses(t *testing.T) {
+	// A var-headed clause is a candidate in every selector class.
+	l := compileSrc(t, `
+p(a, 1).
+p(_, 2).
+p(b, 3).
+main :- p(a, _).
+`)
+	sec := section(l, "procedure p/2")
+	// The atom 'a' chain must include the var clause: a try chain of 2.
+	if !strings.Contains(sec, "try ") {
+		t.Errorf("selector sharing lost:\n%s", sec)
+	}
+}
+
+func TestCutEmitsBarrier(t *testing.T) {
+	l := compileSrc(t, `
+f(X) :- X > 0, !.
+f(_).
+main :- f(1).
+`)
+	sec := section(l, "procedure f/1")
+	if !strings.Contains(sec, "save_b") {
+		t.Errorf("cut barrier not captured:\n%s", sec)
+	}
+	if !strings.Contains(sec, "cut ") {
+		t.Errorf("cut not emitted:\n%s", sec)
+	}
+}
+
+func TestDeepCutUsesEnvironment(t *testing.T) {
+	l := compileSrc(t, `
+p(1).
+g(X) :- p(X), !, p(X).
+main :- g(_).
+`)
+	sec := section(l, "procedure g/1")
+	if !strings.Contains(sec, "allocate") {
+		t.Errorf("deep cut needs an environment:\n%s", sec)
+	}
+	if !strings.Contains(sec, "puty") || !strings.Contains(sec, "gety") {
+		t.Errorf("deep cut barrier must live in a permanent slot:\n%s", sec)
+	}
+}
+
+func TestLastCallOptimization(t *testing.T) {
+	l := compileSrc(t, `
+loop(0).
+loop(N) :- M is N-1, loop(M).
+main :- loop(3).
+`)
+	sec := section(l, "procedure loop/1")
+	if !strings.Contains(sec, "execute loop/1") {
+		t.Errorf("tail call must use execute:\n%s", sec)
+	}
+	if strings.Contains(sec, "call loop/1") {
+		t.Errorf("tail call compiled as call:\n%s", sec)
+	}
+}
+
+func TestEnvironmentOnlyWhenNeeded(t *testing.T) {
+	l := compileSrc(t, `
+q(1).
+chain(X) :- q(X).
+main :- chain(_).
+`)
+	sec := section(l, "procedure chain/1")
+	if strings.Contains(sec, "allocate") {
+		t.Errorf("single tail call needs no environment:\n%s", sec)
+	}
+}
+
+func TestControlConstructsBecomeAux(t *testing.T) {
+	l := compileSrc(t, `
+p(1).
+main :- ( p(X) -> X = 1 ; true ).
+`)
+	if !strings.Contains(l, "procedure $aux1") {
+		t.Errorf("if-then-else must compile to an auxiliary predicate:\n%s", l)
+	}
+}
+
+func TestAuxArgumentsAreSharedVars(t *testing.T) {
+	clauses, err := parse.All(`
+p(1).
+main :- p(X), \+ p(X), p(X).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(DefaultOptions())
+	if err := c.AddProgram(clauses); err != nil {
+		t.Fatal(err)
+	}
+	u, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(u.Listing(), "procedure $aux1/1") {
+		t.Errorf("negation over a shared variable must pass it:\n%s", u.Listing())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		`main :- foo(A,B,C,D,E,F,G,H,I,J,K,L,M).`, // arity > 12 (also undefined, but arity checked first)
+		`main :- 3.`,           // integer goal
+		`main :- X is a+1.`,    // non-numeric arithmetic
+		`main :- Y is 1 ** 2.`, // unsupported functor
+	}
+	for _, src := range cases {
+		clauses, err := parse.All(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		c := New(DefaultOptions())
+		err = c.AddProgram(clauses)
+		if err == nil {
+			_, err = c.Compile()
+		}
+		if err == nil {
+			t.Errorf("expected compile error for %q", src)
+		}
+	}
+	// Missing main/0.
+	c := New(DefaultOptions())
+	if _, err := c.Compile(); err == nil {
+		t.Error("expected error for missing main/0")
+	}
+	// Builtin redefinition.
+	clauses, _ := parse.All(`is(X, X).`)
+	c = New(DefaultOptions())
+	if err := c.AddProgram(clauses); err == nil {
+		t.Error("expected error redefining is/2")
+	}
+}
+
+func TestUndefinedTracking(t *testing.T) {
+	clauses, _ := parse.All(`main :- ghost(1), phantom.`)
+	c := New(DefaultOptions())
+	if err := c.AddProgram(clauses); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	u := c.Undefined()
+	if len(u) != 2 || u[0].String() != "ghost/1" && u[1].String() != "ghost/1" {
+		t.Errorf("undefined = %v", u)
+	}
+}
+
+// section extracts one procedure's listing.
+func section(listing, header string) string {
+	i := strings.Index(listing, header)
+	if i < 0 {
+		return ""
+	}
+	rest := listing[i+len(header):]
+	j := strings.Index(rest, "procedure ")
+	if j < 0 {
+		return rest
+	}
+	return rest[:j]
+}

@@ -1,0 +1,355 @@
+package compile
+
+import (
+	"fmt"
+
+	"symbol/internal/bam"
+	"symbol/internal/ic"
+	"symbol/internal/term"
+	"symbol/internal/word"
+)
+
+// compileGoal emits code for one flat body goal. last reports whether this
+// is the final goal (enabling last-call optimization); cutY is the
+// environment slot holding the cut barrier for deep cuts (-1 if none).
+func (ctx *cctx) compileGoal(g term.Term, last bool, cutY int) error {
+	c := ctx.c
+	switch x := g.(type) {
+	case term.Atom:
+		switch x {
+		case "true":
+			return nil
+		case "fail", "false":
+			c.emit(bam.Instr{Op: bam.FailI})
+			return nil
+		case "!":
+			return ctx.compileCut(cutY)
+		case "nl":
+			c.emit(bam.Instr{Op: bam.Sys, Sys: ic.SysNl, Reg1: ic.None, Reg2: ic.None})
+			return nil
+		case "halt":
+			c.emit(bam.Instr{Op: bam.HaltI, N: 0})
+			return nil
+		}
+		return ctx.compileCall(term.Indicator{Name: string(x)}, nil, last)
+	case term.Int:
+		return fmt.Errorf("integer %d cannot be called", int64(x))
+	case *term.Compound:
+		pi := term.Indicator{Name: x.Functor, Arity: len(x.Args)}
+		switch pi {
+		case term.Indicator{Name: "=", Arity: 2}:
+			return ctx.compileUnifyGoal(x.Args[0], x.Args[1])
+		case term.Indicator{Name: "is", Arity: 2}:
+			return ctx.compileIs(x.Args[0], x.Args[1])
+		case term.Indicator{Name: "<", Arity: 2}:
+			return ctx.compileArithCmp(x.Args[0], x.Args[1], ic.CondLt)
+		case term.Indicator{Name: ">", Arity: 2}:
+			return ctx.compileArithCmp(x.Args[0], x.Args[1], ic.CondGt)
+		case term.Indicator{Name: "=<", Arity: 2}:
+			return ctx.compileArithCmp(x.Args[0], x.Args[1], ic.CondLe)
+		case term.Indicator{Name: ">=", Arity: 2}:
+			return ctx.compileArithCmp(x.Args[0], x.Args[1], ic.CondGe)
+		case term.Indicator{Name: "=:=", Arity: 2}:
+			return ctx.compileArithCmp(x.Args[0], x.Args[1], ic.CondEq)
+		case term.Indicator{Name: "=\\=", Arity: 2}:
+			return ctx.compileArithCmp(x.Args[0], x.Args[1], ic.CondNe)
+		case term.Indicator{Name: "==", Arity: 2}:
+			return ctx.compileStructEq(x.Args[0], x.Args[1], true)
+		case term.Indicator{Name: "\\==", Arity: 2}:
+			return ctx.compileStructEq(x.Args[0], x.Args[1], false)
+		case term.Indicator{Name: "var", Arity: 1}:
+			return ctx.compileTypeTest(x.Args[0], word.Ref, true)
+		case term.Indicator{Name: "nonvar", Arity: 1}:
+			return ctx.compileTypeTest(x.Args[0], word.Ref, false)
+		case term.Indicator{Name: "atom", Arity: 1}:
+			return ctx.compileTypeTest(x.Args[0], word.Atom, true)
+		case term.Indicator{Name: "integer", Arity: 1}:
+			return ctx.compileTypeTest(x.Args[0], word.Int, true)
+		case term.Indicator{Name: "atomic", Arity: 1}:
+			return ctx.compileAtomic(x.Args[0])
+		case term.Indicator{Name: "write", Arity: 1}:
+			r := ctx.putReg(x.Args[0])
+			c.emit(bam.Instr{Op: bam.Sys, Sys: ic.SysWrite, Reg1: r, Reg2: ic.None})
+			return nil
+		case term.Indicator{Name: "arg", Arity: 3}:
+			return ctx.compileArg(x.Args[0], x.Args[1], x.Args[2])
+		case term.Indicator{Name: "functor", Arity: 3}:
+			return ctx.compileFunctor(x.Args[0], x.Args[1], x.Args[2])
+		case term.Indicator{Name: "=..", Arity: 2}:
+			return ctx.compileUniv(x.Args[0], x.Args[1])
+		case term.Indicator{Name: "call", Arity: 1}:
+			return ctx.compileMetaCall(x.Args[0], last)
+		}
+		return ctx.compileCall(pi, x.Args, last)
+	}
+	return fmt.Errorf("cannot compile goal %s", g)
+}
+
+func (ctx *cctx) compileCut(cutY int) error {
+	c := ctx.c
+	if ctx.p.cutReg == 0 {
+		return fmt.Errorf("cut without barrier register")
+	}
+	if cutY >= 0 {
+		// Deep cut: barrier lives in the environment.
+		t := c.newTemp()
+		c.emit(bam.Instr{Op: bam.GetY, Dst: t, N: int64(cutY)})
+		c.emit(bam.Instr{Op: bam.CutTo, Src: bam.Reg(t)})
+		return nil
+	}
+	c.emit(bam.Instr{Op: bam.CutTo, Src: bam.Reg(ctx.p.cutReg)})
+	return nil
+}
+
+// compileCall loads argument registers and emits call or execute.
+func (ctx *cctx) compileCall(pi term.Indicator, args []term.Term, last bool) error {
+	c := ctx.c
+	if pi.Arity > 12 {
+		return fmt.Errorf("%s: arity above 12 is not supported", pi)
+	}
+	if _, ok := c.preds[pi]; !ok {
+		c.undefined[pi] = true
+		c.emit(bam.Instr{Op: bam.FailI})
+		return nil
+	}
+	vals := make([]bam.Val, len(args))
+	for i, a := range args {
+		vals[i] = ctx.compilePut(a)
+	}
+	// Argument registers may appear as sources (head variables); copy them
+	// to temporaries so the assignment below is a safe parallel move.
+	for i, v := range vals {
+		if v.K == bam.VReg && v.R >= ic.FirstArg && v.R < ic.FirstArg+ic.NumArgRegs {
+			t := c.newTemp()
+			c.emit(bam.Instr{Op: bam.Move, Dst: t, Src: v})
+			vals[i] = bam.Reg(t)
+		}
+	}
+	for i, v := range vals {
+		c.emit(bam.Instr{Op: bam.Move, Dst: ic.ArgReg(i), Src: v})
+	}
+	if last {
+		if ctx.hasEnv {
+			c.emit(bam.Instr{Op: bam.Deallocate})
+		}
+		c.emit(bam.Instr{Op: bam.Exec, Name: pi.Name, Arity: pi.Arity})
+	} else {
+		c.emit(bam.Instr{Op: bam.Call, Name: pi.Name, Arity: pi.Arity})
+		ctx.invalidateTemps()
+	}
+	return nil
+}
+
+// compileUnifyGoal compiles X = Y, specializing the common cases where one
+// side is a first-occurrence variable (pure assignment).
+func (ctx *cctx) compileUnifyGoal(a, b term.Term) error {
+	c := ctx.c
+	if v, ok := a.(*term.Var); ok && !ctx.loc(v).init {
+		ctx.record(v, ctx.putReg(b))
+		return nil
+	}
+	if v, ok := b.(*term.Var); ok && !ctx.loc(v).init {
+		ctx.record(v, ctx.putReg(a))
+		return nil
+	}
+	// If one side is already held in a register, reuse the specialized
+	// head-unification code generator against the other side.
+	if v, ok := a.(*term.Var); ok {
+		return ctx.compileGet(ctx.getVal(v), b)
+	}
+	if v, ok := b.(*term.Var); ok {
+		return ctx.compileGet(ctx.getVal(v), a)
+	}
+	r1 := ctx.putReg(a)
+	r2 := ctx.putReg(b)
+	c.emit(bam.Instr{Op: bam.UnifyCall, Reg1: r1, Reg2: r2})
+	ctx.afterUnifyCall()
+	return nil
+}
+
+// evalArith compiles an arithmetic expression to a register holding an
+// integer word, with optional runtime tag checks on variable operands.
+func (ctx *cctx) evalArith(t term.Term) (bam.Val, error) {
+	c := ctx.c
+	switch x := t.(type) {
+	case term.Int:
+		return bam.IntV(int64(x)), nil
+	case *term.Var:
+		d := ctx.derefVar(x)
+		if c.opts.ArithChecks {
+			c.emit(bam.Instr{Op: bam.BrTagI, Reg1: d, Cond: ic.CondNe, Tag: word.Int, L: 0})
+		}
+		return bam.Reg(d), nil
+	case *term.Compound:
+		var op bam.AOp
+		switch {
+		case x.Functor == "-" && len(x.Args) == 1:
+			v, err := ctx.evalArith(x.Args[0])
+			if err != nil {
+				return bam.Val{}, err
+			}
+			r := c.newTemp()
+			c.emit(bam.Instr{Op: bam.Arith, Dst: r, AOp: bam.ASub, V1: bam.IntV(0), V2: v})
+			return bam.Reg(r), nil
+		case x.Functor == "+" && len(x.Args) == 1:
+			return ctx.evalArith(x.Args[0])
+		case len(x.Args) == 2:
+			switch x.Functor {
+			case "+":
+				op = bam.AAdd
+			case "-":
+				op = bam.ASub
+			case "*":
+				op = bam.AMul
+			case "//", "/":
+				op = bam.ADiv
+			case "mod":
+				op = bam.AMod
+			case "/\\":
+				op = bam.AAnd
+			case "\\/":
+				op = bam.AOr
+			case "xor":
+				op = bam.AXor
+			case "<<":
+				op = bam.AShl
+			case ">>":
+				op = bam.AShr
+			default:
+				return bam.Val{}, fmt.Errorf("unknown arithmetic functor %s/2", x.Functor)
+			}
+			v1, err := ctx.evalArith(x.Args[0])
+			if err != nil {
+				return bam.Val{}, err
+			}
+			v2, err := ctx.evalArith(x.Args[1])
+			if err != nil {
+				return bam.Val{}, err
+			}
+			r := c.newTemp()
+			c.emit(bam.Instr{Op: bam.Arith, Dst: r, AOp: op, V1: v1, V2: v2})
+			return bam.Reg(r), nil
+		}
+	}
+	return bam.Val{}, fmt.Errorf("cannot evaluate %s arithmetically", t)
+}
+
+// compileIs compiles Lhs is Rhs.
+func (ctx *cctx) compileIs(lhs, rhs term.Term) error {
+	c := ctx.c
+	v, err := ctx.evalArith(rhs)
+	if err != nil {
+		return err
+	}
+	reg := func() ic.Reg {
+		if v.K == bam.VReg {
+			return v.R
+		}
+		r := c.newTemp()
+		c.emit(bam.Instr{Op: bam.Move, Dst: r, Src: v})
+		return r
+	}
+	if x, ok := lhs.(*term.Var); ok {
+		l := ctx.loc(x)
+		if !l.init {
+			ctx.record(x, reg())
+			return nil
+		}
+		// Bound or aliased: dereference; bind if unbound, else compare.
+		d := ctx.derefVar(x)
+		lBind, lNext := c.newLabel(), c.newLabel()
+		c.emit(bam.Instr{Op: bam.BrTagI, Reg1: d, Cond: ic.CondEq, Tag: word.Ref, L: lBind})
+		c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(d), Cond: ic.CondNe, V2: v, L: 0})
+		c.emit(bam.Instr{Op: bam.Jump, L: lNext})
+		c.emit(bam.Instr{Op: bam.Lbl, L: lBind})
+		c.emit(bam.Instr{Op: bam.Bind, Reg1: d, Src: v})
+		c.emit(bam.Instr{Op: bam.Lbl, L: lNext})
+		return nil
+	}
+	if n, ok := lhs.(term.Int); ok {
+		c.emit(bam.Instr{Op: bam.BrEq, V1: v, Cond: ic.CondNe, V2: bam.IntV(int64(n)), L: 0})
+		return nil
+	}
+	return fmt.Errorf("invalid left side of is/2: %s", lhs)
+}
+
+// compileArithCmp compiles an arithmetic comparison; the goal fails unless
+// lhs cond rhs holds.
+func (ctx *cctx) compileArithCmp(lhs, rhs term.Term, cond ic.Cond) error {
+	c := ctx.c
+	v1, err := ctx.evalArith(lhs)
+	if err != nil {
+		return err
+	}
+	v2, err := ctx.evalArith(rhs)
+	if err != nil {
+		return err
+	}
+	c.emit(bam.Instr{Op: bam.BrEq, V1: v1, Cond: cond.Invert(), V2: v2, L: 0})
+	return nil
+}
+
+// compileStructEq compiles ==/2 (wantEqual) and \==/2 via the compare
+// runtime escape.
+func (ctx *cctx) compileStructEq(a, b term.Term, wantEqual bool) error {
+	c := ctx.c
+	r1 := ctx.putReg(a)
+	r2 := ctx.putReg(b)
+	c.emit(bam.Instr{Op: bam.Sys, Sys: ic.SysCompare, Reg1: r1, Reg2: r2})
+	cond := ic.CondNe // == : fail when compare != 0
+	if !wantEqual {
+		cond = ic.CondEq
+	}
+	c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(ic.RegRV), Cond: cond, V2: bam.IntV(0), L: 0})
+	return nil
+}
+
+// compileTypeTest compiles var/nonvar/atom/integer tests. want reports
+// whether the tag must match (true) or must not match (false).
+func (ctx *cctx) compileTypeTest(t term.Term, tag word.Tag, want bool) error {
+	c := ctx.c
+	v, ok := t.(*term.Var)
+	if !ok {
+		// Constant argument: decide statically.
+		static := false
+		switch t.(type) {
+		case term.Atom:
+			static = tag == word.Atom
+		case term.Int:
+			static = tag == word.Int
+		case *term.Compound:
+			static = false
+		}
+		if static != want {
+			c.emit(bam.Instr{Op: bam.FailI})
+		}
+		return nil
+	}
+	d := ctx.derefVar(v)
+	cond := ic.CondNe // fail if tag differs
+	if !want {
+		cond = ic.CondEq
+	}
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: d, Cond: cond, Tag: tag, L: 0})
+	return nil
+}
+
+// compileAtomic compiles atomic/1: succeeds for atoms and integers.
+func (ctx *cctx) compileAtomic(t term.Term) error {
+	c := ctx.c
+	v, ok := t.(*term.Var)
+	if !ok {
+		switch t.(type) {
+		case term.Atom, term.Int:
+			return nil
+		}
+		c.emit(bam.Instr{Op: bam.FailI})
+		return nil
+	}
+	d := ctx.derefVar(v)
+	ok1 := c.newLabel()
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: d, Cond: ic.CondEq, Tag: word.Atom, L: ok1})
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: d, Cond: ic.CondNe, Tag: word.Int, L: 0})
+	c.emit(bam.Instr{Op: bam.Lbl, L: ok1})
+	return nil
+}

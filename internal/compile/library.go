@@ -1,0 +1,174 @@
+package compile
+
+import (
+	"fmt"
+
+	"symbol/internal/parse"
+	"symbol/internal/term"
+)
+
+// library holds the embedded standard predicates. A predicate is linked in
+// only when the program calls it without defining it, so user definitions
+// always win; library predicates may depend on each other (resolution
+// iterates to a fixed point).
+var library = map[term.Indicator]string{
+	{Name: "append", Arity: 3}: `
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+`,
+	{Name: "member", Arity: 2}: `
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+`,
+	{Name: "memberchk", Arity: 2}: `
+memberchk(X, [X|_]) :- !.
+memberchk(X, [_|T]) :- memberchk(X, T).
+`,
+	{Name: "select", Arity: 3}: `
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+`,
+	{Name: "reverse", Arity: 2}: `
+reverse(L, R) :- reverse(L, [], R).
+`,
+	{Name: "reverse", Arity: 3}: `
+reverse([], A, A).
+reverse([H|T], A, R) :- reverse(T, [H|A], R).
+`,
+	{Name: "length", Arity: 2}: `
+length([], 0).
+length([_|T], N) :- length(T, M), N is M+1.
+`,
+	{Name: "nth0", Arity: 3}: `
+nth0(0, [X|_], X) :- !.
+nth0(N, [_|T], X) :- N > 0, M is N-1, nth0(M, T, X).
+`,
+	{Name: "nth1", Arity: 3}: `
+nth1(N, L, X) :- M is N-1, nth0(M, L, X).
+`,
+	{Name: "last", Arity: 2}: `
+last([X], X) :- !.
+last([_|T], X) :- last(T, X).
+`,
+	{Name: "sum_list", Arity: 2}: `
+sum_list(L, S) :- sum_list(L, 0, S).
+`,
+	{Name: "sum_list", Arity: 3}: `
+sum_list([], S, S).
+sum_list([X|T], A, S) :- A1 is A+X, sum_list(T, A1, S).
+`,
+	{Name: "max_list", Arity: 2}: `
+max_list([X|T], M) :- max_list(T, X, M).
+`,
+	{Name: "max_list", Arity: 3}: `
+max_list([], M, M).
+max_list([X|T], A, M) :- ( X > A -> max_list(T, X, M) ; max_list(T, A, M) ).
+`,
+	{Name: "min_list", Arity: 2}: `
+min_list([X|T], M) :- min_list(T, X, M).
+`,
+	{Name: "min_list", Arity: 3}: `
+min_list([], M, M).
+min_list([X|T], A, M) :- ( X < A -> min_list(T, X, M) ; min_list(T, A, M) ).
+`,
+	{Name: "between", Arity: 3}: `
+between(L, H, L) :- L =< H.
+between(L, H, X) :- L < H, L1 is L+1, between(L1, H, X).
+`,
+	{Name: "numlist", Arity: 3}: `
+numlist(L, H, [L]) :- L =:= H, !.
+numlist(L, H, [L|T]) :- L < H, L1 is L+1, numlist(L1, H, T).
+`,
+	{Name: "succ", Arity: 2}: `
+succ(X, Y) :- nonvar(X), !, Y is X+1.
+succ(X, Y) :- X is Y-1, X >= 0.
+`,
+	{Name: "msort", Arity: 2}: `
+msort([], []) :- !.
+msort([X], [X]) :- !.
+msort(L, S) :-
+    msplit(L, A, B),
+    msort(A, SA), msort(B, SB),
+    mmerge(SA, SB, S).
+`,
+	{Name: "msplit", Arity: 3}: `
+msplit([], [], []).
+msplit([X], [X], []).
+msplit([X,Y|T], [X|A], [Y|B]) :- msplit(T, A, B).
+`,
+	{Name: "mmerge", Arity: 3}: `
+mmerge([], L, L) :- !.
+mmerge(L, [], L) :- !.
+mmerge([X|Xs], [Y|Ys], [X|R]) :- leqt(X, Y), !, mmerge(Xs, [Y|Ys], R).
+mmerge(Xs, [Y|Ys], [Y|R]) :- mmerge(Xs, Ys, R).
+`,
+	{Name: "leqt", Arity: 2}: `
+leqt(X, Y) :- X =< Y.
+`,
+	{Name: "maplist", Arity: 2}: `
+maplist(_, []).
+maplist(P, [X|Xs]) :- extend_goal(P, [X], G), call(G), maplist(P, Xs).
+`,
+	{Name: "maplist", Arity: 3}: `
+maplist(_, [], []).
+maplist(P, [X|Xs], [Y|Ys]) :- extend_goal(P, [X, Y], G), call(G), maplist(P, Xs, Ys).
+`,
+	{Name: "extend_goal", Arity: 3}: `
+extend_goal(P, Extra, G) :- P =.. L0, append(L0, Extra, L1), G =.. L1.
+`,
+	{Name: "forall", Arity: 2}: `
+forall(C, A) :- \+ (call(C), \+ call(A)).
+`,
+	{Name: "ignore", Arity: 1}: `
+ignore(G) :- ( call(G) -> true ; true ).
+`,
+}
+
+// calledIndicators collects every user-call indicator in the program.
+func (c *Compiler) calledIndicators() map[term.Indicator]bool {
+	out := map[term.Indicator]bool{}
+	for _, pi := range c.order {
+		for _, cl := range c.preds[pi].clauses {
+			for _, g := range cl.goals {
+				gpi, ok := term.IndicatorOf(g)
+				if ok && !builtinGoal(gpi) {
+					out[gpi] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// resolveLibrary links embedded library predicates for called-but-undefined
+// indicators, iterating until no new predicate is added (library predicates
+// call each other, and aux predicates created while compiling library
+// clauses may introduce further calls).
+func (c *Compiler) resolveLibrary() error {
+	for round := 0; round < 16; round++ {
+		added := false
+		for pi := range c.calledIndicators() {
+			if _, defined := c.preds[pi]; defined {
+				continue
+			}
+			src, ok := library[pi]
+			if !ok {
+				continue
+			}
+			clauses, err := parse.All(src)
+			if err != nil {
+				return fmt.Errorf("library %s: %w", pi, err)
+			}
+			for _, cl := range clauses {
+				if err := c.AddClause(cl); err != nil {
+					return fmt.Errorf("library %s: %w", pi, err)
+				}
+			}
+			added = true
+		}
+		if !added {
+			return nil
+		}
+	}
+	return fmt.Errorf("library resolution did not converge")
+}

@@ -1,0 +1,97 @@
+package compile
+
+import (
+	"sort"
+
+	"symbol/internal/bam"
+	"symbol/internal/ic"
+	"symbol/internal/term"
+)
+
+// metaName is the synthesized dispatcher behind call/1.
+const metaName = "$meta"
+
+// emitMetaDispatcher generates $meta/1: dereference the goal, dispatch on
+// its functor over every predicate defined in the program, load the
+// argument registers from the structure, and tail-call the predicate. It is
+// the runtime half of call/1 — a plain compare ladder plus loads, in the
+// same primitive-operation style as the rest of the BAM code.
+func (c *Compiler) emitMetaDispatcher() {
+	c.emit(bam.Instr{Op: bam.Proc, Name: metaName, Arity: 1})
+	d0 := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Deref, Dst: d0, Src: bam.Reg(ic.ArgReg(0))})
+
+	lAtm, lStr := c.newLabel(), c.newLabel()
+	c.emit(bam.Instr{Op: bam.SwitchTag, Reg1: d0,
+		LVar: 0, LInt: 0, LAtm: lAtm, LLst: 0, LStr: lStr})
+
+	// Deterministic dispatch order.
+	pis := make([]term.Indicator, len(c.order))
+	copy(pis, c.order)
+	sort.Slice(pis, func(i, j int) bool {
+		if pis[i].Name != pis[j].Name {
+			return pis[i].Name < pis[j].Name
+		}
+		return pis[i].Arity < pis[j].Arity
+	})
+
+	// Zero-arity goals: compare the atom, tail-call.
+	c.emit(bam.Instr{Op: bam.Lbl, L: lAtm})
+	for _, pi := range pis {
+		if pi.Arity != 0 || pi.Name == metaName {
+			continue
+		}
+		miss := c.newLabel()
+		c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(d0), Cond: ic.CondNe,
+			V2: bam.AtomV(pi.Name), L: miss})
+		c.emit(bam.Instr{Op: bam.Exec, Name: pi.Name, Arity: 0})
+		c.emit(bam.Instr{Op: bam.Lbl, L: miss})
+	}
+	c.emit(bam.Instr{Op: bam.FailI})
+
+	// Compound goals: compare the functor cell, load arguments, tail-call.
+	c.emit(bam.Instr{Op: bam.Lbl, L: lStr})
+	f := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: f, Reg1: d0, N: 0})
+	for _, pi := range pis {
+		if pi.Arity == 0 || pi.Arity > 12 || pi.Name == metaName {
+			continue
+		}
+		miss := c.newLabel()
+		c.atoms.Intern(pi.Name)
+		c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(f), Cond: ic.CondNe,
+			V2: bam.FunV(pi.Name, pi.Arity), L: miss})
+		for i := 0; i < pi.Arity; i++ {
+			c.emit(bam.Instr{Op: bam.LoadM, Dst: ic.ArgReg(i), Reg1: d0, N: int64(i + 1)})
+		}
+		c.emit(bam.Instr{Op: bam.Exec, Name: pi.Name, Arity: pi.Arity})
+		c.emit(bam.Instr{Op: bam.Lbl, L: miss})
+	}
+	c.emit(bam.Instr{Op: bam.FailI})
+}
+
+// compileMetaCall compiles call(G): load the goal term and invoke the
+// dispatcher. Ends a chunk like any user call.
+func (ctx *cctx) compileMetaCall(g term.Term, last bool) error {
+	c := ctx.c
+	c.usedMeta = true
+	v := ctx.compilePut(g)
+	r := ctx.valReg(v)
+	// Avoid reading a clobbered argument register during the move.
+	if r >= ic.FirstArg && r < ic.FirstArg+ic.NumArgRegs {
+		t := c.newTemp()
+		c.emit(bam.Instr{Op: bam.Move, Dst: t, Src: bam.Reg(r)})
+		r = t
+	}
+	c.emit(bam.Instr{Op: bam.Move, Dst: ic.ArgReg(0), Src: bam.Reg(r)})
+	if last {
+		if ctx.hasEnv {
+			c.emit(bam.Instr{Op: bam.Deallocate})
+		}
+		c.emit(bam.Instr{Op: bam.Exec, Name: metaName, Arity: 1})
+	} else {
+		c.emit(bam.Instr{Op: bam.Call, Name: metaName, Arity: 1})
+		ctx.invalidateTemps()
+	}
+	return nil
+}

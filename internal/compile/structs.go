@@ -1,0 +1,179 @@
+package compile
+
+import (
+	"symbol/internal/bam"
+	"symbol/internal/ic"
+	"symbol/internal/term"
+	"symbol/internal/word"
+)
+
+// compileArg compiles arg(N, T, A): A unifies with the N-th argument of
+// compound term T (1-based); fails if N is out of range or T is not
+// compound. N and T must be sufficiently instantiated.
+func (ctx *cctx) compileArg(nArg, tArg, aArg term.Term) error {
+	c := ctx.c
+	nv, err := ctx.evalArith(nArg)
+	if err != nil {
+		return err
+	}
+	nReg := ctx.valReg(nv)
+	tReg := ctx.putReg(tArg)
+	dT := ctx.derefReg(tReg)
+
+	elem := c.newTemp() // the selected argument (phi across paths)
+	lLst, lStr, lNext := c.newLabel(), c.newLabel(), c.newLabel()
+
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: dT, Cond: ic.CondEq, Tag: word.Lst, L: lLst})
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: dT, Cond: ic.CondEq, Tag: word.Str, L: lStr})
+	c.emit(bam.Instr{Op: bam.FailI})
+
+	// Lists: argument 1 is the head, 2 the tail.
+	c.emit(bam.Instr{Op: bam.Lbl, L: lLst})
+	lTail := c.newLabel()
+	c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(nReg), Cond: ic.CondNe, V2: bam.IntV(1), L: lTail})
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: elem, Reg1: dT, N: 0})
+	c.emit(bam.Instr{Op: bam.Jump, L: lNext})
+	c.emit(bam.Instr{Op: bam.Lbl, L: lTail})
+	c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(nReg), Cond: ic.CondNe, V2: bam.IntV(2), L: 0})
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: elem, Reg1: dT, N: 1})
+	c.emit(bam.Instr{Op: bam.Jump, L: lNext})
+
+	// Structures: bounds-check against the functor cell's arity, then an
+	// indexed load through value arithmetic.
+	c.emit(bam.Instr{Op: bam.Lbl, L: lStr})
+	f := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: f, Reg1: dT, N: 0})
+	arity := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Arith, Dst: arity, AOp: bam.AAnd, V1: bam.Reg(f), V2: bam.IntV(0xffff)})
+	c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(nReg), Cond: ic.CondLt, V2: bam.IntV(1), L: 0})
+	c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(nReg), Cond: ic.CondGt, V2: bam.Reg(arity), L: 0})
+	addr := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Arith, Dst: addr, AOp: bam.AAdd, V1: bam.Reg(dT), V2: bam.Reg(nReg)})
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: elem, Reg1: addr, N: 0})
+	c.emit(bam.Instr{Op: bam.Lbl, L: lNext})
+
+	return ctx.unifyWithReg(aArg, elem)
+}
+
+// compileFunctor compiles functor(T, F, N): analysis when T is bound,
+// construction of a fresh term with unbound arguments when T is a variable.
+func (ctx *cctx) compileFunctor(tArg, fArg, nArg term.Term) error {
+	c := ctx.c
+	// Materialize every argument before the dispatch: both the analysis
+	// and the construction paths must see the same variable locations
+	// (first-occurrence cells may not be created inside only one branch).
+	tReg := ctx.putReg(tArg)
+	fReg := ctx.putReg(fArg)
+	nReg := ctx.putReg(nArg)
+	dT := ctx.derefReg(tReg)
+
+	fOut := c.newTemp()
+	nOut := c.newTemp()
+	lVar, lStr, lLst, lAtomic, lJoin, lEnd := c.newLabel(), c.newLabel(), c.newLabel(), c.newLabel(), c.newLabel(), c.newLabel()
+
+	c.emit(bam.Instr{Op: bam.SwitchTag, Reg1: dT,
+		LVar: lVar, LInt: lAtomic, LAtm: lAtomic, LLst: lLst, LStr: lStr})
+
+	// Atomic: functor(T, T, 0).
+	c.emit(bam.Instr{Op: bam.Lbl, L: lAtomic})
+	c.emit(bam.Instr{Op: bam.Move, Dst: fOut, Src: bam.Reg(dT)})
+	c.emit(bam.Instr{Op: bam.Move, Dst: nOut, Src: bam.IntV(0)})
+	c.emit(bam.Instr{Op: bam.Jump, L: lJoin})
+
+	// Lists: '.'/2.
+	c.emit(bam.Instr{Op: bam.Lbl, L: lLst})
+	c.emit(bam.Instr{Op: bam.Move, Dst: fOut, Src: bam.AtomV(".")})
+	c.emit(bam.Instr{Op: bam.Move, Dst: nOut, Src: bam.IntV(2)})
+	c.emit(bam.Instr{Op: bam.Jump, L: lJoin})
+
+	// Structures: split the functor cell (atom<<16 | arity).
+	c.emit(bam.Instr{Op: bam.Lbl, L: lStr})
+	f := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: f, Reg1: dT, N: 0})
+	fr := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Arith, Dst: fr, AOp: bam.AShr, V1: bam.Reg(f), V2: bam.IntV(16)})
+	c.emit(bam.Instr{Op: bam.MkTagI, Dst: fOut, Reg1: fr, Tag: word.Atom})
+	ar := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Arith, Dst: ar, AOp: bam.AAnd, V1: bam.Reg(f), V2: bam.IntV(0xffff)})
+	c.emit(bam.Instr{Op: bam.MkTagI, Dst: nOut, Reg1: ar, Tag: word.Int})
+	c.emit(bam.Instr{Op: bam.Jump, L: lJoin})
+
+	// Construction: T is unbound; F and N must be instantiated.
+	c.emit(bam.Instr{Op: bam.Lbl, L: lVar})
+	dF := ctx.derefReg(fReg)
+	dN := ctx.derefReg(nReg)
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: dN, Cond: ic.CondNe, Tag: word.Int, L: 0})
+	lBuild := c.newLabel()
+	c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(dN), Cond: ic.CondGt, V2: bam.IntV(0), L: lBuild})
+	c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(dN), Cond: ic.CondLt, V2: bam.IntV(0), L: 0})
+	// N = 0: T = F, which must be atomic.
+	lFOK := c.newLabel()
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: dF, Cond: ic.CondEq, Tag: word.Atom, L: lFOK})
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: dF, Cond: ic.CondNe, Tag: word.Int, L: 0})
+	c.emit(bam.Instr{Op: bam.Lbl, L: lFOK})
+	c.emit(bam.Instr{Op: bam.Bind, Reg1: dT, Src: bam.Reg(dF)})
+	c.emit(bam.Instr{Op: bam.Jump, L: lEnd})
+
+	// N > 0: F must be an atom ('.'/2 builds a list cell like any other
+	// structure here; the reader prints it identically).
+	c.emit(bam.Instr{Op: bam.Lbl, L: lBuild})
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: dF, Cond: ic.CondNe, Tag: word.Atom, L: 0})
+	fun := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Arith, Dst: fun, AOp: bam.AShl, V1: bam.Reg(dF), V2: bam.IntV(16)})
+	fun2 := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Arith, Dst: fun2, AOp: bam.AOr, V1: bam.Reg(fun), V2: bam.Reg(dN)})
+	funW := c.newTemp()
+	c.emit(bam.Instr{Op: bam.MkTagI, Dst: funW, Reg1: fun2, Tag: word.Fun})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 0, Src: bam.Reg(funW)})
+	cell := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LeaH, Dst: cell, Tag: word.Str, N: 0})
+	// Fill N fresh unbound cells with a pointer-walking loop.
+	ptr := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LeaH, Dst: ptr, Tag: word.Ref, N: 1})
+	i := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Move, Dst: i, Src: bam.Reg(dN)})
+	lLoop, lDone := c.newLabel(), c.newLabel()
+	c.emit(bam.Instr{Op: bam.Lbl, L: lLoop})
+	c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(i), Cond: ic.CondLe, V2: bam.IntV(0), L: lDone})
+	c.emit(bam.Instr{Op: bam.StoreM, Reg1: ptr, N: 0, Src: bam.Reg(ptr)})
+	c.emit(bam.Instr{Op: bam.Arith, Dst: ptr, AOp: bam.AAdd, V1: bam.Reg(ptr), V2: bam.IntV(1)})
+	c.emit(bam.Instr{Op: bam.Arith, Dst: i, AOp: bam.ASub, V1: bam.Reg(i), V2: bam.IntV(1)})
+	c.emit(bam.Instr{Op: bam.Jump, L: lLoop})
+	c.emit(bam.Instr{Op: bam.Lbl, L: lDone})
+	// H += N + 1.
+	c.emit(bam.Instr{Op: bam.Arith, Dst: ic.RegH, AOp: bam.AAdd, V1: bam.Reg(ic.RegH), V2: bam.Reg(dN)})
+	c.emit(bam.Instr{Op: bam.AddH, N: 1})
+	c.emit(bam.Instr{Op: bam.Bind, Reg1: dT, Src: bam.Reg(cell)})
+	c.emit(bam.Instr{Op: bam.Jump, L: lEnd})
+
+	// Analysis join: unify the extracted functor and arity.
+	c.emit(bam.Instr{Op: bam.Lbl, L: lJoin})
+	c.emit(bam.Instr{Op: bam.UnifyCall, Reg1: fOut, Reg2: fReg})
+	c.emit(bam.Instr{Op: bam.UnifyCall, Reg1: nOut, Reg2: nReg})
+	ctx.afterUnifyCall()
+	c.emit(bam.Instr{Op: bam.Lbl, L: lEnd})
+	return nil
+}
+
+// unifyWithReg unifies a source-level argument with a register value,
+// specializing the fresh-variable case to a plain assignment.
+func (ctx *cctx) unifyWithReg(a term.Term, r ic.Reg) error {
+	if v, ok := a.(*term.Var); ok && !ctx.loc(v).init {
+		ctx.record(v, r)
+		return nil
+	}
+	other := ctx.putReg(a)
+	ctx.c.emit(bam.Instr{Op: bam.UnifyCall, Reg1: r, Reg2: other})
+	ctx.afterUnifyCall()
+	return nil
+}
+
+// valReg forces a bam.Val into a register.
+func (ctx *cctx) valReg(v bam.Val) ic.Reg {
+	if v.K == bam.VReg {
+		return v.R
+	}
+	r := ctx.c.newTemp()
+	ctx.c.emit(bam.Instr{Op: bam.Move, Dst: r, Src: v})
+	return r
+}

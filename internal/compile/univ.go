@@ -1,0 +1,185 @@
+package compile
+
+import (
+	"symbol/internal/bam"
+	"symbol/internal/ic"
+	"symbol/internal/term"
+	"symbol/internal/word"
+)
+
+// compileUniv compiles T =.. L ("univ"): decomposition of a bound term into
+// [Functor|Args], or construction of a term from such a list. Like
+// functor/3 and arg/3 it expands to explicit tag dispatch and heap loops —
+// the BAM philosophy of building complex builtins from primitive operations.
+func (ctx *cctx) compileUniv(tArg, lArg term.Term) error {
+	c := ctx.c
+	tReg := ctx.putReg(tArg)
+	lReg := ctx.putReg(lArg)
+	dT := ctx.derefReg(tReg)
+
+	out := c.newTemp() // the decomposition list (phi across analysis paths)
+	lVar, lStr, lLst, lAtomic, lJoin, lEnd := c.newLabel(), c.newLabel(), c.newLabel(), c.newLabel(), c.newLabel(), c.newLabel()
+
+	c.emit(bam.Instr{Op: bam.SwitchTag, Reg1: dT,
+		LVar: lVar, LInt: lAtomic, LAtm: lAtomic, LLst: lLst, LStr: lStr})
+
+	// Atomic: T =.. [T].
+	c.emit(bam.Instr{Op: bam.Lbl, L: lAtomic})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 0, Src: bam.Reg(dT)})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 1, Src: bam.AtomV("[]")})
+	c.emit(bam.Instr{Op: bam.LeaH, Dst: out, Tag: word.Lst, N: 0})
+	c.emit(bam.Instr{Op: bam.AddH, N: 2})
+	c.emit(bam.Instr{Op: bam.Jump, L: lJoin})
+
+	// Lists: [H|T0] =.. ['.', H, T0].
+	c.emit(bam.Instr{Op: bam.Lbl, L: lLst})
+	h := c.newTemp()
+	t0 := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: h, Reg1: dT, N: 0})
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: t0, Reg1: dT, N: 1})
+	cell2 := c.newTemp()
+	c.emit(bam.Instr{Op: bam.StoreH, N: 0, Src: bam.Reg(t0)})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 1, Src: bam.AtomV("[]")})
+	c.emit(bam.Instr{Op: bam.LeaH, Dst: cell2, Tag: word.Lst, N: 0})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 2, Src: bam.Reg(h)})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 3, Src: bam.Reg(cell2)})
+	cell1 := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LeaH, Dst: cell1, Tag: word.Lst, N: 2})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 4, Src: bam.AtomV(".")})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 5, Src: bam.Reg(cell1)})
+	c.emit(bam.Instr{Op: bam.LeaH, Dst: out, Tag: word.Lst, N: 4})
+	c.emit(bam.Instr{Op: bam.AddH, N: 6})
+	c.emit(bam.Instr{Op: bam.Jump, L: lJoin})
+
+	// Structures: walk the arguments backwards building [F|Args].
+	c.emit(bam.Instr{Op: bam.Lbl, L: lStr})
+	f := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: f, Reg1: dT, N: 0})
+	fa := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Arith, Dst: fa, AOp: bam.AShr, V1: bam.Reg(f), V2: bam.IntV(16)})
+	fAtom := c.newTemp()
+	c.emit(bam.Instr{Op: bam.MkTagI, Dst: fAtom, Reg1: fa, Tag: word.Atom})
+	n := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Arith, Dst: n, AOp: bam.AAnd, V1: bam.Reg(f), V2: bam.IntV(0xffff)})
+	acc := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Move, Dst: acc, Src: bam.AtomV("[]")})
+	i := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Move, Dst: i, Src: bam.Reg(n)})
+	lLoop, lDone := c.newLabel(), c.newLabel()
+	c.emit(bam.Instr{Op: bam.Lbl, L: lLoop})
+	c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(i), Cond: ic.CondLe, V2: bam.IntV(0), L: lDone})
+	addr := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Arith, Dst: addr, AOp: bam.AAdd, V1: bam.Reg(dT), V2: bam.Reg(i)})
+	elem := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: elem, Reg1: addr, N: 0})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 0, Src: bam.Reg(elem)})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 1, Src: bam.Reg(acc)})
+	c.emit(bam.Instr{Op: bam.LeaH, Dst: acc, Tag: word.Lst, N: 0})
+	c.emit(bam.Instr{Op: bam.AddH, N: 2})
+	c.emit(bam.Instr{Op: bam.Arith, Dst: i, AOp: bam.ASub, V1: bam.Reg(i), V2: bam.IntV(1)})
+	c.emit(bam.Instr{Op: bam.Jump, L: lLoop})
+	c.emit(bam.Instr{Op: bam.Lbl, L: lDone})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 0, Src: bam.Reg(fAtom)})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 1, Src: bam.Reg(acc)})
+	c.emit(bam.Instr{Op: bam.LeaH, Dst: out, Tag: word.Lst, N: 0})
+	c.emit(bam.Instr{Op: bam.AddH, N: 2})
+	c.emit(bam.Instr{Op: bam.Jump, L: lJoin})
+
+	// Construction: T unbound, L must be a proper list [F|Args].
+	c.emit(bam.Instr{Op: bam.Lbl, L: lVar})
+	dL := ctx.derefReg(lReg)
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: dL, Cond: ic.CondNe, Tag: word.Lst, L: 0})
+	fr := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: fr, Reg1: dL, N: 0})
+	dF := ctx.derefReg(fr)
+	rest := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: rest, Reg1: dL, N: 1})
+	dRest := ctx.derefReg(rest)
+
+	// Count the arguments (dereferencing each tail).
+	cnt := c.newTemp()
+	cur := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Move, Dst: cnt, Src: bam.IntV(0)})
+	c.emit(bam.Instr{Op: bam.Move, Dst: cur, Src: bam.Reg(dRest)})
+	lCnt, lCntDone := c.newLabel(), c.newLabel()
+	c.emit(bam.Instr{Op: bam.Lbl, L: lCnt})
+	c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(cur), Cond: ic.CondEq, V2: bam.AtomV("[]"), L: lCntDone})
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: cur, Cond: ic.CondNe, Tag: word.Lst, L: 0})
+	nx := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: nx, Reg1: cur, N: 1})
+	dnx := ctx.derefReg(nx)
+	c.emit(bam.Instr{Op: bam.Move, Dst: cur, Src: bam.Reg(dnx)})
+	c.emit(bam.Instr{Op: bam.Arith, Dst: cnt, AOp: bam.AAdd, V1: bam.Reg(cnt), V2: bam.IntV(1)})
+	c.emit(bam.Instr{Op: bam.Jump, L: lCnt})
+	c.emit(bam.Instr{Op: bam.Lbl, L: lCntDone})
+
+	// Zero arguments: T = F (atomic); otherwise build the structure.
+	lBuild := c.newLabel()
+	c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(cnt), Cond: ic.CondGt, V2: bam.IntV(0), L: lBuild})
+	lOK := c.newLabel()
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: dF, Cond: ic.CondEq, Tag: word.Atom, L: lOK})
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: dF, Cond: ic.CondNe, Tag: word.Int, L: 0})
+	c.emit(bam.Instr{Op: bam.Lbl, L: lOK})
+	c.emit(bam.Instr{Op: bam.Bind, Reg1: dT, Src: bam.Reg(dF)})
+	c.emit(bam.Instr{Op: bam.Jump, L: lEnd})
+
+	c.emit(bam.Instr{Op: bam.Lbl, L: lBuild})
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: dF, Cond: ic.CondNe, Tag: word.Atom, L: 0})
+	// '.'/2 must construct a genuine list cell.
+	lGeneric := c.newLabel()
+	c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(dF), Cond: ic.CondNe, V2: bam.AtomV("."), L: lGeneric})
+	c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(cnt), Cond: ic.CondNe, V2: bam.IntV(2), L: lGeneric})
+	a1 := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: a1, Reg1: dRest, N: 0})
+	tl := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: tl, Reg1: dRest, N: 1})
+	dTl := ctx.derefReg(tl)
+	a2 := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: a2, Reg1: dTl, N: 0})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 0, Src: bam.Reg(a1)})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 1, Src: bam.Reg(a2)})
+	consCell := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LeaH, Dst: consCell, Tag: word.Lst, N: 0})
+	c.emit(bam.Instr{Op: bam.AddH, N: 2})
+	c.emit(bam.Instr{Op: bam.Bind, Reg1: dT, Src: bam.Reg(consCell)})
+	c.emit(bam.Instr{Op: bam.Jump, L: lEnd})
+
+	c.emit(bam.Instr{Op: bam.Lbl, L: lGeneric})
+	sh := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Arith, Dst: sh, AOp: bam.AShl, V1: bam.Reg(dF), V2: bam.IntV(16)})
+	fw := c.newTemp()
+	c.emit(bam.Instr{Op: bam.Arith, Dst: fw, AOp: bam.AOr, V1: bam.Reg(sh), V2: bam.Reg(cnt)})
+	funW := c.newTemp()
+	c.emit(bam.Instr{Op: bam.MkTagI, Dst: funW, Reg1: fw, Tag: word.Fun})
+	c.emit(bam.Instr{Op: bam.StoreH, N: 0, Src: bam.Reg(funW)})
+	cellS := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LeaH, Dst: cellS, Tag: word.Str, N: 0})
+	// Copy the argument values into the structure.
+	dst := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LeaH, Dst: dst, Tag: word.Ref, N: 1})
+	c.emit(bam.Instr{Op: bam.Move, Dst: cur, Src: bam.Reg(dRest)})
+	lCp, lCpDone := c.newLabel(), c.newLabel()
+	c.emit(bam.Instr{Op: bam.Lbl, L: lCp})
+	c.emit(bam.Instr{Op: bam.BrTagI, Reg1: cur, Cond: ic.CondNe, Tag: word.Lst, L: lCpDone})
+	ev := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: ev, Reg1: cur, N: 0})
+	c.emit(bam.Instr{Op: bam.StoreM, Reg1: dst, N: 0, Src: bam.Reg(ev)})
+	c.emit(bam.Instr{Op: bam.Arith, Dst: dst, AOp: bam.AAdd, V1: bam.Reg(dst), V2: bam.IntV(1)})
+	nxt := c.newTemp()
+	c.emit(bam.Instr{Op: bam.LoadM, Dst: nxt, Reg1: cur, N: 1})
+	dnxt := ctx.derefReg(nxt)
+	c.emit(bam.Instr{Op: bam.Move, Dst: cur, Src: bam.Reg(dnxt)})
+	c.emit(bam.Instr{Op: bam.Jump, L: lCp})
+	c.emit(bam.Instr{Op: bam.Lbl, L: lCpDone})
+	c.emit(bam.Instr{Op: bam.Arith, Dst: ic.RegH, AOp: bam.AAdd, V1: bam.Reg(ic.RegH), V2: bam.Reg(cnt)})
+	c.emit(bam.Instr{Op: bam.AddH, N: 1})
+	c.emit(bam.Instr{Op: bam.Bind, Reg1: dT, Src: bam.Reg(cellS)})
+	c.emit(bam.Instr{Op: bam.Jump, L: lEnd})
+
+	// Analysis join: unify the decomposition with L.
+	c.emit(bam.Instr{Op: bam.Lbl, L: lJoin})
+	c.emit(bam.Instr{Op: bam.UnifyCall, Reg1: out, Reg2: lReg})
+	ctx.afterUnifyCall()
+	c.emit(bam.Instr{Op: bam.Lbl, L: lEnd})
+	return nil
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+
+	"symbol/internal/cfg"
+	"symbol/internal/emu"
+	"symbol/internal/ic"
+	"symbol/internal/machine"
+	"symbol/internal/term"
+)
+
+var (
+	rA = ic.ArgReg(0)
+	rB = ic.ArgReg(1)
+)
+
+const (
+	t0 = ic.FirstTemp
+	t1 = ic.FirstTemp + 1
+	t2 = ic.FirstTemp + 2
+)
+
+func mkProg(code []ic.Inst, entries ...int) *ic.Program {
+	e := map[int]bool{0: true}
+	for _, x := range entries {
+		e[x] = true
+	}
+	return &ic.Program{
+		Code:    code,
+		Atoms:   term.NewTable(),
+		Procs:   map[string]int{},
+		Names:   map[int]string{},
+		Entries: e,
+	}
+}
+
+// hotColdProg: a branch whose taken path is hot.
+//
+//	0: brcmp a0 eq 0 → 3   (taken 90%)
+//	1: mov t0, a0          (cold)
+//	2: jmp 4
+//	3: mov t0, a1          (hot)
+//	4: halt
+func hotColdProg() (*ic.Program, *emu.Profile) {
+	p := mkProg([]ic.Inst{
+		{Op: ic.BrCmp, A: rA, Cond: ic.CondEq, HasImm: true, Imm: 0, Target: 3},
+		{Op: ic.Mov, D: t0, A: rA},
+		{Op: ic.Jmp, Target: 4},
+		{Op: ic.Mov, D: t0, A: rB},
+		{Op: ic.Halt},
+	})
+	prof := &emu.Profile{
+		Expect: []int64{100, 10, 10, 90, 100},
+		Taken:  []int64{90, 0, 10, 0, 0},
+	}
+	return p, prof
+}
+
+func TestTraceFollowsHotPath(t *testing.T) {
+	p, prof := hotColdProg()
+	g, err := cfg.Build(p, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := FormTraces(g, prof, DefaultOptions())
+	// The hottest trace must start at the branch block and continue into
+	// the taken (hot) block — but block 4 is a join, so it stays out.
+	t0trace := traces[0]
+	if t0trace.Blocks[0].Start != 0 {
+		t.Fatalf("hottest trace starts at %d", t0trace.Blocks[0].Start)
+	}
+	if len(t0trace.Blocks) < 2 || t0trace.Blocks[1].Start != 3 {
+		t.Fatalf("trace must grow into the hot successor: %v", t0trace)
+	}
+}
+
+func TestCollectTraceInvertsBranch(t *testing.T) {
+	p, prof := hotColdProg()
+	g, err := cfg.Build(p, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := FormTraces(g, prof, DefaultOptions())
+	insts := collectTrace(g, traces[0])
+	// First instruction is the branch; its condition must be inverted
+	// (eq → ne) and the exit must target the cold block (pc 1).
+	br := insts[0]
+	if br.inst.Cond != ic.CondNe {
+		t.Errorf("branch not inverted: %v", br.inst.Cond)
+	}
+	if br.inst.Target != 1 {
+		t.Errorf("exit target %d, want 1 (cold block)", br.inst.Target)
+	}
+	if br.offLive == nil {
+		t.Error("exit live set missing")
+	}
+}
+
+func TestBasicBlockModeKeepsBlocksSeparate(t *testing.T) {
+	p, prof := hotColdProg()
+	g, err := cfg.Build(p, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := FormTraces(g, prof, Options{TraceScheduling: false})
+	for _, tr := range traces {
+		if len(tr.Blocks) != 1 {
+			t.Fatalf("basic-block mode produced a multi-block trace: %v", tr)
+		}
+	}
+}
+
+func TestTraceRespectsJoins(t *testing.T) {
+	p, prof := hotColdProg()
+	g, err := cfg.Build(p, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A join block may appear mid-trace only as a tail-duplicated clone;
+	// the canonical (addressable) occurrence is never buried.
+	traces := FormTraces(g, prof, DefaultOptions())
+	seen := map[int]int{}
+	for _, tr := range traces {
+		for i, b := range tr.Blocks {
+			if i > 0 && len(b.Preds) != 1 && !tr.Cloned[i] {
+				t.Fatalf("join block %d buried mid-trace without cloning", b.Start)
+			}
+			if !tr.Cloned[i] {
+				seen[b.ID]++
+			}
+		}
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("block %d has %d canonical occurrences", id, n)
+		}
+	}
+	// Without duplication the strict superblock rule holds.
+	opts := DefaultOptions()
+	opts.TailDuplication = false
+	for _, tr := range FormTraces(g, prof, opts) {
+		for i, b := range tr.Blocks {
+			if i > 0 && len(b.Preds) != 1 {
+				t.Fatalf("join block %d buried mid-trace", b.Start)
+			}
+		}
+	}
+}
+
+func TestCompactEndToEnd(t *testing.T) {
+	p, prof := hotColdProg()
+	vp, stats, err := Compact(p, prof, machine.Default(2), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Traces < 2 {
+		t.Errorf("expected several traces, got %d", stats.Traces)
+	}
+	if err := vp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := vp.WordOf[0]; !ok {
+		t.Error("entry must be addressable")
+	}
+}
+
+func TestCompactRejectsBadConfig(t *testing.T) {
+	p, prof := hotColdProg()
+	if _, _, err := Compact(p, prof, machine.Config{Units: 0}, DefaultOptions()); err == nil {
+		t.Error("expected config validation error")
+	}
+}
+
+func TestScheduleResourceLimit(t *testing.T) {
+	// Six independent ALU ops on a 2-unit machine need three words.
+	var insts []traceInst
+	for i := 0; i < 6; i++ {
+		insts = append(insts, traceInst{
+			inst: ic.Inst{Op: ic.Add, D: t0 + ic.Reg(i), A: rA, HasImm: true, Imm: int64(i)},
+			pc:   i,
+		})
+	}
+	insts = append(insts, traceInst{inst: ic.Inst{Op: ic.Halt}, pc: 6})
+	words, err := scheduleTrace(insts, machine.Default(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aluWords := 0
+	for _, w := range words {
+		n := 0
+		for _, op := range w {
+			if op.Inst.Class() == ic.ClassALU {
+				n++
+			}
+		}
+		if n > 2 {
+			t.Fatalf("word oversubscribed: %d alu ops", n)
+		}
+		if n > 0 {
+			aluWords++
+		}
+	}
+	if aluWords != 3 {
+		t.Errorf("6 alu ops on 2 units need 3 words, got %d", aluWords)
+	}
+}
+
+func TestScheduleHonorsLatency(t *testing.T) {
+	insts := []traceInst{
+		{inst: ic.Inst{Op: ic.Ld, D: t0, A: ic.RegH}, pc: 0},
+		{inst: ic.Inst{Op: ic.Add, D: t1, A: t0, HasImm: true, Imm: 1}, pc: 1},
+		{inst: ic.Inst{Op: ic.Halt}, pc: 2},
+	}
+	words, err := scheduleTrace(insts, machine.Default(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldW, addW := -1, -1
+	for i, w := range words {
+		for _, op := range w {
+			switch op.Inst.Op {
+			case ic.Ld:
+				ldW = i
+			case ic.Add:
+				addW = i
+			}
+		}
+	}
+	if addW-ldW < 2 {
+		t.Errorf("load consumer scheduled %d words after the load, want >= 2", addW-ldW)
+	}
+}
+
+func TestTraceLenAndString(t *testing.T) {
+	p, prof := hotColdProg()
+	g, err := cfg.Build(p, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := FormTraces(g, prof, DefaultOptions())
+	if traces[0].Len() <= 0 || traces[0].String() == "" {
+		t.Error("trace length/rendering broken")
+	}
+}

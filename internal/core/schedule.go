@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"symbol/internal/cfg"
+	"symbol/internal/dep"
+	"symbol/internal/emu"
+	"symbol/internal/ic"
+	"symbol/internal/machine"
+	"symbol/internal/vliw"
+)
+
+// Stats reports compaction results.
+type Stats struct {
+	Traces int
+	// AvgTraceLen is the execution-weighted average number of operations
+	// per compaction unit (the paper's Table 1 "Average Length").
+	AvgTraceLen float64
+	// AvgTraceWords is the execution-weighted average schedule length.
+	AvgTraceWords float64
+	// StaticOps / StaticWords measure code expansion.
+	StaticOps   int
+	StaticWords int
+}
+
+// traceInst is one instruction of a trace being scheduled.
+type traceInst struct {
+	inst    ic.Inst
+	pc      int // original pc (-1 for synthesized jumps)
+	offLive map[ic.Reg]bool
+}
+
+// Compact runs the full back end: trace formation, per-trace list
+// scheduling onto conf, and emission of a linked executable VLIW program.
+func Compact(icp *ic.Program, prof *emu.Profile, conf machine.Config, opts Options) (*vliw.Program, *Stats, error) {
+	if err := conf.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g, err := cfg.Build(icp, prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	traces := FormTraces(g, prof, opts)
+	traces = splitAtRequiredHeads(g, traces)
+
+	prog := &vliw.Program{
+		IC:     icp,
+		WordOf: map[int]int{},
+		Config: conf,
+	}
+	stats := &Stats{Traces: len(traces)}
+	var wLen, wWords, wSum float64
+
+	for _, t := range traces {
+		insts := collectTrace(g, t)
+		words, err := scheduleTrace(insts, conf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: trace at pc %d: %w", t.Blocks[0].Start, err)
+		}
+		head := len(prog.Words)
+		prog.TraceBounds = append(prog.TraceBounds, head)
+		prog.WordOf[t.Blocks[0].Start] = head
+		prog.Words = append(prog.Words, words...)
+
+		w := float64(t.Weight)
+		wLen += w * float64(len(insts))
+		wWords += w * float64(len(words))
+		wSum += w
+		stats.StaticOps += len(insts)
+	}
+	stats.StaticWords = len(prog.Words)
+	if wSum > 0 {
+		stats.AvgTraceLen = wLen / wSum
+		stats.AvgTraceWords = wWords / wSum
+	}
+	// Every indirect entry must be addressable.
+	for pc := range icp.Entries {
+		if _, ok := prog.WordOf[pc]; !ok {
+			return nil, nil, fmt.Errorf("core: indirect entry pc %d not at a trace head", pc)
+		}
+	}
+	prog.Entry = prog.WordOf[icp.Entry]
+	if err := linkBranches(prog); err != nil {
+		return nil, nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return prog, stats, nil
+}
+
+// splitAtRequiredHeads restores the invariant that every block a scheduled
+// jump can target starts a trace. Tail duplication can end a trace whose
+// continuation block was absorbed mid-trace elsewhere; such blocks are
+// promoted to trace heads by cutting their (canonical, non-cloned)
+// occurrence out of the middle of its trace. Cutting introduces a plain
+// fall-through boundary whose continuation is the new head itself, so a
+// single pass suffices.
+func splitAtRequiredHeads(g *cfg.Graph, traces []*Trace) []*Trace {
+	required := map[int]bool{} // block IDs that jumps must be able to reach
+	for _, t := range traces {
+		last := t.Blocks[len(t.Blocks)-1]
+		for _, s := range last.Succs {
+			required[s] = true
+		}
+	}
+	var out []*Trace
+	for _, t := range traces {
+		start := 0
+		for i := 1; i < len(t.Blocks); i++ {
+			if required[t.Blocks[i].ID] && !t.Cloned[i] {
+				w := t.Weight
+				if start > 0 {
+					w = t.Blocks[start].Weight
+				}
+				out = append(out, &Trace{
+					Blocks: t.Blocks[start:i],
+					Cloned: t.Cloned[start:i],
+					Weight: w,
+				})
+				start = i
+			}
+		}
+		if start == 0 {
+			out = append(out, t)
+		} else {
+			out = append(out, &Trace{
+				Blocks: t.Blocks[start:],
+				Cloned: t.Cloned[start:],
+				Weight: t.Blocks[start].Weight,
+			})
+		}
+	}
+	return out
+}
+
+// collectTrace gathers the trace's instructions, laying the predicted path
+// out as fall-through: conditional branches whose likely direction was the
+// taken one are inverted, internal unconditional jumps are deleted, and a
+// trailing jump is synthesized when the trace's last block falls through to
+// another trace. Off-trace live sets are attached to every conditional
+// branch for the speculation rules.
+func collectTrace(g *cfg.Graph, t *Trace) []traceInst {
+	code := g.Prog.Code
+	var out []traceInst
+	for bi, b := range t.Blocks {
+		var next *cfg.Block
+		if bi+1 < len(t.Blocks) {
+			next = t.Blocks[bi+1]
+		}
+		for pc := b.Start; pc < b.End; pc++ {
+			in := code[pc] // copy
+			isLast := pc == b.End-1
+			if !isLast {
+				out = append(out, traceInst{inst: in, pc: pc})
+				continue
+			}
+			switch {
+			case in.IsCondBranch():
+				fall := g.Blocks[b.Succs[0]]
+				tkn := g.Blocks[b.Succs[1]]
+				cont, exit := fall, tkn
+				if next != nil && next.ID == tkn.ID {
+					// The likely path is the taken direction: invert the
+					// condition so it falls through; the exit targets the
+					// old fall-through block.
+					in.Cond = in.Cond.Invert()
+					cont, exit = tkn, fall
+				}
+				in.Target = exit.Start
+				out = append(out, traceInst{inst: in, pc: pc, offLive: exit.LiveIn})
+				if next == nil {
+					// Trace ends on a conditional branch: make the
+					// not-taken continuation explicit.
+					out = append(out, traceInst{
+						inst: ic.Inst{Op: ic.Jmp, Target: cont.Start},
+						pc:   -1,
+					})
+				}
+			case in.Op == ic.Jmp:
+				if next != nil && next.Start == in.Target {
+					continue // falls through inside the trace
+				}
+				out = append(out, traceInst{inst: in, pc: pc})
+			case in.Op == ic.Jsr, in.Op == ic.JmpR, in.Op == ic.Halt:
+				out = append(out, traceInst{inst: in, pc: pc})
+			default:
+				// Plain fall-through block end.
+				out = append(out, traceInst{inst: in, pc: pc})
+				if next == nil && len(b.Succs) == 1 {
+					out = append(out, traceInst{
+						inst: ic.Inst{Op: ic.Jmp, Target: g.Blocks[b.Succs[0]].Start},
+						pc:   -1,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// scheduleTrace compacts one trace with critical-path list scheduling under
+// the machine's per-word resource limits, verifying every dependency edge
+// of the final schedule.
+func scheduleTrace(insts []traceInst, conf machine.Config) ([]vliw.Word, error) {
+	n := len(insts)
+	if n == 0 {
+		return nil, nil
+	}
+	raw := make([]ic.Inst, n)
+	offLive := make([]map[ic.Reg]bool, n)
+	for i, ti := range insts {
+		raw[i] = ti.inst
+		offLive[i] = ti.offLive
+	}
+	dg := dep.Build(raw, dep.Options{
+		MemLatency:          conf.MemLatency,
+		OffLive:             offLive,
+		DisambiguateRegions: conf.DisambiguateRegions,
+		BranchBubble:        conf.BranchBubble,
+	})
+	prio := dg.CriticalPath()
+
+	memS, aluS, moveS, ctrlS, sysS := conf.Slots()
+	type slotUse struct{ mem, alu, move, ctrl, sys int }
+
+	preds := make([]int, n)
+	for i := range dg.Preds {
+		preds[i] = len(dg.Preds[i])
+	}
+	earliest := make([]int, n)
+	cycleOf := make([]int, n)
+	for i := range cycleOf {
+		cycleOf[i] = -1
+	}
+
+	// Ready list sorted by priority (critical path desc, index asc).
+	var ready []int
+	for i := 0; i < n; i++ {
+		if preds[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sortReady := func() {
+		sort.SliceStable(ready, func(a, b int) bool {
+			if prio[ready[a]] != prio[ready[b]] {
+				return prio[ready[a]] > prio[ready[b]]
+			}
+			return ready[a] < ready[b]
+		})
+	}
+	sortReady()
+
+	var schedule [][]int // per cycle: scheduled trace indexes
+	remaining := n
+	cycle := 0
+	for remaining > 0 {
+		if cycle > conf.MemLatency*n+2*n+64 {
+			return nil, fmt.Errorf("scheduler failed to converge")
+		}
+		var use slotUse
+		for len(schedule) <= cycle {
+			schedule = append(schedule, nil)
+		}
+		// Greedily fill the word: repeatedly take the highest-priority
+		// ready instruction that fits; placements can unlock new ready
+		// instructions within the same cycle only via zero-latency edges.
+		for {
+			pick := -1
+			for k, j := range ready {
+				if earliest[j] > cycle {
+					continue
+				}
+				fits := false
+				switch raw[j].Class() {
+				case ic.ClassMemory:
+					fits = use.mem < memS
+				case ic.ClassALU:
+					fits = use.alu < aluS
+				case ic.ClassMove:
+					fits = use.move < moveS
+				case ic.ClassControl:
+					fits = use.ctrl < ctrlS
+				case ic.ClassSys:
+					fits = use.sys < sysS
+				}
+				if fits && conf.SplitFormats {
+					// Prototype formats (§5.1): ALU/move and control/sys
+					// operations cannot share a word; memory issues in
+					// both formats.
+					switch raw[j].Class() {
+					case ic.ClassALU, ic.ClassMove:
+						fits = use.ctrl == 0 && use.sys == 0
+					case ic.ClassControl, ic.ClassSys:
+						fits = use.alu == 0 && use.move == 0
+					}
+				}
+				if fits {
+					pick = k
+					break
+				}
+			}
+			if pick < 0 {
+				break
+			}
+			j := ready[pick]
+			switch raw[j].Class() {
+			case ic.ClassMemory:
+				use.mem++
+			case ic.ClassALU:
+				use.alu++
+			case ic.ClassMove:
+				use.move++
+			case ic.ClassControl:
+				use.ctrl++
+			case ic.ClassSys:
+				use.sys++
+			}
+			cycleOf[j] = cycle
+			schedule[cycle] = append(schedule[cycle], j)
+			ready = append(ready[:pick], ready[pick+1:]...)
+			remaining--
+			added := false
+			for _, e := range dg.Succs[j] {
+				edge := dg.Edges[e]
+				if c := cycle + edge.Latency; c > earliest[edge.To] {
+					earliest[edge.To] = c
+				}
+				preds[edge.To]--
+				if preds[edge.To] == 0 {
+					ready = append(ready, edge.To)
+					added = true
+				}
+			}
+			if added {
+				sortReady()
+			}
+		}
+		cycle++
+	}
+
+	// Static verification: every edge must be honored.
+	for _, e := range dg.Edges {
+		if cycleOf[e.To] < cycleOf[e.From]+e.Latency {
+			return nil, fmt.Errorf("schedule violates %s edge %d→%d", e.Kind, e.From, e.To)
+		}
+	}
+
+	words := make([]vliw.Word, len(schedule))
+	for c, idxs := range schedule {
+		sort.Ints(idxs) // slot order = original order = branch priority
+		for _, j := range idxs {
+			words[c] = append(words[c], vliw.Op{Inst: raw[j], PC: insts[j].pc})
+		}
+	}
+	// Trim trailing empty words.
+	for len(words) > 0 && len(words[len(words)-1]) == 0 {
+		words = words[:len(words)-1]
+	}
+	return words, nil
+}
+
+// linkBranches rewrites branch targets from original pcs to word indexes.
+func linkBranches(p *vliw.Program) error {
+	for wi := range p.Words {
+		for oi := range p.Words[wi] {
+			in := &p.Words[wi][oi].Inst
+			switch in.Op {
+			case ic.BrTag, ic.BrCmp, ic.Jmp, ic.Jsr:
+				tw, ok := p.WordOf[in.Target]
+				if !ok {
+					return fmt.Errorf("core: branch target pc %d is not a trace head", in.Target)
+				}
+				in.Target = tw
+			}
+		}
+	}
+	return nil
+}

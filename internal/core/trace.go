@@ -1,0 +1,226 @@
+// Package core implements the SYMBOL back end (paper §3.2): a global
+// parallelizing compiler derived from Trace Scheduling. Trace choice is
+// guided by the execution statistics of the sequential emulator; each trace
+// is compacted as a whole onto the functional units of a parameterized VLIW
+// architecture with a Bottom-Up-Greedy-style list scheduler; exits are laid
+// out so the predicted path falls through (branch conditions are inverted
+// when the likely direction was the taken one).
+//
+// Traces never contain side entrances (they stop at join points), so the
+// speculation rules of internal/dep guarantee the compacted program is
+// semantically equivalent to the sequential one without compensation
+// copies; the VLIW simulator re-runs every benchmark on the compacted code
+// and checks it produces identical observable results.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"symbol/internal/cfg"
+	"symbol/internal/emu"
+)
+
+// Trace is a side-entrance-free path of basic blocks chosen for compaction.
+type Trace struct {
+	Blocks []*cfg.Block
+	// Cloned[i] marks tail-duplicated occurrences: the block also exists
+	// canonically (addressably) in another trace.
+	Cloned []bool
+	Weight int64
+}
+
+// Options control trace formation.
+type Options struct {
+	// TraceScheduling enables multi-block traces; when false every basic
+	// block is its own compaction unit (the Table 1 "basic blocks" row).
+	TraceScheduling bool
+	// MaxBlocks bounds trace length in blocks (0 = no bound).
+	MaxBlocks int
+	// MinSuccProbability is the minimum branch probability required to
+	// extend a trace through a conditional branch (default 0.5: follow the
+	// majority direction).
+	MinSuccProbability float64
+	// TailDuplication lets hot traces grow through join points by cloning
+	// the joined code into the trace (the side-entrance-free equivalent of
+	// trace scheduling's join bookkeeping: the original block remains the
+	// target of all other predecessors). It trades code size for longer
+	// compaction units, exactly the trade-off §4.4 discusses.
+	TailDuplication bool
+	// TailDupMinWeight is the minimum execution count a trace must have
+	// for its joins to be duplicated (avoids cloning cold code).
+	TailDupMinWeight int64
+	// TailDupMaxOps caps the total number of duplicated instructions, as a
+	// multiple of the original program size in percent (default 100: the
+	// duplicated code may at most double the program).
+	TailDupMaxOps int
+}
+
+// DefaultOptions enables trace scheduling with the paper's settings.
+func DefaultOptions() Options {
+	return Options{
+		TraceScheduling:    true,
+		MinSuccProbability: 0.5,
+		TailDuplication:    true,
+		TailDupMinWeight:   32,
+		TailDupMaxOps:      40,
+		MaxBlocks:          16,
+	}
+}
+
+// FormTraces partitions all blocks of g into traces, most frequently
+// executed first, following the most probable successors (paper §3.2:
+// "trace choice is based on the statistical information about execution
+// frequency extracted by preliminary simulation").
+func FormTraces(g *cfg.Graph, prof *emu.Profile, opts Options) []*Trace {
+	if opts.MinSuccProbability == 0 {
+		opts.MinSuccProbability = 0.5
+	}
+	// Seed order: blocks by descending weight, then by position for
+	// determinism.
+	order := make([]*cfg.Block, len(g.Blocks))
+	copy(order, g.Blocks)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Weight != order[j].Weight {
+			return order[i].Weight > order[j].Weight
+		}
+		return order[i].Start < order[j].Start
+	})
+
+	taken := make([]bool, len(g.Blocks))
+	var traces []*Trace
+	dupBudget := 0
+	if opts.TailDuplication {
+		dupBudget = len(g.Prog.Code) * opts.TailDupMaxOps / 100
+	}
+	for _, seed := range order {
+		if taken[seed.ID] {
+			continue
+		}
+		t := &Trace{Weight: seed.Weight}
+		taken[seed.ID] = true
+		t.Blocks = append(t.Blocks, seed)
+		t.Cloned = append(t.Cloned, false)
+		if opts.TraceScheduling {
+			growForward(g, prof, t, taken, opts, &dupBudget)
+			growBackward(g, prof, t, taken, opts)
+		}
+		traces = append(traces, t)
+	}
+	// Emit hottest traces first so the common path is contiguous.
+	sort.SliceStable(traces, func(i, j int) bool {
+		if traces[i].Weight != traces[j].Weight {
+			return traces[i].Weight > traces[j].Weight
+		}
+		return traces[i].Blocks[0].Start < traces[j].Blocks[0].Start
+	})
+	return traces
+}
+
+// mostLikelySucc picks the successor of b the execution most probably
+// continues into, with its probability.
+func mostLikelySucc(g *cfg.Graph, prof *emu.Profile, b *cfg.Block) (*cfg.Block, float64) {
+	switch len(b.Succs) {
+	case 0:
+		return nil, 0
+	case 1:
+		return g.Blocks[b.Succs[0]], 1.0
+	}
+	p, ok := g.BranchProbability(prof, b)
+	if !ok {
+		// Never executed: assume fall-through.
+		return g.Blocks[b.Succs[0]], 0.5
+	}
+	if p > 0.5 {
+		return g.Blocks[b.Succs[1]], p
+	}
+	return g.Blocks[b.Succs[0]], 1 - p
+}
+
+// growForward extends the trace along the most probable successors. A block
+// joins a trace directly if it is unvisited, has exactly one predecessor
+// (no side entrances), is not an indirect entry point, and the edge
+// probability clears the threshold. With tail duplication enabled, a hot
+// trace may additionally grow through join points (or already-placed
+// blocks) by cloning them: the clone lives only inside this trace while the
+// original remains addressable for every other predecessor, so the
+// side-entrance-free invariant is preserved without compensation code.
+func growForward(g *cfg.Graph, prof *emu.Profile, t *Trace, taken []bool, opts Options, dupBudget *int) {
+	cur := t.Blocks[len(t.Blocks)-1]
+	inTrace := map[int]bool{}
+	for _, b := range t.Blocks {
+		inTrace[b.ID] = true
+	}
+	for {
+		if opts.MaxBlocks > 0 && len(t.Blocks) >= opts.MaxBlocks {
+			return
+		}
+		next, p := mostLikelySucc(g, prof, cur)
+		if next == nil || p < opts.MinSuccProbability {
+			return
+		}
+		clone := false
+		switch {
+		case !taken[next.ID] && !next.Indirect && len(next.Preds) == 1:
+			taken[next.ID] = true
+		case opts.TailDuplication &&
+			t.Weight >= opts.TailDupMinWeight &&
+			!next.Indirect &&
+			!inTrace[next.ID] &&
+			*dupBudget >= next.Len():
+			// Clone the block into the trace; the original stays.
+			*dupBudget -= next.Len()
+			clone = true
+		default:
+			return
+		}
+		inTrace[next.ID] = true
+		t.Blocks = append(t.Blocks, next)
+		t.Cloned = append(t.Cloned, clone)
+		cur = next
+	}
+}
+
+// growBackward extends the trace upward: a predecessor P can become the new
+// head if the current head is P's most likely successor and the head has no
+// other predecessors and is not an indirect entry point.
+func growBackward(g *cfg.Graph, prof *emu.Profile, t *Trace, taken []bool, opts Options) {
+	head := t.Blocks[0]
+	for {
+		if opts.MaxBlocks > 0 && len(t.Blocks) >= opts.MaxBlocks {
+			return
+		}
+		if head.Indirect || len(head.Preds) != 1 {
+			return
+		}
+		p := g.Blocks[head.Preds[0]]
+		if taken[p.ID] {
+			return
+		}
+		ml, prob := mostLikelySucc(g, prof, p)
+		if ml != head || prob < opts.MinSuccProbability {
+			return
+		}
+		taken[p.ID] = true
+		t.Blocks = append([]*cfg.Block{p}, t.Blocks...)
+		t.Cloned = append([]bool{false}, t.Cloned...)
+		head = p
+	}
+}
+
+// Len returns the trace length in instructions (before jump removal).
+func (t *Trace) Len() int {
+	n := 0
+	for _, b := range t.Blocks {
+		n += b.Len()
+	}
+	return n
+}
+
+func (t *Trace) String() string {
+	s := fmt.Sprintf("trace(w=%d:", t.Weight)
+	for _, b := range t.Blocks {
+		s += fmt.Sprintf(" %d-%d", b.Start, b.End)
+	}
+	return s + ")"
+}

@@ -1,0 +1,338 @@
+// Package emu implements the IntCode Sequential Emulator of the SYMBOL
+// evaluation system (paper §3.1, Figure 1). It executes an IC program
+// against the simulated tagged memory, validates the code, and extracts the
+// statistical information that drives the parallelizing back end: the
+// Expect of every instruction (how many times it executed) and the
+// Probability of every branch (how often it was taken).
+package emu
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"symbol/internal/ic"
+	"symbol/internal/mterm"
+	"symbol/internal/word"
+)
+
+// Profile is the per-instruction statistics gathered during emulation.
+type Profile struct {
+	// Expect[pc] is the number of times Code[pc] executed.
+	Expect []int64
+	// Taken[pc] is the number of times the conditional branch at pc was
+	// taken (meaningful only for BrTag/BrCmp).
+	Taken []int64
+}
+
+// Probability returns the branch-taken probability of the conditional
+// branch at pc, and false if it never executed.
+func (p *Profile) Probability(pc int) (float64, bool) {
+	if p.Expect[pc] == 0 {
+		return 0, false
+	}
+	return float64(p.Taken[pc]) / float64(p.Expect[pc]), true
+}
+
+// Result summarizes one emulation run.
+type Result struct {
+	Status  int    // 0: success, 1: fail (no solution)
+	Output  string // text produced by write/1 and nl/0
+	Steps   int64  // dynamic ICI count
+	Profile *Profile
+}
+
+// Error is a runtime error with machine context.
+type Error struct {
+	PC     int
+	Inst   string
+	Reason string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("emu: pc=%d [%s]: %s", e.PC, e.Inst, e.Reason)
+}
+
+// Options configure emulation.
+type Options struct {
+	MaxSteps int64 // abort after this many ICIs (default 4e9)
+	Profile  bool  // collect Expect/Taken
+	// Trace, if non-nil, receives one line per executed instruction with
+	// machine-state context (debugging aid; very verbose).
+	Trace io.Writer
+}
+
+// Machine is the sequential IC interpreter.
+type Machine struct {
+	prog *ic.Program
+	opts Options
+	mem  []word.W
+	regs []word.W
+	pc   int
+	out  strings.Builder
+	prof *Profile
+}
+
+// New prepares a machine for prog.
+func New(prog *ic.Program, opts Options) *Machine {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 4e9
+	}
+	maxReg := ic.Reg(0)
+	for i := range prog.Code {
+		in := &prog.Code[i]
+		if d := in.Def(); d > maxReg {
+			maxReg = d
+		}
+		for _, u := range in.Uses(nil) {
+			if u > maxReg {
+				maxReg = u
+			}
+		}
+	}
+	m := &Machine{
+		prog: prog,
+		opts: opts,
+		mem:  make([]word.W, ic.MemWords),
+		regs: make([]word.W, maxReg+1),
+		pc:   prog.Entry,
+	}
+	if opts.Profile {
+		m.prof = &Profile{
+			Expect: make([]int64, len(prog.Code)),
+			Taken:  make([]int64, len(prog.Code)),
+		}
+	}
+	return m
+}
+
+// Run executes the program to completion.
+func Run(prog *ic.Program, opts Options) (*Result, error) {
+	return New(prog, opts).Run()
+}
+
+func (m *Machine) fail(reason string) error {
+	s := "?"
+	if m.pc >= 0 && m.pc < len(m.prog.Code) {
+		s = m.prog.Code[m.pc].String()
+	}
+	return &Error{PC: m.pc, Inst: s, Reason: reason}
+}
+
+func (m *Machine) load(addr uint64) (word.W, error) {
+	if addr >= uint64(len(m.mem)) {
+		return 0, m.fail(fmt.Sprintf("load out of range: %#x", addr))
+	}
+	return m.mem[addr], nil
+}
+
+func (m *Machine) store(addr uint64, v word.W) error {
+	if addr >= uint64(len(m.mem)) {
+		return m.fail(fmt.Sprintf("store out of range: %#x", addr))
+	}
+	m.mem[addr] = v
+	return nil
+}
+
+// Run interprets until Halt, an error, or the step limit.
+func (m *Machine) Run() (*Result, error) {
+	code := m.prog.Code
+	var steps int64
+	for {
+		if m.pc < 0 || m.pc >= len(code) {
+			return nil, m.fail("pc out of range")
+		}
+		if steps >= m.opts.MaxSteps {
+			return nil, m.fail(fmt.Sprintf("step limit %d exceeded", m.opts.MaxSteps))
+		}
+		steps++
+		in := &code[m.pc]
+		if m.prof != nil {
+			m.prof.Expect[m.pc]++
+		}
+		if m.opts.Trace != nil {
+			if lbl, ok := m.prog.Names[m.pc]; ok {
+				fmt.Fprintf(m.opts.Trace, "%s:\n", lbl)
+			}
+			ops := ""
+			if in.A >= 0 && int(in.A) < len(m.regs) {
+				ops += fmt.Sprintf(" A=%s", m.regs[in.A])
+			}
+			if in.B >= 0 && int(in.B) < len(m.regs) && !in.HasImm {
+				ops += fmt.Sprintf(" B=%s", m.regs[in.B])
+			}
+			fmt.Fprintf(m.opts.Trace, "%7d %4d  %-40s b=%x tr=%x h=%x e=%x%s\n",
+				steps, m.pc, in.String(),
+				m.regs[ic.RegB].Val(), m.regs[ic.RegTR].Val(),
+				m.regs[ic.RegH].Val(), m.regs[ic.RegE].Val(), ops)
+		}
+		next := m.pc + 1
+		switch in.Op {
+		case ic.Nop:
+		case ic.Ld:
+			v, err := m.load(m.regs[in.A].Val() + uint64(in.Imm))
+			if err != nil {
+				return nil, err
+			}
+			m.regs[in.D] = v
+		case ic.St:
+			if err := m.store(m.regs[in.A].Val()+uint64(in.Imm), m.regs[in.B]); err != nil {
+				return nil, err
+			}
+		case ic.Add, ic.Sub, ic.Mul, ic.Div, ic.Mod, ic.And, ic.Or, ic.Xor, ic.Shl, ic.Shr:
+			a := m.regs[in.A].Int()
+			var b int64
+			if in.HasImm {
+				b = in.Imm
+			} else {
+				b = m.regs[in.B].Int()
+			}
+			var r int64
+			switch in.Op {
+			case ic.Add:
+				r = a + b
+			case ic.Sub:
+				r = a - b
+			case ic.Mul:
+				r = a * b
+			case ic.Div:
+				if b == 0 {
+					return nil, m.fail("division by zero")
+				}
+				r = a / b
+			case ic.Mod:
+				if b == 0 {
+					return nil, m.fail("modulo by zero")
+				}
+				r = a % b
+			case ic.And:
+				r = a & b
+			case ic.Or:
+				r = a | b
+			case ic.Xor:
+				r = a ^ b
+			case ic.Shl:
+				r = a << uint(b&63)
+			case ic.Shr:
+				r = a >> uint(b&63)
+			}
+			m.regs[in.D] = word.Make(m.regs[in.A].Tag(), uint64(r))
+		case ic.MkTag:
+			m.regs[in.D] = m.regs[in.A].WithTag(in.Tag)
+		case ic.Lea:
+			m.regs[in.D] = word.Make(in.Tag, uint64(m.regs[in.A].Int()+in.Imm))
+		case ic.GetTag:
+			m.regs[in.D] = word.MakeInt(int64(m.regs[in.A].Tag()))
+		case ic.Mov:
+			m.regs[in.D] = m.regs[in.A]
+		case ic.MovI:
+			m.regs[in.D] = in.Word
+		case ic.BrTag:
+			taken := m.regs[in.A].Tag() == in.Tag
+			if in.Cond == ic.CondNe {
+				taken = !taken
+			}
+			if taken {
+				next = in.Target
+				if m.prof != nil {
+					m.prof.Taken[m.pc]++
+				}
+			}
+		case ic.BrCmp:
+			if m.evalCmp(in) {
+				next = in.Target
+				if m.prof != nil {
+					m.prof.Taken[m.pc]++
+				}
+			}
+		case ic.Jmp:
+			next = in.Target
+		case ic.JmpR:
+			next = int(m.regs[in.A].Val())
+		case ic.Jsr:
+			m.regs[in.D] = word.Make(word.Code, uint64(m.pc+1))
+			next = in.Target
+		case ic.Halt:
+			res := &Result{
+				Status:  int(in.Imm),
+				Output:  m.out.String(),
+				Steps:   steps,
+				Profile: m.prof,
+			}
+			return res, nil
+		case ic.SysOp:
+			if err := m.sys(in); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, m.fail("unknown opcode")
+		}
+		m.pc = next
+	}
+}
+
+// evalCmp evaluates a BrCmp condition. Eq/Ne compare full tagged words;
+// ordered conditions compare signed value fields.
+func (m *Machine) evalCmp(in *ic.Inst) bool {
+	a := m.regs[in.A]
+	switch in.Cond {
+	case ic.CondEq, ic.CondNe:
+		var b word.W
+		if in.HasImm {
+			b = word.W(in.Imm)
+		} else {
+			b = m.regs[in.B]
+		}
+		if in.Cond == ic.CondEq {
+			return a == b
+		}
+		return a != b
+	default:
+		av := a.Int()
+		var bv int64
+		if in.HasImm {
+			bv = in.Imm
+		} else {
+			bv = m.regs[in.B].Int()
+		}
+		switch in.Cond {
+		case ic.CondLt:
+			return av < bv
+		case ic.CondLe:
+			return av <= bv
+		case ic.CondGt:
+			return av > bv
+		default:
+			return av >= bv
+		}
+	}
+}
+
+func (m *Machine) sys(in *ic.Inst) error {
+	switch in.Sys {
+	case ic.SysWrite:
+		s, err := mterm.FormatOps(mterm.SliceMem(m.mem), m.prog.Atoms, m.regs[in.A])
+		if err != nil {
+			return err
+		}
+		m.out.WriteString(s)
+	case ic.SysNl:
+		m.out.WriteByte('\n')
+	case ic.SysWriteCode:
+		m.out.WriteByte(byte(m.regs[in.A].Int()))
+	case ic.SysCompare:
+		c, err := mterm.Compare(mterm.SliceMem(m.mem), m.prog.Atoms, m.regs[in.A], m.regs[in.B])
+		if err != nil {
+			return err
+		}
+		m.regs[ic.RegRV] = word.MakeInt(int64(c))
+	default:
+		return m.fail("unknown sys op")
+	}
+	return nil
+}
+
+// FormatTerm renders a runtime term the way write/1 does.
+func (m *Machine) FormatTerm(w word.W) (string, error) {
+	return mterm.FormatOps(mterm.SliceMem(m.mem), m.prog.Atoms, w)
+}

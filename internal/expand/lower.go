@@ -1,0 +1,286 @@
+package expand
+
+import (
+	"fmt"
+
+	"symbol/internal/bam"
+	"symbol/internal/ic"
+	"symbol/internal/word"
+)
+
+// lower translates one BAM instruction into ICIs.
+func (a *asm) lower(in *bam.Instr) error {
+	switch in.Op {
+	case bam.Nop:
+		return nil
+
+	case bam.Proc:
+		a.proc(fmt.Sprintf("%s/%d", in.Name, in.Arity))
+		return nil
+
+	case bam.Lbl:
+		a.label(in.L)
+		return nil
+
+	case bam.Jump:
+		a.branch(ic.Inst{Op: ic.Jmp}, in.L)
+		return nil
+
+	case bam.Call:
+		a.branchProc(ic.Inst{Op: ic.Jsr, D: ic.RegCP}, fmt.Sprintf("%s/%d", in.Name, in.Arity))
+		return nil
+
+	case bam.Exec:
+		a.branchProc(ic.Inst{Op: ic.Jmp}, fmt.Sprintf("%s/%d", in.Name, in.Arity))
+		return nil
+
+	case bam.Ret:
+		a.emit(ic.Inst{Op: ic.JmpR, A: ic.RegCP})
+		return nil
+
+	case bam.FailI:
+		a.emit(ic.Inst{Op: ic.Jmp, Target: a.failPC})
+		return nil
+
+	case bam.HaltI:
+		a.emit(ic.Inst{Op: ic.Halt, Imm: in.N})
+		return nil
+
+	case bam.Try:
+		// nb = B + cpArgs + savedN(B); fill the new frame; B = nb. The
+		// environment barrier is raised to the current env-stack top so
+		// that allocate cannot reuse frames this choice point may re-enter.
+		tn := a.temp()
+		a.emit(ic.Inst{Op: ic.Ld, D: tn, A: ic.RegB, Imm: cpN, Reg: ic.RegionCP})
+		t1 := a.temp()
+		a.emit(ic.Inst{Op: ic.Add, D: t1, A: ic.RegB, HasImm: true, Imm: cpArgs})
+		nb := a.temp()
+		a.emit(ic.Inst{Op: ic.Add, D: nb, A: t1, B: tn})
+		a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpPrevB, B: ic.RegB, Reg: ic.RegionCP})
+		ra := a.temp()
+		a.moviLabel(ra, in.L)
+		a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpRetry, B: ra, Reg: ic.RegionCP})
+		a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpH, B: ic.RegH, Reg: ic.RegionCP})
+		a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpTR, B: ic.RegTR, Reg: ic.RegionCP})
+		a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpE, B: ic.RegE, Reg: ic.RegionCP})
+		a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpESP, B: ic.RegESP, Reg: ic.RegionCP})
+		// EB = max(EB, ESP), saved in the frame.
+		brSkip := a.emit(ic.Inst{Op: ic.BrCmp, A: ic.RegESP, Cond: ic.CondLe, B: ic.RegEB})
+		a.emit(ic.Inst{Op: ic.Mov, D: ic.RegEB, A: ic.RegESP})
+		a.code[brSkip].Target = a.here()
+		a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpEB, B: ic.RegEB, Reg: ic.RegionCP})
+		a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpCP, B: ic.RegCP, Reg: ic.RegionCP})
+		cnt := a.temp()
+		a.emit(ic.Inst{Op: ic.MovI, D: cnt, Word: word.MakeInt(in.N)})
+		a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpN, B: cnt, Reg: ic.RegionCP})
+		for i := int64(0); i < in.N; i++ {
+			a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpArgs + i, B: ic.ArgReg(int(i)), Reg: ic.RegionCP})
+		}
+		a.emit(ic.Inst{Op: ic.Mov, D: ic.RegB, A: nb})
+		return nil
+
+	case bam.Retry:
+		ra := a.temp()
+		a.moviLabel(ra, in.L)
+		a.emit(ic.Inst{Op: ic.St, A: ic.RegB, Imm: cpRetry, B: ra, Reg: ic.RegionCP})
+		return nil
+
+	case bam.Trust:
+		a.emit(ic.Inst{Op: ic.Ld, D: ic.RegB, A: ic.RegB, Imm: cpPrevB, Reg: ic.RegionCP})
+		// The popped frame no longer protects environments: the barrier
+		// drops to the one recorded by the new top choice point.
+		a.emit(ic.Inst{Op: ic.Ld, D: ic.RegEB, A: ic.RegB, Imm: cpEB, Reg: ic.RegionCP})
+		return nil
+
+	case bam.RestoreArgs:
+		for i := int64(0); i < in.N; i++ {
+			a.emit(ic.Inst{Op: ic.Ld, D: ic.ArgReg(int(i)), A: ic.RegB, Imm: cpArgs + i, Reg: ic.RegionCP})
+		}
+		return nil
+
+	case bam.Allocate:
+		// ESP = max(ESP, EB): frames below the barrier may be re-entered by
+		// a live choice point (the WAM's max(E,B) rule on a separate stack).
+		brOK := a.emit(ic.Inst{Op: ic.BrCmp, A: ic.RegESP, Cond: ic.CondGe, B: ic.RegEB})
+		a.emit(ic.Inst{Op: ic.Mov, D: ic.RegESP, A: ic.RegEB})
+		a.code[brOK].Target = a.here()
+		a.emit(ic.Inst{Op: ic.St, A: ic.RegESP, Imm: envCE, B: ic.RegE, Reg: ic.RegionEnv})
+		a.emit(ic.Inst{Op: ic.St, A: ic.RegESP, Imm: envCP, B: ic.RegCP, Reg: ic.RegionEnv})
+		a.emit(ic.Inst{Op: ic.Mov, D: ic.RegE, A: ic.RegESP})
+		a.emit(ic.Inst{Op: ic.Add, D: ic.RegESP, A: ic.RegESP, HasImm: true, Imm: envY + in.N})
+		return nil
+
+	case bam.Deallocate:
+		a.emit(ic.Inst{Op: ic.Mov, D: ic.RegESP, A: ic.RegE})
+		a.emit(ic.Inst{Op: ic.Ld, D: ic.RegCP, A: ic.RegE, Imm: envCP, Reg: ic.RegionEnv})
+		a.emit(ic.Inst{Op: ic.Ld, D: ic.RegE, A: ic.RegE, Imm: envCE, Reg: ic.RegionEnv})
+		return nil
+
+	case bam.GetY:
+		a.emit(ic.Inst{Op: ic.Ld, D: in.Dst, A: ic.RegE, Imm: envY + in.N, Reg: ic.RegionEnv})
+		return nil
+
+	case bam.PutY:
+		src := a.val(in.Src)
+		a.emit(ic.Inst{Op: ic.St, A: ic.RegE, Imm: envY + in.N, B: src, Reg: ic.RegionEnv})
+		return nil
+
+	case bam.SaveB:
+		a.emit(ic.Inst{Op: ic.Mov, D: in.Dst, A: ic.RegB})
+		return nil
+
+	case bam.CutTo:
+		a.emit(ic.Inst{Op: ic.Mov, D: ic.RegB, A: a.val(in.Src)})
+		a.emit(ic.Inst{Op: ic.Ld, D: ic.RegEB, A: ic.RegB, Imm: cpEB, Reg: ic.RegionCP})
+		return nil
+
+	case bam.Move:
+		if in.Src.K == bam.VReg {
+			a.emit(ic.Inst{Op: ic.Mov, D: in.Dst, A: in.Src.R})
+		} else {
+			a.emit(ic.Inst{Op: ic.MovI, D: in.Dst, Word: a.immWord(in.Src)})
+		}
+		return nil
+
+	case bam.LoadM:
+		a.emit(ic.Inst{Op: ic.Ld, D: in.Dst, A: in.Reg1, Imm: in.N, Reg: ic.RegionHeap})
+		return nil
+
+	case bam.StoreM:
+		src := a.val(in.Src)
+		a.emit(ic.Inst{Op: ic.St, A: in.Reg1, Imm: in.N, B: src, Reg: ic.RegionHeap})
+		return nil
+
+	case bam.StoreH:
+		src := a.val(in.Src)
+		a.emit(ic.Inst{Op: ic.St, A: ic.RegH, Imm: in.N, B: src, Reg: ic.RegionHeap})
+		return nil
+
+	case bam.AddH:
+		a.emit(ic.Inst{Op: ic.Add, D: ic.RegH, A: ic.RegH, HasImm: true, Imm: in.N})
+		return nil
+
+	case bam.LeaH:
+		a.emit(ic.Inst{Op: ic.Lea, D: in.Dst, A: ic.RegH, Imm: in.N, Tag: in.Tag})
+		return nil
+
+	case bam.MkTagI:
+		a.emit(ic.Inst{Op: ic.MkTag, D: in.Dst, A: in.Reg1, Tag: in.Tag})
+		return nil
+
+	case bam.Deref:
+		if in.Src.K != bam.VReg {
+			return fmt.Errorf("expand: deref of immediate")
+		}
+		d := in.Dst
+		a.emit(ic.Inst{Op: ic.Mov, D: d, A: in.Src.R})
+		t := a.temp()
+		top := a.here()
+		brOut := a.emit(ic.Inst{Op: ic.BrTag, A: d, Cond: ic.CondNe, Tag: word.Ref})
+		a.emit(ic.Inst{Op: ic.Ld, D: t, A: d, Imm: 0, Reg: ic.RegionHeap})
+		brSelf := a.emit(ic.Inst{Op: ic.BrCmp, A: t, Cond: ic.CondEq, B: d})
+		a.emit(ic.Inst{Op: ic.Mov, D: d, A: t})
+		a.emit(ic.Inst{Op: ic.Jmp, Target: top})
+		a.code[brOut].Target = a.here()
+		a.code[brSelf].Target = a.here()
+		return nil
+
+	case bam.SwitchTag:
+		a.branch(ic.Inst{Op: ic.BrTag, A: in.Reg1, Cond: ic.CondEq, Tag: word.Ref}, in.LVar)
+		a.branch(ic.Inst{Op: ic.BrTag, A: in.Reg1, Cond: ic.CondEq, Tag: word.Int}, in.LInt)
+		a.branch(ic.Inst{Op: ic.BrTag, A: in.Reg1, Cond: ic.CondEq, Tag: word.Atom}, in.LAtm)
+		a.branch(ic.Inst{Op: ic.BrTag, A: in.Reg1, Cond: ic.CondEq, Tag: word.Lst}, in.LLst)
+		a.branch(ic.Inst{Op: ic.Jmp}, in.LStr)
+		return nil
+
+	case bam.BrTagI:
+		a.branch(ic.Inst{Op: ic.BrTag, A: in.Reg1, Cond: in.Cond, Tag: in.Tag}, in.L)
+		return nil
+
+	case bam.BrEq:
+		v1 := in.V1
+		if v1.K != bam.VReg {
+			r := a.temp()
+			a.emit(ic.Inst{Op: ic.MovI, D: r, Word: a.immWord(v1)})
+			v1 = bam.Reg(r)
+		}
+		inst := ic.Inst{Op: ic.BrCmp, A: v1.R, Cond: in.Cond}
+		if in.V2.K == bam.VReg {
+			inst.B = in.V2.R
+		} else {
+			inst.HasImm = true
+			switch in.Cond {
+			case ic.CondEq, ic.CondNe:
+				inst.Imm = int64(a.immWord(in.V2)) // full-word comparison
+			default:
+				if in.V2.K != bam.VInt {
+					return fmt.Errorf("expand: ordered compare against non-integer")
+				}
+				inst.Imm = in.V2.N // value comparison
+			}
+		}
+		a.branch(inst, in.L)
+		return nil
+
+	case bam.Bind:
+		src := a.val(in.Src)
+		a.emit(ic.Inst{Op: ic.St, A: in.Reg1, Imm: 0, B: src, Reg: ic.RegionHeap})
+		a.emit(ic.Inst{Op: ic.St, A: ic.RegTR, Imm: 0, B: in.Reg1, Reg: ic.RegionTrail})
+		a.emit(ic.Inst{Op: ic.Add, D: ic.RegTR, A: ic.RegTR, HasImm: true, Imm: 1})
+		return nil
+
+	case bam.UnifyCall:
+		a.emit(ic.Inst{Op: ic.Mov, D: ic.ArgReg(14), A: in.Reg1})
+		a.emit(ic.Inst{Op: ic.Mov, D: ic.ArgReg(15), A: in.Reg2})
+		a.branchProc(ic.Inst{Op: ic.Jsr, D: ic.RegRV}, "$unify")
+		return nil
+
+	case bam.Arith:
+		var op ic.Op
+		switch in.AOp {
+		case bam.AAdd:
+			op = ic.Add
+		case bam.ASub:
+			op = ic.Sub
+		case bam.AMul:
+			op = ic.Mul
+		case bam.ADiv:
+			op = ic.Div
+		case bam.AMod:
+			op = ic.Mod
+		case bam.AAnd:
+			op = ic.And
+		case bam.AOr:
+			op = ic.Or
+		case bam.AXor:
+			op = ic.Xor
+		case bam.AShl:
+			op = ic.Shl
+		case bam.AShr:
+			op = ic.Shr
+		}
+		v1 := in.V1
+		if v1.K != bam.VReg {
+			r := a.temp()
+			a.emit(ic.Inst{Op: ic.MovI, D: r, Word: a.immWord(v1)})
+			v1 = bam.Reg(r)
+		}
+		inst := ic.Inst{Op: op, D: in.Dst, A: v1.R}
+		if in.V2.K == bam.VReg {
+			inst.B = in.V2.R
+		} else {
+			if in.V2.K != bam.VInt {
+				return fmt.Errorf("expand: arithmetic with non-integer immediate")
+			}
+			inst.HasImm = true
+			inst.Imm = in.V2.N
+		}
+		a.emit(inst)
+		return nil
+
+	case bam.Sys:
+		a.emit(ic.Inst{Op: ic.SysOp, Sys: in.Sys, A: in.Reg1, B: in.Reg2})
+		return nil
+	}
+	return fmt.Errorf("expand: unknown BAM op %d", in.Op)
+}

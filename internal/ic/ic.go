@@ -1,0 +1,398 @@
+// Package ic defines the machine-independent Intermediate Code (ICI) of the
+// SYMBOL evaluation system (paper §3.1). Each ICI expresses one primitive
+// hardware functionality: a load, a store, an ALU operation on tagged words,
+// a register move, or a control transfer. ICIs name an unbounded set of
+// virtual registers — they carry no register allocation or functional-unit
+// information; that is the back-end's job.
+//
+// Instruction classes follow the paper's Figure 2 taxonomy: memory, ALU,
+// move (data movement) and control, plus a small "sys" escape class for
+// builtins with observable side effects (write/1, nl/0).
+package ic
+
+import (
+	"fmt"
+
+	"symbol/internal/term"
+	"symbol/internal/word"
+)
+
+// Reg is a virtual register number. Negative means "no operand".
+type Reg int32
+
+// None marks an absent register operand.
+const None Reg = -1
+
+// Global machine-state registers. Registers below FirstArg are the abstract
+// machine's state; FirstArg..FirstArg+NumArgRegs-1 are argument registers;
+// FirstTemp and above are single-assignment-ish temporaries minted freely by
+// the translator (variable renaming, §3.1, eliminates reuse of temporaries
+// so that only true data dependencies remain).
+const (
+	RegH   Reg = iota // heap top
+	RegESP            // environment-stack top
+	RegE              // current environment frame
+	RegB              // most recent choice point
+	RegTR             // trail top
+	RegCP             // continuation (return) code pointer
+	RegRV             // runtime-routine return value / scratch link
+	RegEB             // environment barrier: frames below are protected by
+	// live choice points and may not be reused by allocate (the separate-
+	// stack equivalent of the WAM's max(E,B) allocation rule)
+
+	FirstArg   Reg = 8
+	NumArgRegs     = 16
+	FirstTemp  Reg = FirstArg + NumArgRegs
+)
+
+// ArgReg returns the i-th argument register.
+func ArgReg(i int) Reg { return FirstArg + Reg(i) }
+
+// Class is the paper's instruction-class taxonomy.
+type Class uint8
+
+const (
+	ClassALU Class = iota
+	ClassMemory
+	ClassMove
+	ClassControl
+	ClassSys
+	NumClasses
+)
+
+var classNames = [NumClasses]string{"alu", "memory", "move", "control", "sys"}
+
+func (c Class) String() string { return classNames[c] }
+
+// Op is an ICI opcode.
+type Op uint8
+
+const (
+	Nop Op = iota
+	// Memory. Only explicit loads and stores touch memory; direct and
+	// immediate addressing only (base register + constant offset).
+	Ld // D = mem[val(A) + Imm]
+	St // mem[val(A) + Imm] = B
+
+	// ALU on tagged words: the value fields are combined, the tag of the
+	// first operand is preserved (the datapath's independently addressable
+	// fields, §5.2). The second operand is B, or Imm when HasImm.
+	Add
+	Sub
+	Mul
+	Div
+	Mod
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	MkTag  // D = A with tag replaced by Tag
+	GetTag // D = int word holding tag(A)
+	Lea    // D = word(Tag, val(A)+Imm): tagged pointer arithmetic in one op
+
+	// Moves.
+	Mov  // D = A
+	MovI // D = Word (full tagged-word immediate)
+
+	// Control. Branches resolve in the second pipeline stage: a taken
+	// branch costs one bubble on pipelined machines, 2 cycles sequentially.
+	BrTag // if tag(A) ~ Tag (Cond Eq/Ne) jump Target
+	BrCmp // if A ~ (B|Imm) (Cond) jump Target
+	Jmp   // jump Target
+	JmpR  // jump val(A)
+	Jsr   // D = code(next pc); jump Target
+	Halt  // stop; Imm is the exit status (0 success, 1 fail)
+
+	// Sys escapes.
+	SysOp // builtin identified by Sys, operands in A (and B)
+)
+
+// Cond is a branch/compare condition.
+type Cond uint8
+
+const (
+	CondEq Cond = iota // full-word equality
+	CondNe             // full-word inequality
+	CondLt             // signed value comparison
+	CondLe
+	CondGt
+	CondGe
+)
+
+var condNames = []string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+func (c Cond) String() string { return condNames[c] }
+
+// Invert returns the negation of the condition, used by the trace scheduler
+// to lay the predicted path out as fall-through.
+func (c Cond) Invert() Cond {
+	switch c {
+	case CondEq:
+		return CondNe
+	case CondNe:
+		return CondEq
+	case CondLt:
+		return CondGe
+	case CondLe:
+		return CondGt
+	case CondGt:
+		return CondLe
+	default:
+		return CondLt
+	}
+}
+
+// SysID identifies a builtin escape.
+type SysID uint8
+
+const (
+	SysNone      SysID = iota
+	SysWrite           // write(term at A)
+	SysNl              // newline
+	SysCompare         // RV = int(-1/0/1) from structural compare of A, B
+	SysWriteCode       // write integer val(A) as a character (put_char-ish)
+)
+
+var sysNames = []string{"none", "write", "nl", "compare", "write_code"}
+
+func (s SysID) String() string { return sysNames[s] }
+
+// Region is an optional static memory-region annotation used by the
+// ablation study on memory disambiguation. The paper argues stack and heap
+// references cannot be disambiguated because they flow through pointers
+// (§4.1); the default scheduler therefore ignores this hint unless the
+// machine model explicitly enables region-based disambiguation.
+type Region uint8
+
+const (
+	RegionUnknown Region = iota
+	RegionHeap
+	RegionEnv
+	RegionCP
+	RegionTrail
+	RegionPDL
+)
+
+var regionNames = []string{"?", "heap", "env", "cp", "trail", "pdl"}
+
+func (r Region) String() string { return regionNames[r] }
+
+// Inst is one Intermediate Code Instruction.
+type Inst struct {
+	Op     Op
+	D      Reg    // destination register
+	A, B   Reg    // source registers
+	Imm    int64  // ALU/branch immediate, load/store offset, halt status
+	HasImm bool   // B-or-Imm selector for ALU and BrCmp
+	Word   word.W // MovI full-word immediate
+	Tag    word.Tag
+	Cond   Cond
+	Target int // branch target pc (instruction index)
+	Sys    SysID
+	Reg    Region // memory-region annotation for Ld/St
+}
+
+// Class returns the paper's instruction class for the ICI.
+func (in *Inst) Class() Class {
+	switch in.Op {
+	case Ld, St:
+		return ClassMemory
+	case Mov, MovI:
+		return ClassMove
+	case BrTag, BrCmp, Jmp, JmpR, Jsr, Halt:
+		return ClassControl
+	case SysOp:
+		return ClassSys
+	default:
+		return ClassALU
+	}
+}
+
+// IsBranch reports whether the ICI is a control transfer.
+func (in *Inst) IsBranch() bool { return in.Class() == ClassControl }
+
+// IsCondBranch reports whether the ICI is a conditional branch (has both a
+// taken target and a fall-through successor).
+func (in *Inst) IsCondBranch() bool { return in.Op == BrTag || in.Op == BrCmp }
+
+// Uses appends the registers read by the ICI to dst.
+func (in *Inst) Uses(dst []Reg) []Reg {
+	switch in.Op {
+	case Nop, MovI, Jmp, Jsr, Halt:
+	case Ld, GetTag, MkTag, Lea, Mov, BrTag, JmpR:
+		dst = append(dst, in.A)
+	case St:
+		dst = append(dst, in.A, in.B)
+	case SysOp:
+		if in.A != None {
+			dst = append(dst, in.A)
+		}
+		if in.B != None {
+			dst = append(dst, in.B)
+		}
+	default: // ALU, BrCmp
+		dst = append(dst, in.A)
+		if !in.HasImm && in.B != None {
+			dst = append(dst, in.B)
+		}
+	}
+	return dst
+}
+
+// Def returns the register written by the ICI, or None.
+func (in *Inst) Def() Reg {
+	switch in.Op {
+	case Ld, Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr,
+		MkTag, GetTag, Lea, Mov, MovI, Jsr:
+		return in.D
+	case SysOp:
+		if in.Sys == SysCompare {
+			return RegRV
+		}
+		return None
+	default:
+		return None
+	}
+}
+
+// Program is an assembled IC program plus its symbol information.
+type Program struct {
+	Code   []Inst
+	Atoms  *term.Table
+	Entry  int            // entry pc
+	FailPC int            // pc of the shared $fail routine
+	Procs  map[string]int // "name/arity" → entry pc
+	Names  map[int]string // pc → label, for listings
+	// Entries marks pcs reachable through indirect control flow (procedure
+	// entries, return points after Jsr, and retry addresses stored in
+	// choice points). The back end must keep these addressable: they start
+	// traces and are never scheduled into the middle of one.
+	Entries map[int]bool
+}
+
+// Simulated memory layout: distinct stack areas per the WAM/BAM model
+// (§4.1). Word addresses.
+const (
+	HeapBase  = 1 << 20
+	HeapSize  = 12 << 20
+	EnvBase   = HeapBase + HeapSize
+	EnvSize   = 2 << 20
+	CPBase    = EnvBase + EnvSize
+	CPSize    = 2 << 20
+	TrailBase = CPBase + CPSize
+	TrailSize = 2 << 20
+	PDLBase   = TrailBase + TrailSize
+	PDLSize   = 1 << 16
+	MemWords  = PDLBase + PDLSize
+)
+
+// RegionOf classifies a word address.
+func RegionOf(addr uint64) Region {
+	switch {
+	case addr >= HeapBase && addr < HeapBase+HeapSize:
+		return RegionHeap
+	case addr >= EnvBase && addr < EnvBase+EnvSize:
+		return RegionEnv
+	case addr >= CPBase && addr < CPBase+CPSize:
+		return RegionCP
+	case addr >= TrailBase && addr < TrailBase+TrailSize:
+		return RegionTrail
+	case addr >= PDLBase && addr < PDLBase+PDLSize:
+		return RegionPDL
+	default:
+		return RegionUnknown
+	}
+}
+
+func regName(r Reg) string {
+	switch r {
+	case None:
+		return "_"
+	case RegH:
+		return "h"
+	case RegESP:
+		return "esp"
+	case RegE:
+		return "e"
+	case RegB:
+		return "b"
+	case RegTR:
+		return "tr"
+	case RegCP:
+		return "cp"
+	case RegRV:
+		return "rv"
+	case RegEB:
+		return "eb"
+	}
+	if r >= FirstArg && r < FirstArg+NumArgRegs {
+		return fmt.Sprintf("a%d", r-FirstArg)
+	}
+	return fmt.Sprintf("t%d", r-FirstTemp)
+}
+
+var opNames = map[Op]string{
+	Nop: "nop", Ld: "ld", St: "st", Add: "add", Sub: "sub", Mul: "mul",
+	Div: "div", Mod: "mod", And: "and", Or: "or", Xor: "xor", Shl: "shl",
+	Shr: "shr", MkTag: "mktag", GetTag: "gettag", Lea: "lea", Mov: "mov", MovI: "movi",
+	BrTag: "brtag", BrCmp: "brcmp", Jmp: "jmp", JmpR: "jmpr", Jsr: "jsr",
+	Halt: "halt", SysOp: "sys",
+}
+
+// String disassembles the ICI.
+func (in *Inst) String() string {
+	n := opNames[in.Op]
+	switch in.Op {
+	case Nop:
+		return n
+	case Ld:
+		return fmt.Sprintf("ld    %s, [%s%+d]", regName(in.D), regName(in.A), in.Imm)
+	case St:
+		return fmt.Sprintf("st    [%s%+d], %s", regName(in.A), in.Imm, regName(in.B))
+	case MkTag:
+		return fmt.Sprintf("mktag %s, %s, %s", regName(in.D), regName(in.A), in.Tag)
+	case Lea:
+		return fmt.Sprintf("lea   %s, %s[%s%+d]", regName(in.D), in.Tag, regName(in.A), in.Imm)
+	case GetTag:
+		return fmt.Sprintf("gettag %s, %s", regName(in.D), regName(in.A))
+	case Mov:
+		return fmt.Sprintf("mov   %s, %s", regName(in.D), regName(in.A))
+	case MovI:
+		return fmt.Sprintf("movi  %s, %s", regName(in.D), in.Word)
+	case BrTag:
+		return fmt.Sprintf("brtag %s %s %s, @%d", regName(in.A), in.Cond, in.Tag, in.Target)
+	case BrCmp:
+		if in.HasImm {
+			return fmt.Sprintf("brcmp %s %s %d, @%d", regName(in.A), in.Cond, in.Imm, in.Target)
+		}
+		return fmt.Sprintf("brcmp %s %s %s, @%d", regName(in.A), in.Cond, regName(in.B), in.Target)
+	case Jmp:
+		return fmt.Sprintf("jmp   @%d", in.Target)
+	case JmpR:
+		return fmt.Sprintf("jmpr  %s", regName(in.A))
+	case Jsr:
+		return fmt.Sprintf("jsr   %s, @%d", regName(in.D), in.Target)
+	case Halt:
+		return fmt.Sprintf("halt  %d", in.Imm)
+	case SysOp:
+		return fmt.Sprintf("sys   %s %s", in.Sys, regName(in.A))
+	default:
+		if in.HasImm {
+			return fmt.Sprintf("%-5s %s, %s, %d", n, regName(in.D), regName(in.A), in.Imm)
+		}
+		return fmt.Sprintf("%-5s %s, %s, %s", n, regName(in.D), regName(in.A), regName(in.B))
+	}
+}
+
+// Listing renders the whole program with labels.
+func (p *Program) Listing() string {
+	out := ""
+	for pc := range p.Code {
+		if lbl, ok := p.Names[pc]; ok {
+			out += lbl + ":\n"
+		}
+		out += fmt.Sprintf("  %4d  %s\n", pc, p.Code[pc].String())
+	}
+	return out
+}

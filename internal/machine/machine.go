@@ -1,0 +1,90 @@
+// Package machine describes the parameterized target of the back end: the
+// class of parallel synchronous non-homogeneous architectures of paper §3 —
+// one central control, several functional units connected by buses, static
+// predictable timing, one very long instruction issued per cycle. A
+// configuration with N units can issue, per cycle, N memory accesses, N ALU
+// operations, N control operations and N local data movements (Figure 5).
+package machine
+
+import "fmt"
+
+// Config describes one architecture configuration.
+type Config struct {
+	// Units is the number of basic units (paper Table 3 sweeps 1..5).
+	Units int
+	// MemLatency is the pipelined memory latency in cycles: a load issued
+	// at cycle t may be consumed at t+MemLatency (paper: 2 cycles).
+	MemLatency int
+	// BranchBubble is the penalty of a taken branch (pipelined control
+	// resolves in the second stage: 1 dead cycle).
+	BranchBubble int
+	// DisambiguateRegions lets the scheduler use static memory-region
+	// annotations (heap/env/cp/trail) to break memory dependencies. The
+	// paper argues this is unsound for the stack areas because most
+	// references are pointer-derived (§4.1), so it is off by default and
+	// exists for the ablation study.
+	DisambiguateRegions bool
+	// SplitFormats applies the prototype's pinout constraint (§5.1):
+	// instructions come in two formats — one for ALU operations (with
+	// register movement) and one for control operations — so ALU/move and
+	// control operations cannot share a word; memory accesses can be
+	// issued in both formats. "Then the compiler has to choose, and
+	// parallelism is somewhat reduced."
+	SplitFormats bool
+}
+
+// Default returns the paper's measurement hypotheses for n units: all
+// operations take one cycle except memory and control, which take two in
+// pipeline (§4.3).
+func Default(n int) Config {
+	return Config{Units: n, MemLatency: 2, BranchBubble: 1}
+}
+
+// BAM returns the single-issue pipelined RISC stand-in for the BAM
+// processor: one operation per cycle with the same pipelined memory, and no
+// taken-branch penalty (the BAM compiler fills its delayed branches). Used
+// with basic-block-only compaction it reproduces the paper's observation
+// that the BAM sits at the basic-block compaction limit.
+func BAM() Config {
+	return Config{Units: 1, MemLatency: 2, BranchBubble: 0}
+}
+
+// Unbounded returns a configuration with effectively infinite resources,
+// used for the Table 1 "available concurrency" measurement.
+func Unbounded() Config {
+	return Config{Units: 1 << 20, MemLatency: 2, BranchBubble: 1}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Units < 1 {
+		return fmt.Errorf("machine: need at least one unit, got %d", c.Units)
+	}
+	if c.MemLatency < 1 || c.BranchBubble < 0 {
+		return fmt.Errorf("machine: invalid latencies (mem %d, bubble %d)", c.MemLatency, c.BranchBubble)
+	}
+	return nil
+}
+
+// Slots returns the per-word issue capacity per instruction class:
+// memory, alu, move, control (indexed by ic.Class order), plus one sys
+// escape per word.
+func (c Config) Slots() (mem, alu, move, ctrl, sys int) {
+	return c.Units, c.Units, c.Units, c.Units, 1
+}
+
+// SeqCost is the sequential-machine cost of one operation class occurrence
+// under the same hypotheses: memory and control cost 2, everything else 1.
+func SeqCost(isMemOrCtrl bool) int64 {
+	if isMemOrCtrl {
+		return 2
+	}
+	return 1
+}
+
+func (c Config) String() string {
+	if c.Units >= 1<<20 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d-unit", c.Units)
+}

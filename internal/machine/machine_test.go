@@ -1,0 +1,58 @@
+package machine
+
+import "testing"
+
+func TestDefault(t *testing.T) {
+	c := Default(3)
+	if c.Units != 3 || c.MemLatency != 2 || c.BranchBubble != 1 {
+		t.Errorf("got %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mem, alu, move, ctrl, sys := c.Slots()
+	if mem != 3 || alu != 3 || move != 3 || ctrl != 3 || sys != 1 {
+		t.Errorf("slots %d/%d/%d/%d/%d", mem, alu, move, ctrl, sys)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Units: 0, MemLatency: 2, BranchBubble: 1},
+		{Units: 1, MemLatency: 0, BranchBubble: 1},
+		{Units: 1, MemLatency: 2, BranchBubble: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v must be invalid", c)
+		}
+	}
+}
+
+func TestBAMModel(t *testing.T) {
+	c := BAM()
+	if c.Units != 1 || c.BranchBubble != 0 {
+		t.Errorf("BAM model: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqCost(t *testing.T) {
+	if SeqCost(true) != 2 || SeqCost(false) != 1 {
+		t.Error("paper hypotheses: memory/control 2, rest 1")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Default(2).String() != "2-unit" {
+		t.Errorf("got %q", Default(2).String())
+	}
+	if Unbounded().String() != "unbounded" {
+		t.Errorf("got %q", Unbounded().String())
+	}
+	if err := Unbounded().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,285 @@
+package mterm
+
+import (
+	"fmt"
+	"strings"
+
+	"symbol/internal/term"
+	"symbol/internal/word"
+)
+
+// The standard operator table, mirrored from the reader, used by write/1 to
+// print operator terms in operator notation with minimal parentheses.
+type opKind uint8
+
+const (
+	opXFX opKind = iota
+	opXFY
+	opYFX
+	opFY
+	opFX
+)
+
+type opInfo struct {
+	prio int
+	kind opKind
+}
+
+var infixOps = map[string]opInfo{
+	":-": {1200, opXFX}, "-->": {1200, opXFX},
+	";":  {1100, opXFY},
+	"->": {1050, opXFY},
+	",":  {1000, opXFY},
+	"=":  {700, opXFX}, "\\=": {700, opXFX}, "==": {700, opXFX},
+	"\\==": {700, opXFX}, "is": {700, opXFX}, "=:=": {700, opXFX},
+	"=\\=": {700, opXFX}, "<": {700, opXFX}, ">": {700, opXFX},
+	"=<": {700, opXFX}, ">=": {700, opXFX}, "@<": {700, opXFX},
+	"@>": {700, opXFX}, "@=<": {700, opXFX}, "@>=": {700, opXFX},
+	"=..": {700, opXFX},
+	"+":   {500, opYFX}, "-": {500, opYFX}, "/\\": {500, opYFX},
+	"\\/": {500, opYFX}, "xor": {500, opYFX},
+	"*": {400, opYFX}, "/": {400, opYFX}, "//": {400, opYFX},
+	"mod": {400, opYFX}, "rem": {400, opYFX}, "<<": {400, opYFX},
+	">>": {400, opYFX},
+	"**": {200, opXFX}, "^": {200, opXFY},
+}
+
+var prefixOps = map[string]opInfo{
+	":-": {1200, opFX}, "?-": {1200, opFX},
+	"\\+": {900, opFY},
+	"-":   {200, opFY}, "+": {200, opFY}, "\\": {200, opFY},
+}
+
+// glueWriter emits tokens, inserting a space whenever two adjacent tokens
+// would otherwise lex as one (symbolic-symbolic or alphanumeric-
+// alphanumeric adjacency), so printed terms always read back as written.
+type glueWriter struct {
+	b    strings.Builder
+	last byte
+	// afterInfix suppresses the name-( separator once: a '(' directly
+	// after an infix operator is unambiguous.
+	afterInfix bool
+}
+
+const symChars = "+-*/\\^<>=~:.?@#&$"
+
+func symCh(c byte) bool { return strings.IndexByte(symChars, c) >= 0 }
+
+func alnumCh(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func (g *glueWriter) WriteString(s string) {
+	if s == "" {
+		return
+	}
+	c := s[0]
+	nameEnd := symCh(g.last) || alnumCh(g.last)
+	switch {
+	case (symCh(g.last) && symCh(c)) || (alnumCh(g.last) && alnumCh(c)):
+		// Two halves of one token.
+		g.b.WriteByte(' ')
+	case c == '(' && nameEnd && !g.afterInfix:
+		// name( re-reads as functional notation; separate unless the
+		// caller used Functional() or the name was an infix operator.
+		g.b.WriteByte(' ')
+	}
+	g.b.WriteString(s)
+	g.last = s[len(s)-1]
+	g.afterInfix = false
+}
+
+// Infix writes an infix operator name; a directly following '(' is
+// unambiguous after it.
+func (g *glueWriter) Infix(name string) {
+	g.WriteString(name)
+	g.afterInfix = true
+}
+
+// Functional glues a '(' directly to the preceding functor name,
+// bypassing the ambiguity separator (intentional functional notation).
+func (g *glueWriter) Functional() {
+	g.b.WriteByte('(')
+	g.last = '('
+}
+
+func (g *glueWriter) WriteByte(c byte) error {
+	g.WriteString(string(c))
+	return nil
+}
+
+// FormatOps renders a term like Format but uses operator notation for the
+// standard operators, inserting parentheses only where priorities demand
+// and spaces only where tokens would otherwise glue.
+func FormatOps(m Mem, atoms *term.Table, w word.W) (string, error) {
+	var b glueWriter
+	if err := formatOps(&b, m, atoms, w, 1200, 0); err != nil {
+		return "", err
+	}
+	return b.b.String(), nil
+}
+
+// formatOps writes w assuming the context accepts priority up to maxPrec.
+func formatOps(b *glueWriter, m Mem, atoms *term.Table, w word.W, maxPrec, depth int) error {
+	if depth > maxDepth {
+		return fmt.Errorf("mterm: term too deep")
+	}
+	w, err := Deref(m, w)
+	if err != nil {
+		return err
+	}
+	switch w.Tag() {
+	case word.Ref:
+		b.WriteString(fmt.Sprintf("_%d", w.Ptr()))
+		return nil
+	case word.Int:
+		b.WriteString(fmt.Sprintf("%d", w.Int()))
+		return nil
+	case word.Atom:
+		b.WriteString(atoms.Name(uint32(w.Val())))
+		return nil
+	case word.Lst:
+		return formatOpsList(b, m, atoms, w, depth)
+	case word.Str:
+		f, err := m.Load(w.Ptr())
+		if err != nil {
+			return err
+		}
+		name := atoms.Name(f.FunAtom())
+		arity := f.FunArity()
+		arg := func(i int) (word.W, error) { return m.Load(w.Ptr() + 1 + uint64(i)) }
+
+		if arity == 2 {
+			if op, ok := infixOps[name]; ok {
+				lMax, rMax := op.prio-1, op.prio-1
+				switch op.kind {
+				case opXFY:
+					rMax = op.prio
+				case opYFX:
+					lMax = op.prio
+				}
+				open := op.prio > maxPrec
+				if open {
+					b.WriteByte('(')
+				}
+				l, err := arg(0)
+				if err != nil {
+					return err
+				}
+				if err := formatOps(b, m, atoms, l, lMax, depth+1); err != nil {
+					return err
+				}
+				b.Infix(name)
+				r, err := arg(1)
+				if err != nil {
+					return err
+				}
+				if err := formatOps(b, m, atoms, r, rMax, depth+1); err != nil {
+					return err
+				}
+				if open {
+					b.WriteByte(')')
+				}
+				return nil
+			}
+		}
+		if arity == 1 {
+			if op, ok := prefixOps[name]; ok {
+				sub := op.prio
+				if op.kind == opFX {
+					sub = op.prio - 1
+				}
+				a0, err := arg(0)
+				if err != nil {
+					return err
+				}
+				// Render the operand first: if it begins with a digit, a
+				// prefix - or + would re-read as a signed numeric literal,
+				// so fall back to functional notation, e.g. -(1^0).
+				var scratch glueWriter
+				if err := formatOps(&scratch, m, atoms, a0, sub, depth+1); err != nil {
+					return err
+				}
+				operand := scratch.b.String()
+				if (name == "-" || name == "+") && operand != "" &&
+					operand[0] >= '0' && operand[0] <= '9' {
+					b.WriteString(name)
+					b.Functional()
+					var inner glueWriter
+					if err := formatOps(&inner, m, atoms, a0, 999, depth+1); err != nil {
+						return err
+					}
+					b.WriteString(inner.b.String())
+					b.WriteByte(')')
+					return nil
+				}
+				open := op.prio > maxPrec
+				if open {
+					b.WriteByte('(')
+				}
+				b.WriteString(name)
+				b.WriteString(operand)
+				if open {
+					b.WriteByte(')')
+				}
+				return nil
+			}
+		}
+		// Plain functional notation.
+		b.WriteString(name)
+		b.Functional()
+		for i := 0; i < arity; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			x, err := arg(i)
+			if err != nil {
+				return err
+			}
+			if err := formatOps(b, m, atoms, x, 999, depth+1); err != nil {
+				return err
+			}
+		}
+		b.WriteByte(')')
+		return nil
+	default:
+		b.WriteString(fmt.Sprintf("<%s>", w))
+		return nil
+	}
+}
+
+func formatOpsList(b *glueWriter, m Mem, atoms *term.Table, w word.W, depth int) error {
+	b.WriteByte('[')
+	for {
+		h, err := m.Load(w.Ptr())
+		if err != nil {
+			return err
+		}
+		if err := formatOps(b, m, atoms, h, 999, depth+1); err != nil {
+			return err
+		}
+		t, err := m.Load(w.Ptr() + 1)
+		if err != nil {
+			return err
+		}
+		t, err = Deref(m, t)
+		if err != nil {
+			return err
+		}
+		if t.Tag() == word.Lst {
+			b.WriteByte(',')
+			w = t
+			continue
+		}
+		if t.Tag() == word.Atom && t.Val() == 0 {
+			b.WriteByte(']')
+			return nil
+		}
+		b.WriteByte('|')
+		if err := formatOps(b, m, atoms, t, 999, depth+1); err != nil {
+			return err
+		}
+		b.WriteByte(']')
+		return nil
+	}
+}

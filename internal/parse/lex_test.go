@@ -1,0 +1,125 @@
+package parse
+
+import "testing"
+
+func toks(t *testing.T, src string) []token {
+	t.Helper()
+	l := newLexer(src)
+	var out []token
+	for {
+		tk, err := l.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tk.kind == tokEOF {
+			return out
+		}
+		out = append(out, tk)
+	}
+}
+
+func TestLexCharCodes(t *testing.T) {
+	ts := toks(t, "0'a 0'  0'0")
+	if len(ts) != 3 {
+		t.Fatalf("got %d tokens", len(ts))
+	}
+	want := []int64{'a', ' ', '0'}
+	for i, w := range want {
+		if ts[i].kind != tokInt || ts[i].ival != w {
+			t.Errorf("token %d: %+v, want int %d", i, ts[i], w)
+		}
+	}
+}
+
+func TestLexSymbolicAtoms(t *testing.T) {
+	ts := toks(t, "=.. \\+ @< -->")
+	names := []string{"=..", "\\+", "@<", "-->"}
+	if len(ts) != len(names) {
+		t.Fatalf("got %d tokens %v", len(ts), ts)
+	}
+	for i, n := range names {
+		if ts[i].kind != tokAtom || ts[i].text != n {
+			t.Errorf("token %d: %+v, want atom %q", i, ts[i], n)
+		}
+	}
+}
+
+func TestLexEndVsDotInAtom(t *testing.T) {
+	// A solo '.' ends a clause; '.' glued into symbolic atoms does not.
+	ts := toks(t, "a. b")
+	if len(ts) != 3 || ts[1].kind != tokEnd {
+		t.Fatalf("got %v", ts)
+	}
+}
+
+func TestLexOpenCT(t *testing.T) {
+	ts := toks(t, "f(a) f (a)")
+	// f ( a ) f ( a ) — first '(' adjacent (OpenCT), second plain punct.
+	if ts[1].kind != tokOpenCT {
+		t.Errorf("adjacent paren must be OpenCT: %+v", ts[1])
+	}
+	if ts[5].kind != tokPunct {
+		t.Errorf("spaced paren must be plain punct: %+v", ts[5])
+	}
+}
+
+func TestLexQuotedEscapes(t *testing.T) {
+	ts := toks(t, `'a\nb' 'it''s' '\\'`)
+	want := []string{"a\nb", "it's", "\\"}
+	for i, w := range want {
+		if ts[i].kind != tokAtom || ts[i].text != w {
+			t.Errorf("token %d: %q, want %q", i, ts[i].text, w)
+		}
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	l := newLexer("a\n\nb % c\nd /* x\ny */ e")
+	wantLines := map[string]int{"a": 1, "b": 3, "d": 4, "e": 5}
+	for {
+		tk, err := l.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk.kind == tokEOF {
+			break
+		}
+		if want, ok := wantLines[tk.text]; ok && tk.line != want {
+			t.Errorf("%q on line %d, want %d", tk.text, tk.line, want)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		"'unterminated",
+		"'bad\\qescape'",
+		"\"strings unsupported\"",
+		"/* unterminated",
+		"'newline\nin quote'",
+	}
+	for _, src := range bad {
+		l := newLexer(src)
+		var err error
+		for err == nil {
+			var tk token
+			tk, err = l.next()
+			if tk.kind == tokEOF {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("expected lex error for %q", src)
+		}
+	}
+}
+
+func TestLexPunctuationSet(t *testing.T) {
+	ts := toks(t, "[ ] { } , | ! ;")
+	kinds := []tokKind{tokPunct, tokPunct, tokPunct, tokPunct, tokPunct, tokPunct, tokAtom, tokAtom}
+	for i, k := range kinds {
+		if ts[i].kind != k {
+			t.Errorf("token %d %q: kind %v, want %v", i, ts[i].text, ts[i].kind, k)
+		}
+	}
+}

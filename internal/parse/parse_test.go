@@ -1,0 +1,204 @@
+package parse
+
+import (
+	"testing"
+
+	"symbol/internal/term"
+)
+
+func one(t *testing.T, src string) term.Term {
+	t.Helper()
+	ts, err := All(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("parse %q: got %d clauses, want 1", src, len(ts))
+	}
+	return ts[0]
+}
+
+func TestAtomForms(t *testing.T) {
+	cases := map[string]string{
+		"foo.":         "foo",
+		"'hello bob'.": "'hello bob'",
+		"[].":          "[]",
+		"!.":           "!",
+		"'\\n'.":       "'\n'",
+	}
+	for src, want := range cases {
+		got := one(t, src).String()
+		if got != want {
+			t.Errorf("%q parsed to %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestIntegers(t *testing.T) {
+	if got := one(t, "42.").(term.Int); got != 42 {
+		t.Fatalf("got %d", got)
+	}
+	if got := one(t, "0'a.").(term.Int); got != 97 {
+		t.Fatalf("char code: got %d", got)
+	}
+	c := one(t, "f(-3).").(*term.Compound)
+	if got := c.Args[0].(term.Int); got != -3 {
+		t.Fatalf("negative: got %d", got)
+	}
+}
+
+func TestVariableScope(t *testing.T) {
+	c := one(t, "f(X, Y, X).").(*term.Compound)
+	if c.Args[0] != c.Args[2] {
+		t.Error("same-name variables must be shared within a clause")
+	}
+	if c.Args[0] == c.Args[1] {
+		t.Error("distinct variables must not be shared")
+	}
+	ts, err := All("f(X). g(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ts[0].(*term.Compound).Args[0]
+	b := ts[1].(*term.Compound).Args[0]
+	if a == b {
+		t.Error("variables must not be shared across clauses")
+	}
+}
+
+func TestAnonymousVarsDistinct(t *testing.T) {
+	c := one(t, "f(_, _).").(*term.Compound)
+	if c.Args[0] == c.Args[1] {
+		t.Error("each _ must be a fresh variable")
+	}
+}
+
+func TestLists(t *testing.T) {
+	cases := map[string]string{
+		"[1,2,3].":   "[1,2,3]",
+		"[a|T].":     "[a|T]",
+		"[a,b|T].":   "[a,b|T]",
+		"[[a],[b]].": "[[a],[b]]",
+	}
+	for src, want := range cases {
+		if got := one(t, src).String(); got != want {
+			t.Errorf("%q parsed to %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	cases := map[string]string{
+		"a :- b, c.":      ":-(a,','(b,c))",
+		"X is 1+2*3.":     "is(X,+(1,*(2,3)))",
+		"X is (1+2)*3.":   "is(X,*(+(1,2),3))",
+		"1+2+3.":          "+(+(1,2),3)",
+		"a ; b ; c.":      ";(a,;(b,c))",
+		"a -> b ; c.":     ";(->(a,b),c)",
+		"\\+ a.":          "\\+(a)",
+		"- (1).":          "-(1)",
+		"X = f(Y).":       "=(X,f(Y))",
+		"2^3^4.":          "^(2,^(3,4))",
+		"a, b -> c ; d.":  ";(->(','(a,b),c),d)",
+		"X is -Y.":        "is(X,-(Y))",
+		"X is 7 mod 3.":   "is(X,mod(7,3))",
+		"f(a, (b, c)).":   "f(a,','(b,c))",
+		"[a :- b].":       "[:-(a,b)]", // prio 1200 not allowed as arg? we allow via parens
+		"p(X) :- q(X-1).": ":-(p(X),q(-(X,1)))",
+	}
+	delete(cases, "[a :- b].") // 1200 > 999: must fail; checked below
+	for src, want := range cases {
+		got := canonical(one(t, src))
+		if got != want {
+			t.Errorf("%q parsed to %q, want %q", src, got, want)
+		}
+	}
+	if _, err := All("[a :- b]."); err == nil {
+		t.Error("priority-1200 operator inside a list argument should be rejected")
+	}
+}
+
+func TestFunctorVsOperator(t *testing.T) {
+	// '-' used as both prefix op and infix op.
+	got := canonical(one(t, "X is A - -B."))
+	if got != "is(X,-(A,-(B)))" {
+		t.Errorf("got %q", got)
+	}
+	// atom followed by space then '(' is NOT functional notation.
+	got = canonical(one(t, "a - (b)."))
+	if got != "-(a,b)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestMultipleClausesAndComments(t *testing.T) {
+	src := `
+% line comment
+app([], L, L).
+app([H|T], L, [H|R]) :- /* block
+comment */ app(T, L, R).
+`
+	ts, err := All(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("got %d clauses, want 2", len(ts))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"f(a",      // unterminated
+		"f(a)",     // missing period
+		"'abc.",    // unterminated quote
+		"f(a,).",   // missing arg
+		") .",      // stray paren
+		"/* oops.", // unterminated comment
+	}
+	for _, src := range bad {
+		if _, err := All(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+// canonical prints with all operators in functional form for precise tests.
+func canonical(t term.Term) string {
+	switch x := t.(type) {
+	case *term.Compound:
+		if x.Functor == "." && len(x.Args) == 2 {
+			return "[" + canonList(x) + "]"
+		}
+		f := x.Functor
+		if f == "," {
+			f = "','"
+		}
+		s := f + "("
+		for i, a := range x.Args {
+			if i > 0 {
+				s += ","
+			}
+			s += canonical(a)
+		}
+		return s + ")"
+	default:
+		return t.String()
+	}
+}
+
+func canonList(c *term.Compound) string {
+	s := canonical(c.Args[0])
+	t := c.Args[1]
+	for {
+		if a, ok := t.(term.Atom); ok && a == term.NilAtom {
+			return s
+		}
+		x, ok := t.(*term.Compound)
+		if !ok || x.Functor != "." || len(x.Args) != 2 {
+			return s + "|" + canonical(t)
+		}
+		s += "," + canonical(x.Args[0])
+		t = x.Args[1]
+	}
+}

@@ -1,0 +1,168 @@
+package rename
+
+import (
+	"testing"
+
+	"symbol/internal/ic"
+	"symbol/internal/term"
+	"symbol/internal/word"
+)
+
+func prog(code []ic.Inst) *ic.Program {
+	return &ic.Program{
+		Code:    code,
+		Atoms:   term.NewTable(),
+		Procs:   map[string]int{},
+		Names:   map[int]string{},
+		Entries: map[int]bool{0: true},
+	}
+}
+
+const t0 = ic.FirstTemp
+
+func TestFoldsHeapBumps(t *testing.T) {
+	// st [h+0],a0 ; add h,h,1 ; st [h+0],a1 ; add h,h,1 ; halt
+	p := prog([]ic.Inst{
+		{Op: ic.St, A: ic.RegH, Imm: 0, B: ic.ArgReg(0)},
+		{Op: ic.Add, D: ic.RegH, A: ic.RegH, HasImm: true, Imm: 1},
+		{Op: ic.St, A: ic.RegH, Imm: 0, B: ic.ArgReg(1)},
+		{Op: ic.Add, D: ic.RegH, A: ic.RegH, HasImm: true, Imm: 1},
+		{Op: ic.Halt},
+	})
+	np := Fold(p)
+	// Expect: st [h+0] ; st [h+1] ; add h,h,2 ; halt
+	if len(np.Code) != 4 {
+		t.Fatalf("got %d instructions:\n%s", len(np.Code), np.Listing())
+	}
+	if np.Code[0].Imm != 0 || np.Code[1].Imm != 1 {
+		t.Errorf("offsets not folded:\n%s", np.Listing())
+	}
+	if np.Code[2].Op != ic.Add || np.Code[2].Imm != 2 {
+		t.Errorf("missing materialized add:\n%s", np.Listing())
+	}
+}
+
+func TestFlushBeforeValueUse(t *testing.T) {
+	// add tr,tr,1 ; mov a0, tr — the move must see the bumped value.
+	p := prog([]ic.Inst{
+		{Op: ic.Add, D: ic.RegTR, A: ic.RegTR, HasImm: true, Imm: 1},
+		{Op: ic.Mov, D: ic.ArgReg(0), A: ic.RegTR},
+		{Op: ic.Halt},
+	})
+	np := Fold(p)
+	if np.Code[0].Op != ic.Add || np.Code[1].Op != ic.Mov {
+		t.Fatalf("add must be materialized before the move:\n%s", np.Listing())
+	}
+}
+
+func TestFlushAtBranch(t *testing.T) {
+	p := prog([]ic.Inst{
+		{Op: ic.Add, D: ic.RegH, A: ic.RegH, HasImm: true, Imm: 3},
+		{Op: ic.Jmp, Target: 2},
+		{Op: ic.Halt},
+	})
+	np := Fold(p)
+	if np.Code[0].Op != ic.Add || np.Code[0].Imm != 3 {
+		t.Fatalf("pending delta must materialize before control:\n%s", np.Listing())
+	}
+	if np.Code[1].Op != ic.Jmp || np.Code[1].Target != 2 {
+		t.Fatalf("jump target not remapped:\n%s", np.Listing())
+	}
+}
+
+func TestStoredValueMaterialized(t *testing.T) {
+	// add tr,tr,1 ; st [tr+0], tr — the stored VALUE must be current.
+	p := prog([]ic.Inst{
+		{Op: ic.Add, D: ic.RegTR, A: ic.RegTR, HasImm: true, Imm: 1},
+		{Op: ic.St, A: ic.RegTR, Imm: 0, B: ic.RegTR},
+		{Op: ic.Halt},
+	})
+	np := Fold(p)
+	if np.Code[0].Op != ic.Add {
+		t.Fatalf("expected materialized add first:\n%s", np.Listing())
+	}
+	if np.Code[1].Op != ic.St || np.Code[1].Imm != 0 {
+		t.Fatalf("store offset wrong after flush:\n%s", np.Listing())
+	}
+}
+
+func TestWriteKillsDelta(t *testing.T) {
+	// add h,h,5 ; movi h, X ; st [h+0],a0 — delta must not leak past the
+	// overwrite.
+	p := prog([]ic.Inst{
+		{Op: ic.Add, D: ic.RegH, A: ic.RegH, HasImm: true, Imm: 5},
+		{Op: ic.MovI, D: ic.RegH, Word: word.MakeRef(ic.HeapBase)},
+		{Op: ic.St, A: ic.RegH, Imm: 0, B: ic.ArgReg(0)},
+		{Op: ic.Halt},
+	})
+	np := Fold(p)
+	for _, in := range np.Code {
+		if in.Op == ic.St && in.Imm != 0 {
+			t.Fatalf("delta leaked into store after overwrite:\n%s", np.Listing())
+		}
+		if in.Op == ic.Add {
+			t.Fatalf("dead delta must not materialize after overwrite:\n%s", np.Listing())
+		}
+	}
+}
+
+func TestLeaderBoundaryFlush(t *testing.T) {
+	// Branch target mid-code forces a flush before the leader.
+	p := prog([]ic.Inst{
+		{Op: ic.BrCmp, A: ic.ArgReg(0), Cond: ic.CondEq, HasImm: true, Imm: 0, Target: 3},
+		{Op: ic.Add, D: ic.RegH, A: ic.RegH, HasImm: true, Imm: 1},
+		{Op: ic.Jmp, Target: 3},
+		{Op: ic.Halt},
+	})
+	np := Fold(p)
+	// The add feeding the join at pc 3 must be materialized before the jmp.
+	var sawAdd bool
+	for _, in := range np.Code {
+		if in.Op == ic.Add && in.D == ic.RegH {
+			sawAdd = true
+		}
+	}
+	if !sawAdd {
+		t.Fatalf("H increment lost:\n%s", np.Listing())
+	}
+}
+
+func TestCodeWordRemap(t *testing.T) {
+	// movi of a Code immediate pointing past a folded add must be remapped.
+	p := prog([]ic.Inst{
+		{Op: ic.St, A: ic.RegH, Imm: 0, B: ic.ArgReg(0)},
+		{Op: ic.Add, D: ic.RegH, A: ic.RegH, HasImm: true, Imm: 1},
+		{Op: ic.MovI, D: ic.ArgReg(1), Word: word.Make(word.Code, 4)},
+		{Op: ic.Jmp, Target: 4},
+		{Op: ic.Halt},
+	})
+	p.Entries[4] = true
+	np := Fold(p)
+	var target int = -1
+	for _, in := range np.Code {
+		if in.Op == ic.MovI && in.Word.Tag() == word.Code {
+			target = int(in.Word.Val())
+		}
+	}
+	if target < 0 {
+		t.Fatal("code immediate lost")
+	}
+	if np.Code[target].Op != ic.Halt {
+		t.Fatalf("code immediate remapped to wrong pc %d:\n%s", target, np.Listing())
+	}
+}
+
+func TestTempPointerFolding(t *testing.T) {
+	// The PDL pointer pattern from $unify: st [p+0] ; st [p+1] ; add p,p,2.
+	p := prog([]ic.Inst{
+		{Op: ic.MovI, D: t0, Word: word.MakeRef(ic.PDLBase)},
+		{Op: ic.St, A: t0, Imm: 0, B: ic.ArgReg(0)},
+		{Op: ic.Add, D: t0, A: t0, HasImm: true, Imm: 2},
+		{Op: ic.St, A: t0, Imm: 0, B: ic.ArgReg(1)},
+		{Op: ic.Halt},
+	})
+	np := Fold(p)
+	if np.Code[2].Op != ic.St || np.Code[2].Imm != 2 {
+		t.Fatalf("temp pointer delta not folded:\n%s", np.Listing())
+	}
+}

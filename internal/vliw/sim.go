@@ -1,0 +1,385 @@
+package vliw
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"symbol/internal/ic"
+	"symbol/internal/mterm"
+	"symbol/internal/word"
+)
+
+// SimResult is the outcome of a simulated run of compacted code.
+type SimResult struct {
+	Status int    // 0 success, 1 fail
+	Output string // write/1 and nl/0 text (must match the sequential run)
+	Cycles int64  // machine cycles: one per word plus taken-branch bubbles
+	Words  int64  // words issued
+	Ops    int64  // operations executed
+	Bubble int64  // cycles lost to taken branches
+}
+
+// SimOptions configure simulation.
+type SimOptions struct {
+	MaxCycles int64 // abort bound (default 6e9)
+	// Trace, if non-nil, receives one line per executed word (debug aid).
+	Trace io.Writer
+}
+
+// SimError is a simulation failure with cycle context.
+type SimError struct {
+	WordIdx int
+	Cycle   int64
+	Reason  string
+}
+
+func (e *SimError) Error() string {
+	return fmt.Sprintf("vliw: word %d cycle %d: %s", e.WordIdx, e.Cycle, e.Reason)
+}
+
+type pendingWrite struct {
+	reg ic.Reg
+	val word.W
+	lat int
+}
+
+// Sim executes the compacted program cycle by cycle. All operations of a
+// word read the register state the word was issued with; results become
+// visible after the producer latency (1 cycle for ALU and moves, the
+// configured memory latency for loads). The simulator verifies the static
+// schedule at run time: reading a register whose producer is still in
+// flight is an error, as a real VLIW has no interlocks.
+func Sim(p *Program, opts SimOptions) (*SimResult, error) {
+	if opts.MaxCycles == 0 {
+		opts.MaxCycles = 6e9
+	}
+	maxReg := ic.Reg(0)
+	for _, w := range p.Words {
+		for _, op := range w {
+			if d := op.Inst.Def(); d > maxReg {
+				maxReg = d
+			}
+			for _, u := range op.Inst.Uses(nil) {
+				if u > maxReg {
+					maxReg = u
+				}
+			}
+		}
+	}
+	regs := make([]word.W, maxReg+1)
+	ready := make([]int64, maxReg+1)
+	mem := make([]word.W, ic.MemWords)
+	var out strings.Builder
+
+	res := &SimResult{}
+	var cycle int64
+	pcW := p.Entry
+	var writes []pendingWrite
+
+	fail := func(w int, format string, args ...interface{}) error {
+		return &SimError{WordIdx: w, Cycle: cycle, Reason: fmt.Sprintf(format, args...)}
+	}
+
+	read := func(wi int, r ic.Reg) (word.W, error) {
+		if ready[r] > cycle {
+			return 0, fail(wi, "latency violation: register %d ready at %d", r, ready[r])
+		}
+		return regs[r], nil
+	}
+
+	for {
+		if cycle >= opts.MaxCycles {
+			return nil, fail(pcW, "cycle limit exceeded")
+		}
+		if pcW < 0 || pcW >= len(p.Words) {
+			return nil, fail(pcW, "word index out of range")
+		}
+		w := p.Words[pcW]
+		if opts.Trace != nil {
+			fmt.Fprintf(opts.Trace, "%6d w%-5d", cycle, pcW)
+			for _, op := range w {
+				fmt.Fprintf(opts.Trace, " [%s]", op.Inst.String())
+			}
+			fmt.Fprintf(opts.Trace, "  b=%x tr=%x h=%x e=%x\n",
+				regs[ic.RegB].Val(), regs[ic.RegTR].Val(), regs[ic.RegH].Val(), regs[ic.RegE].Val())
+		}
+		res.Words++
+		writes = writes[:0]
+		nextW := pcW + 1
+		branched := false
+		halted := false
+		status := 0
+
+		for _, op := range w {
+			in := &op.Inst
+			res.Ops++
+			switch in.Op {
+			case ic.Nop:
+			case ic.Ld:
+				base, err := read(pcW, in.A)
+				if err != nil {
+					return nil, err
+				}
+				addr := base.Val() + uint64(in.Imm)
+				var v word.W
+				if addr < uint64(len(mem)) {
+					v = mem[addr]
+				}
+				// Out-of-range speculative loads are dismissed (return 0),
+				// as on machines with non-faulting loads.
+				writes = append(writes, pendingWrite{in.D, v, p.Config.MemLatency})
+			case ic.St:
+				base, err := read(pcW, in.A)
+				if err != nil {
+					return nil, err
+				}
+				v, err := read(pcW, in.B)
+				if err != nil {
+					return nil, err
+				}
+				addr := base.Val() + uint64(in.Imm)
+				if addr >= uint64(len(mem)) {
+					return nil, fail(pcW, "store out of range: %#x", addr)
+				}
+				mem[addr] = v
+			case ic.Add, ic.Sub, ic.Mul, ic.Div, ic.Mod, ic.And, ic.Or, ic.Xor, ic.Shl, ic.Shr:
+				av, err := read(pcW, in.A)
+				if err != nil {
+					return nil, err
+				}
+				a := av.Int()
+				var b int64
+				if in.HasImm {
+					b = in.Imm
+				} else {
+					bv, err := read(pcW, in.B)
+					if err != nil {
+						return nil, err
+					}
+					b = bv.Int()
+				}
+				var r int64
+				switch in.Op {
+				case ic.Add:
+					r = a + b
+				case ic.Sub:
+					r = a - b
+				case ic.Mul:
+					r = a * b
+				case ic.Div:
+					if b == 0 {
+						return nil, fail(pcW, "division by zero")
+					}
+					r = a / b
+				case ic.Mod:
+					if b == 0 {
+						return nil, fail(pcW, "modulo by zero")
+					}
+					r = a % b
+				case ic.And:
+					r = a & b
+				case ic.Or:
+					r = a | b
+				case ic.Xor:
+					r = a ^ b
+				case ic.Shl:
+					r = a << uint(b&63)
+				case ic.Shr:
+					r = a >> uint(b&63)
+				}
+				writes = append(writes, pendingWrite{in.D, word.Make(av.Tag(), uint64(r)), 1})
+			case ic.MkTag:
+				av, err := read(pcW, in.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{in.D, av.WithTag(in.Tag), 1})
+			case ic.Lea:
+				av, err := read(pcW, in.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{in.D, word.Make(in.Tag, uint64(av.Int()+in.Imm)), 1})
+			case ic.GetTag:
+				av, err := read(pcW, in.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{in.D, word.MakeInt(int64(av.Tag())), 1})
+			case ic.Mov:
+				av, err := read(pcW, in.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{in.D, av, 1})
+			case ic.MovI:
+				writes = append(writes, pendingWrite{in.D, in.Word, 1})
+			case ic.BrTag, ic.BrCmp:
+				if branched {
+					continue // a higher-priority branch already resolved
+				}
+				taken, err := evalBranch(in, pcW, read)
+				if err != nil {
+					return nil, err
+				}
+				if taken {
+					branched = true
+					nextW = in.Target
+				}
+			case ic.Jmp:
+				if branched {
+					continue
+				}
+				branched = true
+				nextW = in.Target
+			case ic.JmpR:
+				if branched {
+					continue
+				}
+				av, err := read(pcW, in.A)
+				if err != nil {
+					return nil, err
+				}
+				tw, ok := p.WordOf[int(av.Val())]
+				if !ok {
+					return nil, fail(pcW, "indirect jump to unaddressable pc %d", av.Val())
+				}
+				branched = true
+				nextW = tw
+			case ic.Jsr:
+				if branched {
+					continue
+				}
+				writes = append(writes, pendingWrite{in.D, word.Make(word.Code, uint64(op.PC+1)), 1})
+				branched = true
+				nextW = in.Target
+			case ic.Halt:
+				if !branched {
+					halted = true
+					status = int(in.Imm)
+				}
+			case ic.SysOp:
+				if err := simSys(in, pcW, read, mem, p, &out, &writes); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fail(pcW, "unknown opcode")
+			}
+		}
+
+		// End of word: apply writes with their latencies.
+		for _, pw := range writes {
+			regs[pw.reg] = pw.val
+			ready[pw.reg] = cycle + int64(pw.lat)
+		}
+		cycle++
+		if halted {
+			res.Status = status
+			res.Output = out.String()
+			res.Cycles = cycle
+			return res, nil
+		}
+		if branched {
+			bub := int64(p.Config.BranchBubble)
+			cycle += bub
+			res.Bubble += bub
+		}
+		pcW = nextW
+	}
+}
+
+func evalBranch(in *ic.Inst, wi int, read func(int, ic.Reg) (word.W, error)) (bool, error) {
+	av, err := read(wi, in.A)
+	if err != nil {
+		return false, err
+	}
+	if in.Op == ic.BrTag {
+		taken := av.Tag() == in.Tag
+		if in.Cond == ic.CondNe {
+			taken = !taken
+		}
+		return taken, nil
+	}
+	switch in.Cond {
+	case ic.CondEq, ic.CondNe:
+		var b word.W
+		if in.HasImm {
+			b = word.W(in.Imm)
+		} else {
+			b, err = read(wi, in.B)
+			if err != nil {
+				return false, err
+			}
+		}
+		if in.Cond == ic.CondEq {
+			return av == b, nil
+		}
+		return av != b, nil
+	default:
+		a := av.Int()
+		var b int64
+		if in.HasImm {
+			b = in.Imm
+		} else {
+			bv, err := read(wi, in.B)
+			if err != nil {
+				return false, err
+			}
+			b = bv.Int()
+		}
+		switch in.Cond {
+		case ic.CondLt:
+			return a < b, nil
+		case ic.CondLe:
+			return a <= b, nil
+		case ic.CondGt:
+			return a > b, nil
+		default:
+			return a >= b, nil
+		}
+	}
+}
+
+func simSys(in *ic.Inst, wi int, read func(int, ic.Reg) (word.W, error),
+	mem []word.W, p *Program, out *strings.Builder, writes *[]pendingWrite) error {
+	switch in.Sys {
+	case ic.SysWrite:
+		av, err := read(wi, in.A)
+		if err != nil {
+			return err
+		}
+		s, err := mterm.FormatOps(mterm.SliceMem(mem), p.IC.Atoms, av)
+		if err != nil {
+			return err
+		}
+		out.WriteString(s)
+		return nil
+	case ic.SysNl:
+		out.WriteByte('\n')
+		return nil
+	case ic.SysWriteCode:
+		av, err := read(wi, in.A)
+		if err != nil {
+			return err
+		}
+		out.WriteByte(byte(av.Int()))
+		return nil
+	case ic.SysCompare:
+		av, err := read(wi, in.A)
+		if err != nil {
+			return err
+		}
+		bv, err := read(wi, in.B)
+		if err != nil {
+			return err
+		}
+		c, err := mterm.Compare(mterm.SliceMem(mem), p.IC.Atoms, av, bv)
+		if err != nil {
+			return err
+		}
+		*writes = append(*writes, pendingWrite{ic.RegRV, word.MakeInt(int64(c)), 1})
+		return nil
+	}
+	return fmt.Errorf("vliw: unknown sys op")
+}

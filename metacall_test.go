@@ -1,0 +1,74 @@
+package symbol
+
+import "testing"
+
+func TestMetaCallCompound(t *testing.T) {
+	out := run(t, `
+p(1). p(2).
+double(X, Y) :- Y is 2*X.
+main :- G = double(21, R), call(G), write(R), nl.
+`)
+	if out != "42\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestMetaCallAtom(t *testing.T) {
+	out := run(t, `
+hello :- write(hi), nl.
+main :- G = hello, call(G).
+`)
+	if out != "hi\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestMetaCallBacktracks(t *testing.T) {
+	out := run(t, `
+p(1). p(2). p(3).
+main :- call(p(X)), X > 2, write(X), nl.
+`)
+	if out != "3\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestVariableGoal(t *testing.T) {
+	out := run(t, `
+q(ok).
+main :- G = q(V), G, write(V), nl.
+`)
+	if out != "ok\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestMetaCallMaplist(t *testing.T) {
+	out := run(t, `
+maplist(_, []).
+maplist(P, [X|Xs]) :- P =.. L0, app(L0, [X], L1), G =.. L1, call(G), maplist(P, Xs).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+even(X) :- 0 =:= X mod 2.
+main :- maplist(even, [2,4,6]), write(all_even), nl.
+`)
+	if out != "all_even\n" {
+		t.Fatalf("got %q", out)
+	}
+	expectFail(t, `
+maplist(_, []).
+maplist(P, [X|Xs]) :- P =.. L0, app(L0, [X], L1), G =.. L1, call(G), maplist(P, Xs).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+even(X) :- 0 =:= X mod 2.
+main :- maplist(even, [2,3,6]).
+`)
+}
+
+func TestMetaCallUnknownGoalFails(t *testing.T) {
+	expectFail(t, `
+p(1).
+main :- G = nosuch(1), call(G).
+`)
+	expectFail(t, `main :- X = 42, call(X).`)
+}

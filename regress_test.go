@@ -1,0 +1,42 @@
+package symbol
+
+import "testing"
+
+// Regression: last-call optimization reused an environment frame that a
+// live inner choice point still referenced (fixed by the EB barrier; see
+// the Allocate/Try expansion). queens(2) must fail, queens(4) must find a
+// valid placement.
+func TestEnvBarrierQueens(t *testing.T) {
+	const defs = `
+place([], Qs, Qs).
+place(Unplaced, Safe, Qs) :-
+    selectq(Q, Unplaced, Rest),
+    \+ attack(Q, Safe),
+    place(Rest, [Q|Safe], Qs).
+attack(X, Xs) :- attack3(X, 1, Xs).
+attack3(X, N, [Y|_]) :- X =:= Y+N.
+attack3(X, N, [Y|_]) :- X =:= Y-N.
+attack3(X, N, [_|Ys]) :- N1 is N+1, attack3(X, N1, Ys).
+selectq(X, [X|T], T).
+selectq(X, [H|T], [H|R]) :- selectq(X, T, R).
+`
+	out := run(t, `main :- place([1,2,3,4], [], Qs), write(Qs), nl.`+defs)
+	if out != "[3,1,4,2]\n" && out != "[2,4,1,3]\n" {
+		t.Fatalf("invalid 4-queens placement %q", out)
+	}
+	expectFail(t, `main :- place([1,2], [], Qs), write(Qs), nl.`+defs)
+}
+
+// Regression companion: negation-as-failure inside a backtracking loop.
+func TestNegationInsideBacktrackingLoop(t *testing.T) {
+	out := run(t, `
+main :- sel(Q, [1,2,3], R), \+ bad(Q), write(Q), write(R), nl.
+bad(1).
+bad(2).
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+`)
+	if out != "3[1,2]\n" {
+		t.Fatalf("got %q", out)
+	}
+}

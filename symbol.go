@@ -1,0 +1,142 @@
+// Package symbol is the public API of the SYMBOL system, a from-scratch
+// reproduction of "Instruction-level Parallelism in Prolog: Analysis and
+// Architectural Support" (De Gloria & Faraboschi, ISCA 1992).
+//
+// The pipeline mirrors the paper's evaluation system (Figure 1):
+//
+//	Prolog source → BAM code → Intermediate Code (ICI)
+//	             → sequential emulation (answers + profile)
+//	             → global compaction (trace scheduling)
+//	             → VLIW simulation (cycles per configuration)
+//
+// Quick start:
+//
+//	prog, err := symbol.Compile(src)
+//	res, err := prog.Run()                        // sequential answers
+//	prof, err := prog.Profile()                   // Expect / Probability
+//	sched, err := prog.Schedule(symbol.MachineConfig{Units: 3})
+//	cycles, err := sched.Simulate()               // measured VLIW cycles
+package symbol
+
+import (
+	"fmt"
+
+	"symbol/internal/bam"
+	"symbol/internal/compile"
+	"symbol/internal/emu"
+	"symbol/internal/expand"
+	"symbol/internal/ic"
+	"symbol/internal/parse"
+	"symbol/internal/rename"
+)
+
+func expandUnit(unit *bam.Unit, c *compile.Compiler) (*ic.Program, error) {
+	prog, err := expand.Translate(unit, c.Atoms())
+	if err != nil {
+		return nil, err
+	}
+	return rename.Fold(prog), nil
+}
+
+// Options configure compilation.
+type Options struct {
+	// ArithChecks controls runtime tag checking on arithmetic (default on).
+	ArithChecks bool
+	// MaxSteps bounds sequential emulation (0 = default limit).
+	MaxSteps int64
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{ArithChecks: true}
+}
+
+// Program is a compiled Prolog program ready for emulation and scheduling.
+type Program struct {
+	opts      Options
+	bam       *bam.Unit
+	icp       *ic.Program
+	undefined []string
+
+	profile *emu.Profile
+}
+
+// Compile parses and compiles src (which must define main/0) with default
+// options.
+func Compile(src string) (*Program, error) {
+	return CompileWith(src, DefaultOptions())
+}
+
+// CompileWith parses and compiles src with explicit options.
+func CompileWith(src string, opts Options) (*Program, error) {
+	clauses, err := parse.All(src)
+	if err != nil {
+		return nil, fmt.Errorf("symbol: %w", err)
+	}
+	c := compile.New(compile.Options{ArithChecks: opts.ArithChecks})
+	if err := c.AddProgram(clauses); err != nil {
+		return nil, fmt.Errorf("symbol: %w", err)
+	}
+	unit, err := c.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("symbol: %w", err)
+	}
+	prog, err := expandUnit(unit, c)
+	if err != nil {
+		return nil, fmt.Errorf("symbol: %w", err)
+	}
+	var undef []string
+	for _, pi := range c.Undefined() {
+		undef = append(undef, pi.String())
+	}
+	return &Program{opts: opts, bam: unit, icp: prog, undefined: undef}, nil
+}
+
+// Undefined lists predicates that are called but never defined (calls to
+// them fail at run time).
+func (p *Program) Undefined() []string { return p.undefined }
+
+// BAMListing returns the BAM assembly produced by the front end.
+func (p *Program) BAMListing() string { return p.bam.Listing() }
+
+// ICListing returns the Intermediate Code disassembly.
+func (p *Program) ICListing() string { return p.icp.Listing() }
+
+// IC exposes the Intermediate Code program.
+func (p *Program) IC() *ic.Program { return p.icp }
+
+// CodeSize returns the number of static ICIs.
+func (p *Program) CodeSize() int { return len(p.icp.Code) }
+
+// Run executes the program sequentially and returns its observable result.
+func (p *Program) Run() (*Result, error) {
+	res, err := emu.Run(p.icp, emu.Options{MaxSteps: p.opts.MaxSteps})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Succeeded: res.Status == 0, Output: res.Output, Steps: res.Steps}, nil
+}
+
+// Result is the observable outcome of a program run.
+type Result struct {
+	// Succeeded reports whether main/0 found a solution.
+	Succeeded bool
+	// Output is the text written by write/1 and nl/0.
+	Output string
+	// Steps is the dynamic ICI count.
+	Steps int64
+}
+
+// Profile runs the sequential emulator with statistics collection and
+// caches the result (used by the trace scheduler and the analyses).
+func (p *Program) Profile() (*emu.Profile, error) {
+	if p.profile != nil {
+		return p.profile, nil
+	}
+	res, err := emu.Run(p.icp, emu.Options{MaxSteps: p.opts.MaxSteps, Profile: true})
+	if err != nil {
+		return nil, err
+	}
+	p.profile = res.Profile
+	return p.profile, nil
+}
