@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"symbol/internal/compile"
 	"symbol/internal/emu"
@@ -25,6 +26,11 @@ import (
 	"symbol/internal/parse"
 	"symbol/internal/rename"
 	"symbol/internal/term"
+)
+
+var (
+	maxSteps = flag.Int64("maxsteps", 0, "abort a query after this many ICI steps (0 = default limit)")
+	timeout  = flag.Duration("timeout", 0, "abort a query after this wall-clock duration (0 = none)")
 )
 
 func main() {
@@ -139,7 +145,11 @@ func ask(program []term.Term, query string, all bool) error {
 		return err
 	}
 	prog = rename.Fold(prog)
-	res, err := emu.Run(prog, emu.Options{})
+	var deadline time.Time
+	if *timeout > 0 {
+		deadline = time.Now().Add(*timeout)
+	}
+	res, err := emu.Run(prog, emu.Options{MaxSteps: *maxSteps, Deadline: deadline})
 	if err != nil {
 		return err
 	}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"symbol"
 	"symbol/internal/benchprog"
@@ -25,7 +26,17 @@ func main() {
 	bench := flag.String("bench", "", "run a named embedded benchmark instead of a file")
 	list := flag.Bool("list", false, "list embedded benchmarks")
 	unitsFlag := flag.String("units", "1,2,3,5", "comma-separated unit counts to simulate")
+	maxSteps := flag.Int64("maxsteps", 0, "resource budget: sequential ICI steps and VLIW cycles (0 = default limits)")
+	timeout := flag.Duration("timeout", 0, "abort each run after this wall-clock duration (0 = none)")
 	flag.Parse()
+
+	runOpts := func() symbol.RunOptions {
+		o := symbol.RunOptions{MaxSteps: *maxSteps, MaxCycles: *maxSteps}
+		if *timeout > 0 {
+			o.Deadline = time.Now().Add(*timeout)
+		}
+		return o
+	}
 
 	if *list {
 		for _, n := range benchprog.Names() {
@@ -70,7 +81,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "symbolsim:", err)
 		os.Exit(1)
 	}
-	res, err := prog.Run()
+	res, err := prog.RunWith(runOpts())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "symbolsim:", err)
 		os.Exit(1)
@@ -93,7 +104,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "symbolsim:", err)
 			os.Exit(1)
 		}
-		sim, err := sched.Simulate()
+		sim, err := sched.SimulateWith(runOpts())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "symbolsim:", err)
 			os.Exit(1)

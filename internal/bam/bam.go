@@ -120,6 +120,10 @@ const (
 
 	// Builtin escapes.
 	Sys // builtin SysID with argument registers
+
+	// Fault raising: N is the fault.Kind to raise (compiled arithmetic
+	// checks, e.g. a zero divisor under ArithChecks).
+	RaiseFault
 )
 
 // AOp is a BAM arithmetic operation.
@@ -241,6 +245,8 @@ func (i *Instr) String() string {
 		return fmt.Sprintf("arith r%d, %s %s %s", i.Dst, i.V1, i.AOp, i.V2)
 	case Sys:
 		return fmt.Sprintf("sys %s r%d", i.Sys, i.Reg1)
+	case RaiseFault:
+		return fmt.Sprintf("raise %d", i.N)
 	}
 	return fmt.Sprintf("op(%d)", i.Op)
 }

@@ -1,0 +1,55 @@
+package compile
+
+import (
+	"symbol/internal/bam"
+	"symbol/internal/ic"
+	"symbol/internal/term"
+)
+
+// compileCatch compiles catch(Goal, Catcher, Recovery) into a call to the
+// $catch/3 runtime routine, which pushes a handler choice point and runs
+// Goal (and, after a matching throw, Recovery) through the metacall
+// dispatcher. Both Goal and Recovery therefore require $meta/1.
+func (ctx *cctx) compileCatch(goal, catcher, recovery term.Term, last bool) error {
+	c := ctx.c
+	c.usedMeta = true
+	vals := []bam.Val{ctx.compilePut(goal), ctx.compilePut(catcher), ctx.compilePut(recovery)}
+	// Argument registers may appear as sources; copy them to temporaries so
+	// the assignment below is a safe parallel move (same as compileCall).
+	for i, v := range vals {
+		if v.K == bam.VReg && v.R >= ic.FirstArg && v.R < ic.FirstArg+ic.NumArgRegs {
+			t := c.newTemp()
+			c.emit(bam.Instr{Op: bam.Move, Dst: t, Src: v})
+			vals[i] = bam.Reg(t)
+		}
+	}
+	for i, v := range vals {
+		c.emit(bam.Instr{Op: bam.Move, Dst: ic.ArgReg(i), Src: v})
+	}
+	if last {
+		if ctx.hasEnv {
+			c.emit(bam.Instr{Op: bam.Deallocate})
+		}
+		c.emit(bam.Instr{Op: bam.Exec, Name: "$catch", Arity: 3})
+	} else {
+		c.emit(bam.Instr{Op: bam.Call, Name: "$catch", Arity: 3})
+		ctx.invalidateTemps()
+	}
+	return nil
+}
+
+// compileThrow compiles throw(Ball). $throw/1 never returns, so the call is
+// always a tail transfer; code after it in the clause is unreachable.
+func (ctx *cctx) compileThrow(ball term.Term) error {
+	c := ctx.c
+	v := ctx.compilePut(ball)
+	r := ctx.valReg(v)
+	if r >= ic.FirstArg && r < ic.FirstArg+ic.NumArgRegs {
+		t := c.newTemp()
+		c.emit(bam.Instr{Op: bam.Move, Dst: t, Src: bam.Reg(r)})
+		r = t
+	}
+	c.emit(bam.Instr{Op: bam.Move, Dst: ic.ArgReg(0), Src: bam.Reg(r)})
+	c.emit(bam.Instr{Op: bam.Exec, Name: "$throw", Arity: 1})
+	return nil
+}

@@ -146,6 +146,12 @@ func isUserCall(g term.Term) bool {
 	if !ok {
 		return false
 	}
+	// catch/3 compiles to a real call into the runtime ($catch/3), so it is
+	// a chunk boundary: variables live across it need environment slots and
+	// the continuation pointer must be preserved.
+	if pi == (term.Indicator{Name: "catch", Arity: 3}) {
+		return true
+	}
 	return !builtinGoal(pi)
 }
 
@@ -164,6 +170,7 @@ func builtinGoal(pi term.Indicator) bool {
 		term.Indicator{Name: "write", Arity: 1}, term.Indicator{Name: "nl"},
 		term.Indicator{Name: "arg", Arity: 3}, term.Indicator{Name: "functor", Arity: 3},
 		term.Indicator{Name: "=..", Arity: 2},
+		term.Indicator{Name: "catch", Arity: 3}, term.Indicator{Name: "throw", Arity: 1},
 		term.Indicator{Name: "halt"}:
 		return true
 	}

@@ -186,15 +186,56 @@ func (c *Compiler) normalizeBody(body, head term.Term) ([]term.Term, error) {
 			goals[i] = aux
 			continue
 		}
+		if x, ok := g.(*term.Compound); ok && x.Functor == "catch" && len(x.Args) == 3 {
+			rest := append([]term.Term{head}, flat[:i]...)
+			rest = append(rest, flat[i+1:]...)
+			aux, err := c.liftCatch(x, rest)
+			if err != nil {
+				return nil, err
+			}
+			goals[i] = aux
+			continue
+		}
 		goals[i] = g
 	}
 	return goals, nil
 }
 
-// makeAux creates an auxiliary predicate for a control construct and returns
-// the replacement call goal. Free variables shared with the rest of the
-// clause become arguments.
-func (c *Compiler) makeAux(x *term.Compound, context []term.Term) (term.Term, error) {
+// liftCatch rewrites catch(G, C, R): statically known goal and recovery
+// arguments are lambda-lifted into fresh auxiliary predicates closed over
+// their shared variables, so the runtime metacall ($meta/1) only ever sees
+// plain predicate calls. This also gives the ISO call/1 semantics for free:
+// a cut inside G or R is local to it. Variable arguments are left alone and
+// dispatch at run time.
+func (c *Compiler) liftCatch(x *term.Compound, rest []term.Term) (term.Term, error) {
+	out := &term.Compound{Functor: x.Functor, Args: append([]term.Term(nil), x.Args...)}
+	for _, ai := range []int{0, 2} {
+		switch x.Args[ai].(type) {
+		case term.Atom, *term.Compound:
+		default:
+			continue // variables (runtime dispatch) and integers (fail)
+		}
+		// The lifted goal's context is everything else in the clause plus
+		// the other two catch arguments.
+		ctx := append([]term.Term(nil), rest...)
+		for j, a := range x.Args {
+			if j != ai {
+				ctx = append(ctx, a)
+			}
+		}
+		call, addAux := c.liftTarget(x.Args[ai], ctx)
+		if err := addAux(x.Args[ai]); err != nil {
+			return nil, err
+		}
+		out.Args[ai] = call
+	}
+	return out, nil
+}
+
+// liftTarget mints a fresh auxiliary predicate head closed over the
+// variables x shares with context, returning the replacement call goal and
+// a function that adds one clause to the new predicate.
+func (c *Compiler) liftTarget(x term.Term, context []term.Term) (term.Term, func(term.Term) error) {
 	inner := term.Vars(x, nil)
 	var outside []*term.Var
 	for _, g := range context {
@@ -217,11 +258,18 @@ func (c *Compiler) makeAux(x *term.Compound, context []term.Term) (term.Term, er
 	} else {
 		call = &term.Compound{Functor: name, Args: args}
 	}
-
 	addAux := func(body term.Term) error {
 		var cl term.Term = &term.Compound{Functor: ":-", Args: []term.Term{call, body}}
 		return c.AddClause(cl)
 	}
+	return call, addAux
+}
+
+// makeAux creates an auxiliary predicate for a control construct and returns
+// the replacement call goal. Free variables shared with the rest of the
+// clause become arguments.
+func (c *Compiler) makeAux(x *term.Compound, context []term.Term) (term.Term, error) {
+	call, addAux := c.liftTarget(x, context)
 	cut := term.Atom("!")
 	switch x.Functor {
 	case ";":

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"symbol/internal/bam"
+	"symbol/internal/fault"
 	"symbol/internal/ic"
 	"symbol/internal/term"
 	"symbol/internal/word"
@@ -79,6 +80,10 @@ func (ctx *cctx) compileGoal(g term.Term, last bool, cutY int) error {
 			return ctx.compileUniv(x.Args[0], x.Args[1])
 		case term.Indicator{Name: "call", Arity: 1}:
 			return ctx.compileMetaCall(x.Args[0], last)
+		case term.Indicator{Name: "catch", Arity: 3}:
+			return ctx.compileCatch(x.Args[0], x.Args[1], x.Args[2], last)
+		case term.Indicator{Name: "throw", Arity: 1}:
+			return ctx.compileThrow(x.Args[0])
 		}
 		return ctx.compileCall(pi, x.Args, last)
 	}
@@ -225,6 +230,21 @@ func (ctx *cctx) evalArith(t term.Term) (bam.Val, error) {
 			v2, err := ctx.evalArith(x.Args[1])
 			if err != nil {
 				return bam.Val{}, err
+			}
+			if (op == bam.ADiv || op == bam.AMod) && c.opts.ArithChecks {
+				// A zero divisor is a typed machine fault, catchable as the
+				// zero_divisor ball; the raw Div/Mod ICIs never trap, so the
+				// check must happen here, in architectural code.
+				if v2.K == bam.VInt {
+					if v2.N == 0 {
+						c.emit(bam.Instr{Op: bam.RaiseFault, N: int64(fault.ZeroDivide)})
+					}
+				} else {
+					lok := c.newLabel()
+					c.emit(bam.Instr{Op: bam.BrEq, V1: v2, Cond: ic.CondNe, V2: bam.IntV(0), L: lok})
+					c.emit(bam.Instr{Op: bam.RaiseFault, N: int64(fault.ZeroDivide)})
+					c.emit(bam.Instr{Op: bam.Lbl, L: lok})
+				}
 			}
 			r := c.newTemp()
 			c.emit(bam.Instr{Op: bam.Arith, Dst: r, AOp: op, V1: v1, V2: v2})

@@ -67,6 +67,23 @@ func (c *Compiler) emitMetaDispatcher() {
 		c.emit(bam.Instr{Op: bam.Exec, Name: pi.Name, Arity: pi.Arity})
 		c.emit(bam.Instr{Op: bam.Lbl, L: miss})
 	}
+	// catch/3 and throw/1 are runtime routines, not compiled predicates, but
+	// remain callable as metacall goals.
+	for _, b := range []struct {
+		name  string
+		rt    string
+		arity int
+	}{{"catch", "$catch", 3}, {"throw", "$throw", 1}} {
+		miss := c.newLabel()
+		c.atoms.Intern(b.name)
+		c.emit(bam.Instr{Op: bam.BrEq, V1: bam.Reg(f), Cond: ic.CondNe,
+			V2: bam.FunV(b.name, b.arity), L: miss})
+		for i := 0; i < b.arity; i++ {
+			c.emit(bam.Instr{Op: bam.LoadM, Dst: ic.ArgReg(i), Reg1: d0, N: int64(i + 1)})
+		}
+		c.emit(bam.Instr{Op: bam.Exec, Name: b.rt, Arity: b.arity})
+		c.emit(bam.Instr{Op: bam.Lbl, L: miss})
+	}
 	c.emit(bam.Instr{Op: bam.FailI})
 }
 

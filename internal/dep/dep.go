@@ -166,6 +166,12 @@ func Build(insts []ic.Inst, opts Options) *Graph {
 					add(i, j, 1, Mem)
 				}
 			}
+			// Sys escapes may write memory (ball_put fills the ball area),
+			// and their operands are not base addresses mayAlias could
+			// reason about: order all later memory traffic behind them.
+			if lastSys >= 0 {
+				add(lastSys, j, 1, Mem)
+			}
 			loads = append(loads, j)
 		case ic.St:
 			for _, i := range stores {
@@ -177,6 +183,9 @@ func Build(insts []ic.Inst, opts Options) *Graph {
 				if mayAlias(in, &insts[i], opts.DisambiguateRegions) {
 					add(i, j, 0, Mem) // load before store: same word is fine
 				}
+			}
+			if lastSys >= 0 {
+				add(lastSys, j, 1, Mem)
 			}
 			stores = append(stores, j)
 		}
@@ -224,6 +233,9 @@ func Build(insts []ic.Inst, opts Options) *Graph {
 			}
 			for _, i := range stores {
 				add(i, j, 1, Mem)
+			}
+			for _, i := range loads {
+				add(i, j, 0, Mem) // reads must not see the sys's memory writes
 			}
 			lastSys = j
 		}

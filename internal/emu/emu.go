@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
+	"symbol/internal/fault"
 	"symbol/internal/ic"
 	"symbol/internal/mterm"
 	"symbol/internal/word"
@@ -42,21 +44,37 @@ type Result struct {
 	Profile *Profile
 }
 
-// Error is a runtime error with machine context.
+// Error is a runtime error with machine context. Err, when non-nil, is the
+// underlying typed fault sentinel, so errors.Is(err, fault.ErrHeapOverflow)
+// and friends see through the machine context.
 type Error struct {
 	PC     int
 	Inst   string
 	Reason string
+	Err    error
 }
 
 func (e *Error) Error() string {
 	return fmt.Sprintf("emu: pc=%d [%s]: %s", e.PC, e.Inst, e.Reason)
 }
 
+// Unwrap exposes the typed fault underneath the machine context.
+func (e *Error) Unwrap() error { return e.Err }
+
+// ErrStepLimit is reported (wrapped in *Error) when MaxSteps is exhausted.
+var ErrStepLimit = fault.ErrStepLimit
+
 // Options configure emulation.
 type Options struct {
 	MaxSteps int64 // abort after this many ICIs (default 4e9)
 	Profile  bool  // collect Expect/Taken
+	// Layout shrinks the usable size of the memory areas below the
+	// compile-time defaults; overflow of a shrunken area raises the
+	// corresponding typed fault (catchable as resource_error(Area)).
+	Layout ic.Layout
+	// Deadline, when non-zero, aborts the run with fault.ErrDeadline once
+	// the wall clock passes it (checked every few thousand steps).
+	Deadline time.Time
 	// Trace, if non-nil, receives one line per executed instruction with
 	// machine-state context (debugging aid; very verbose).
 	Trace io.Writer
@@ -71,6 +89,34 @@ type Machine struct {
 	pc   int
 	out  strings.Builder
 	prof *Profile
+	// limit bounds each annotated region: a store at addr with region
+	// annotation r faults iff addr >= limit[r], i.e. the region's bump
+	// pointer ran past its (possibly shrunken) end. Sound because every
+	// region-annotated store is reached through that region's own pointer:
+	// variable cells are always heap-allocated (compile.getVal), so bind
+	// and trail-unwind targets never alias another region.
+	limit [ic.RegionBall + 1]uint64
+	// pendingFault remembers the kind of a resource fault that was
+	// converted into a catchable ball, so an uncaught unwind reports the
+	// original fault rather than a generic uncaught exception.
+	pendingFault fault.Kind
+}
+
+// overflowKind maps an overflowed memory region to its fault kind.
+func overflowKind(r ic.Region) fault.Kind {
+	switch r {
+	case ic.RegionHeap:
+		return fault.HeapOverflow
+	case ic.RegionEnv:
+		return fault.EnvOverflow
+	case ic.RegionCP:
+		return fault.CPOverflow
+	case ic.RegionTrail:
+		return fault.TrailOverflow
+	case ic.RegionPDL:
+		return fault.PDLOverflow
+	}
+	return fault.InvalidMemory
 }
 
 // New prepares a machine for prog.
@@ -97,6 +143,9 @@ func New(prog *ic.Program, opts Options) *Machine {
 		regs: make([]word.W, maxReg+1),
 		pc:   prog.Entry,
 	}
+	for r := ic.RegionHeap; r <= ic.RegionBall; r++ {
+		m.limit[r] = opts.Layout.Limit(r)
+	}
 	if opts.Profile {
 		m.prof = &Profile{
 			Expect: make([]int64, len(prog.Code)),
@@ -111,7 +160,7 @@ func Run(prog *ic.Program, opts Options) (*Result, error) {
 	return New(prog, opts).Run()
 }
 
-func (m *Machine) fail(reason string) error {
+func (m *Machine) fail(reason string) *Error {
 	s := "?"
 	if m.pc >= 0 && m.pc < len(m.prog.Code) {
 		s = m.prog.Code[m.pc].String()
@@ -119,19 +168,47 @@ func (m *Machine) fail(reason string) error {
 	return &Error{PC: m.pc, Inst: s, Reason: reason}
 }
 
-func (m *Machine) load(addr uint64) (word.W, error) {
-	if addr >= uint64(len(m.mem)) {
-		return 0, m.fail(fmt.Sprintf("load out of range: %#x", addr))
-	}
-	return m.mem[addr], nil
+// faultErr builds a typed machine fault at the current pc.
+func (m *Machine) faultErr(k fault.Kind) error {
+	e := m.fail(k.String())
+	e.Err = fault.Of(k)
+	return e
 }
 
-func (m *Machine) store(addr uint64, v word.W) error {
-	if addr >= uint64(len(m.mem)) {
-		return m.fail(fmt.Sprintf("store out of range: %#x", addr))
+// raise handles a machine fault of kind k: catchable kinds are converted
+// into a ball and delivered to the $throwunwind routine (redirect true);
+// everything else surfaces as a typed hard error.
+func (m *Machine) raise(k fault.Kind) (redirect bool, err error) {
+	if fault.Catchable(k) && m.prog.ThrowPC > 0 &&
+		mterm.BallFault(m.mem, m.prog.Atoms, fault.BallName(k)) {
+		m.pendingFault = k
+		return true, nil
 	}
-	m.mem[addr] = v
-	return nil
+	return false, m.faultErr(k)
+}
+
+// uncaught reports a ball that unwound past the whole choice-point stack
+// (the $throwunwind Halt 2 path).
+func (m *Machine) uncaught() error {
+	if m.pendingFault != fault.None {
+		return m.faultErr(m.pendingFault)
+	}
+	reason := fault.UncaughtThrow.String()
+	if s, err := mterm.FormatOps(mterm.SliceMem(m.mem), m.prog.Atoms, m.mem[ic.BallBase+1]); err == nil {
+		reason += ": " + s
+	}
+	e := m.fail(reason)
+	e.Err = fault.ErrUncaughtThrow
+	return e
+}
+
+func (m *Machine) load(addr uint64) (word.W, error) {
+	if addr >= uint64(len(m.mem)) {
+		e := m.fail(fmt.Sprintf("load out of range: %#x", addr))
+		e.Err = fault.ErrInvalidMemory
+		return 0, e
+	}
+	return m.mem[addr], nil
 }
 
 // Run interprets until Halt, an error, or the step limit.
@@ -143,7 +220,10 @@ func (m *Machine) Run() (*Result, error) {
 			return nil, m.fail("pc out of range")
 		}
 		if steps >= m.opts.MaxSteps {
-			return nil, m.fail(fmt.Sprintf("step limit %d exceeded", m.opts.MaxSteps))
+			return nil, m.faultErr(fault.StepLimit)
+		}
+		if steps&4095 == 0 && !m.opts.Deadline.IsZero() && time.Now().After(m.opts.Deadline) {
+			return nil, m.faultErr(fault.Deadline)
 		}
 		steps++
 		in := &code[m.pc]
@@ -176,9 +256,23 @@ func (m *Machine) Run() (*Result, error) {
 			}
 			m.regs[in.D] = v
 		case ic.St:
-			if err := m.store(m.regs[in.A].Val()+uint64(in.Imm), m.regs[in.B]); err != nil {
-				return nil, err
+			addr := m.regs[in.A].Val() + uint64(in.Imm)
+			if r := in.Reg; r != ic.RegionUnknown && addr >= m.limit[r] {
+				jump, err := m.raise(overflowKind(r))
+				if err != nil {
+					return nil, err
+				}
+				if jump {
+					next = m.prog.ThrowPC
+					break
+				}
 			}
+			if addr >= uint64(len(m.mem)) {
+				e := m.fail(fmt.Sprintf("store out of range: %#x", addr))
+				e.Err = fault.ErrInvalidMemory
+				return nil, e
+			}
+			m.mem[addr] = m.regs[in.B]
 		case ic.Add, ic.Sub, ic.Mul, ic.Div, ic.Mod, ic.And, ic.Or, ic.Xor, ic.Shl, ic.Shr:
 			a := m.regs[in.A].Int()
 			var b int64
@@ -197,12 +291,12 @@ func (m *Machine) Run() (*Result, error) {
 				r = a * b
 			case ic.Div:
 				if b == 0 {
-					return nil, m.fail("division by zero")
+					return nil, m.faultErr(fault.ZeroDivide)
 				}
 				r = a / b
 			case ic.Mod:
 				if b == 0 {
-					return nil, m.fail("modulo by zero")
+					return nil, m.faultErr(fault.ZeroDivide)
 				}
 				r = a % b
 			case ic.And:
@@ -253,6 +347,9 @@ func (m *Machine) Run() (*Result, error) {
 			m.regs[in.D] = word.Make(word.Code, uint64(m.pc+1))
 			next = in.Target
 		case ic.Halt:
+			if in.Imm == 2 {
+				return nil, m.uncaught()
+			}
 			res := &Result{
 				Status:  int(in.Imm),
 				Output:  m.out.String(),
@@ -261,7 +358,15 @@ func (m *Machine) Run() (*Result, error) {
 			}
 			return res, nil
 		case ic.SysOp:
-			if err := m.sys(in); err != nil {
+			if in.Sys == ic.SysFault {
+				jump, err := m.raise(fault.Kind(in.Imm))
+				if err != nil {
+					return nil, err
+				}
+				if jump {
+					next = m.prog.ThrowPC
+				}
+			} else if err := m.sys(in); err != nil {
 				return nil, err
 			}
 		default:
@@ -326,6 +431,12 @@ func (m *Machine) sys(in *ic.Inst) error {
 			return err
 		}
 		m.regs[ic.RegRV] = word.MakeInt(int64(c))
+	case ic.SysBallPut:
+		if err := mterm.BallPut(m.mem, m.regs[in.A]); err != nil {
+			return m.fail(err.Error())
+		}
+		// A user throw supersedes any converted resource fault in flight.
+		m.pendingFault = fault.None
 	default:
 		return m.fail("unknown sys op")
 	}

@@ -1,0 +1,169 @@
+package expand
+
+import (
+	"symbol/internal/ic"
+	"symbol/internal/word"
+)
+
+// This file assembles the exception runtime: throw/1, the choice-point
+// unwind loop, and the catch/3 machinery. The design is choice-point
+// delimited: catch/3 pushes an ordinary choice point whose retry address
+// is the shared handler entry ($catchh); throwing walks the B chain until
+// it finds a frame whose retry address *is* that handler, then delivers
+// through the ordinary $fail routine, which already restores H, unwinds
+// the trail, and restores E/ESP/EB/CP from the frame. The ball itself is
+// copied into the dedicated ball memory area before the unwind so heap
+// restoration cannot destroy it; machine-level resource faults write the
+// same area directly and enter the same unwind loop, which is what makes
+// resource_error(...) balls catchable identically on both executors.
+
+// pushFrame emits the standard choice-point push (the same sequence the
+// BAM Try lowering uses) with the retry address taken from proc key and
+// the first n argument registers saved.
+func (a *asm) pushFrame(retryProc string, n int64) {
+	tn := a.temp()
+	a.emit(ic.Inst{Op: ic.Ld, D: tn, A: ic.RegB, Imm: cpN, Reg: ic.RegionCP})
+	t1 := a.temp()
+	a.emit(ic.Inst{Op: ic.Add, D: t1, A: ic.RegB, HasImm: true, Imm: cpArgs})
+	nb := a.temp()
+	a.emit(ic.Inst{Op: ic.Add, D: nb, A: t1, B: tn})
+	a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpPrevB, B: ic.RegB, Reg: ic.RegionCP})
+	ra := a.temp()
+	a.moviProc(ra, retryProc)
+	a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpRetry, B: ra, Reg: ic.RegionCP})
+	a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpH, B: ic.RegH, Reg: ic.RegionCP})
+	a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpTR, B: ic.RegTR, Reg: ic.RegionCP})
+	a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpE, B: ic.RegE, Reg: ic.RegionCP})
+	a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpESP, B: ic.RegESP, Reg: ic.RegionCP})
+	brSkip := a.emit(ic.Inst{Op: ic.BrCmp, A: ic.RegESP, Cond: ic.CondLe, B: ic.RegEB})
+	a.emit(ic.Inst{Op: ic.Mov, D: ic.RegEB, A: ic.RegESP})
+	a.code[brSkip].Target = a.here()
+	a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpEB, B: ic.RegEB, Reg: ic.RegionCP})
+	a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpCP, B: ic.RegCP, Reg: ic.RegionCP})
+	cnt := a.temp()
+	a.emit(ic.Inst{Op: ic.MovI, D: cnt, Word: word.MakeInt(n)})
+	a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpN, B: cnt, Reg: ic.RegionCP})
+	for i := int64(0); i < n; i++ {
+		a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpArgs + i, B: ic.ArgReg(int(i)), Reg: ic.RegionCP})
+	}
+	a.emit(ic.Inst{Op: ic.Mov, D: ic.RegB, A: nb})
+}
+
+// popFrame emits the Trust sequence: drop the top choice point, keeping
+// trail and heap as they are.
+func (a *asm) popFrame() {
+	a.emit(ic.Inst{Op: ic.Ld, D: ic.RegB, A: ic.RegB, Imm: cpPrevB, Reg: ic.RegionCP})
+	a.emit(ic.Inst{Op: ic.Ld, D: ic.RegEB, A: ic.RegB, Imm: cpEB, Reg: ic.RegionCP})
+}
+
+// throwRoutines assembles $throw/1 and the shared $throwunwind loop.
+// When no catch/3 appears in the program the handler comparison is
+// omitted: every throw (and every converted resource fault) unwinds to
+// the sentinel and halts with the uncaught status.
+func (a *asm) throwRoutines(needCatch bool) {
+	// $throw/1: copy the ball out of the heap and arm the flag, then fall
+	// through into the unwind loop.
+	a.proc("$throw/1")
+	a.emit(ic.Inst{Op: ic.SysOp, Sys: ic.SysBallPut, A: ic.ArgReg(0), B: ic.None})
+
+	a.throwPC = a.here()
+	a.name("$throwunwind")
+	var hw ic.Reg
+	if needCatch {
+		hw = a.temp()
+		a.moviProc(hw, "$catchh")
+	}
+	loop := a.here()
+	// Below (or at) the sentinel frame: nothing can catch. The ordered
+	// compare also stops the walk if a partially written frame ever left
+	// a garbage link.
+	brUncaught := a.emit(ic.Inst{Op: ic.BrCmp, A: ic.RegB, Cond: ic.CondLe, HasImm: true, Imm: ic.CPBase})
+	if needCatch {
+		r := a.temp()
+		a.emit(ic.Inst{Op: ic.Ld, D: r, A: ic.RegB, Imm: cpRetry, Reg: ic.RegionCP})
+		brFound := a.emit(ic.Inst{Op: ic.BrCmp, A: r, Cond: ic.CondEq, B: hw})
+		a.emit(ic.Inst{Op: ic.Ld, D: ic.RegB, A: ic.RegB, Imm: cpPrevB, Reg: ic.RegionCP})
+		a.emit(ic.Inst{Op: ic.Jmp, Target: loop})
+		// Catch frame found: $fail restores machine state from it and
+		// jumps to its retry address, the handler.
+		a.code[brFound].Target = a.here()
+		a.emit(ic.Inst{Op: ic.Jmp, Target: a.failPC})
+	} else {
+		a.emit(ic.Inst{Op: ic.Ld, D: ic.RegB, A: ic.RegB, Imm: cpPrevB, Reg: ic.RegionCP})
+		a.emit(ic.Inst{Op: ic.Jmp, Target: loop})
+	}
+	a.code[brUncaught].Target = a.here()
+	a.emit(ic.Inst{Op: ic.Halt, Imm: 2})
+}
+
+// catchRoutine assembles $catch/3 (Goal in A0, Catcher in A1, Recovery in
+// A2) plus its handler and rethrow continuations.
+func (a *asm) catchRoutine() {
+	a.proc("$catch/3")
+	// Allocate a 0-slot environment so CP survives the metacall.
+	brOK := a.emit(ic.Inst{Op: ic.BrCmp, A: ic.RegESP, Cond: ic.CondGe, B: ic.RegEB})
+	a.emit(ic.Inst{Op: ic.Mov, D: ic.RegESP, A: ic.RegEB})
+	a.code[brOK].Target = a.here()
+	a.emit(ic.Inst{Op: ic.St, A: ic.RegESP, Imm: envCE, B: ic.RegE, Reg: ic.RegionEnv})
+	a.emit(ic.Inst{Op: ic.St, A: ic.RegESP, Imm: envCP, B: ic.RegCP, Reg: ic.RegionEnv})
+	a.emit(ic.Inst{Op: ic.Mov, D: ic.RegE, A: ic.RegESP})
+	a.emit(ic.Inst{Op: ic.Add, D: ic.RegESP, A: ic.RegESP, HasImm: true, Imm: envY})
+	// The catch choice point: its retry address marks it for the unwind.
+	a.pushFrame("$catchh", 3)
+	a.branchProc(ic.Inst{Op: ic.Jsr, D: ic.RegCP}, "$meta/1")
+	// Goal succeeded: return. The catch frame stays live as the barrier
+	// for Goal's remaining alternatives (choice-point-delimited catch).
+	a.emit(ic.Inst{Op: ic.Mov, D: ic.RegESP, A: ic.RegE})
+	a.emit(ic.Inst{Op: ic.Ld, D: ic.RegCP, A: ic.RegE, Imm: envCP, Reg: ic.RegionEnv})
+	a.emit(ic.Inst{Op: ic.Ld, D: ic.RegE, A: ic.RegE, Imm: envCE, Reg: ic.RegionEnv})
+	a.emit(ic.Inst{Op: ic.JmpR, A: ic.RegCP})
+
+	// Handler: entered from $fail with machine state restored from the
+	// catch frame (B is that frame). Distinguish a throw in flight from
+	// ordinary exhaustion of Goal's alternatives by the ball flag.
+	a.proc("$catchh")
+	tb := a.temp()
+	a.emit(ic.Inst{Op: ic.MovI, D: tb, Word: word.MakeRef(ic.BallBase)})
+	f := a.temp()
+	a.emit(ic.Inst{Op: ic.Ld, D: f, A: tb, Imm: 0, Reg: ic.RegionBall})
+	brThrow := a.emit(ic.Inst{Op: ic.BrCmp, A: f, Cond: ic.CondEq, HasImm: true, Imm: int64(word.MakeInt(1))})
+	// No ball: catch/3 simply fails like its goal.
+	a.popFrame()
+	a.emit(ic.Inst{Op: ic.Jmp, Target: a.failPC})
+	a.code[brThrow].Target = a.here()
+	// Ball pending: disarm it, reload Catcher/Recovery, pop the frame.
+	z := a.temp()
+	a.emit(ic.Inst{Op: ic.MovI, D: z, Word: word.MakeInt(0)})
+	a.emit(ic.Inst{Op: ic.St, A: tb, Imm: 0, B: z, Reg: ic.RegionBall})
+	a.emit(ic.Inst{Op: ic.Ld, D: ic.ArgReg(1), A: ic.RegB, Imm: cpArgs + 1, Reg: ic.RegionCP})
+	a.emit(ic.Inst{Op: ic.Ld, D: ic.ArgReg(2), A: ic.RegB, Imm: cpArgs + 2, Reg: ic.RegionCP})
+	a.popFrame()
+	// Unify ball and Catcher under a rethrow choice point, so a mismatch
+	// resumes the unwind instead of failing into Goal's caller.
+	a.pushFrame("$rethrow", 0)
+	ball := a.temp()
+	a.emit(ic.Inst{Op: ic.Ld, D: ball, A: tb, Imm: 1, Reg: ic.RegionBall})
+	a.emit(ic.Inst{Op: ic.Mov, D: ic.ArgReg(14), A: ball})
+	a.emit(ic.Inst{Op: ic.Mov, D: ic.ArgReg(15), A: ic.ArgReg(1)})
+	a.branchProc(ic.Inst{Op: ic.Jsr, D: ic.RegRV}, "$unify")
+	// Catcher matched: drop the rethrow frame (keeping the bindings) and
+	// tail-call Recovery through the dispatcher.
+	a.popFrame()
+	a.emit(ic.Inst{Op: ic.Mov, D: ic.ArgReg(0), A: ic.ArgReg(2)})
+	a.emit(ic.Inst{Op: ic.Mov, D: ic.RegESP, A: ic.RegE})
+	a.emit(ic.Inst{Op: ic.Ld, D: ic.RegCP, A: ic.RegE, Imm: envCP, Reg: ic.RegionEnv})
+	a.emit(ic.Inst{Op: ic.Ld, D: ic.RegE, A: ic.RegE, Imm: envCE, Reg: ic.RegionEnv})
+	a.branchProc(ic.Inst{Op: ic.Jmp}, "$meta/1")
+
+	// Rethrow: the catcher did not match. The ball data is still intact
+	// in the ball area (the failed unification's bindings were untrailed
+	// by $fail); re-arm the flag and continue unwinding outward.
+	a.proc("$rethrow")
+	a.popFrame()
+	tb2 := a.temp()
+	a.emit(ic.Inst{Op: ic.MovI, D: tb2, Word: word.MakeRef(ic.BallBase)})
+	one := a.temp()
+	a.emit(ic.Inst{Op: ic.MovI, D: one, Word: word.MakeInt(1)})
+	a.emit(ic.Inst{Op: ic.St, A: tb2, Imm: 0, B: one, Reg: ic.RegionBall})
+	a.emit(ic.Inst{Op: ic.Jmp, Target: a.throwPC})
+}

@@ -62,14 +62,15 @@ type fixup struct {
 
 // asm accumulates IC instructions with label fix-ups.
 type asm struct {
-	code   []ic.Inst
-	atoms  *term.Table
-	labels map[int]int    // BAM label id → pc
-	procs  map[string]int // "name/arity" → pc
-	names  map[int]string
-	fixes  []fixup
-	next   ic.Reg
-	failPC int
+	code    []ic.Inst
+	atoms   *term.Table
+	labels  map[int]int    // BAM label id → pc
+	procs   map[string]int // "name/arity" → pc
+	names   map[int]string
+	fixes   []fixup
+	next    ic.Reg
+	failPC  int
+	throwPC int // entry of $throwunwind
 }
 
 func (a *asm) here() int { return len(a.code) }
@@ -116,6 +117,12 @@ func (a *asm) branchProc(in ic.Inst, key string) {
 func (a *asm) moviLabel(d ic.Reg, id int) {
 	pc := a.emit(ic.Inst{Op: ic.MovI, D: d})
 	a.fixes = append(a.fixes, fixup{pc: pc, kind: fixWord, lbl: id})
+}
+
+// moviProc emits a MovI whose Word will be the Code address of proc key.
+func (a *asm) moviProc(d ic.Reg, key string) {
+	pc := a.emit(ic.Inst{Op: ic.MovI, D: d})
+	a.fixes = append(a.fixes, fixup{pc: pc, kind: fixWord, lbl: -1, proc: key})
 }
 
 func (a *asm) resolve() error {
@@ -181,9 +188,28 @@ func Translate(u *bam.Unit, atoms *term.Table) (*ic.Program, error) {
 		names:  map[int]string{},
 		next:   u.NextTemp,
 	}
+	// Atoms the machine needs when converting resource faults to balls.
+	for _, s := range []string{"resource_error", "heap", "env", "cp", "trail", "pdl", "zero_divisor"} {
+		atoms.Intern(s)
+	}
+	// The catch runtime routine is emitted only when the program can reach
+	// it ($catch/3 references $meta/1, which only exists when call/1 or
+	// catch/3 was compiled).
+	needCatch := false
+	for i := range u.Code {
+		in := &u.Code[i]
+		if (in.Op == bam.Call || in.Op == bam.Exec) && in.Name == "$catch" && in.Arity == 3 {
+			needCatch = true
+			break
+		}
+	}
 	a.entryStub()
 	a.failRoutine()
 	a.unifyRoutine()
+	a.throwRoutines(needCatch)
+	if needCatch {
+		a.catchRoutine()
+	}
 	for i := range u.Code {
 		if err := a.lower(&u.Code[i]); err != nil {
 			return nil, err
@@ -192,7 +218,7 @@ func Translate(u *bam.Unit, atoms *term.Table) (*ic.Program, error) {
 	if err := a.resolve(); err != nil {
 		return nil, err
 	}
-	entries := map[int]bool{0: true, a.failPC: true}
+	entries := map[int]bool{0: true, a.failPC: true, a.throwPC: true}
 	for _, pc := range a.procs {
 		entries[pc] = true
 	}
@@ -214,6 +240,7 @@ func Translate(u *bam.Unit, atoms *term.Table) (*ic.Program, error) {
 		Procs:   a.procs,
 		Names:   a.names,
 		Entries: entries,
+		ThrowPC: a.throwPC,
 	}, nil
 }
 

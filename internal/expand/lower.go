@@ -281,6 +281,14 @@ func (a *asm) lower(in *bam.Instr) error {
 	case bam.Sys:
 		a.emit(ic.Inst{Op: ic.SysOp, Sys: in.Sys, A: in.Reg1, B: in.Reg2})
 		return nil
+
+	case bam.RaiseFault:
+		// The machine redirects to $throwunwind (catchable faults) or stops
+		// with a typed error; the jump keeps the block well-formed for the
+		// static CFG, which requires every block to end in control flow.
+		a.emit(ic.Inst{Op: ic.SysOp, Sys: ic.SysFault, A: ic.None, B: ic.None, Imm: in.N})
+		a.emit(ic.Inst{Op: ic.Jmp, Target: a.failPC})
+		return nil
 	}
 	return fmt.Errorf("expand: unknown BAM op %d", in.Op)
 }

@@ -1,0 +1,141 @@
+// Package fault defines the structured fault taxonomy shared by the
+// sequential IntCode emulator and the VLIW simulator. Every abnormal
+// termination of a run — a memory area overflowing its configured bounds,
+// an exhausted step or cycle budget, a missed wall-clock deadline, an
+// arithmetic fault — is classified as one of the kinds below and surfaced
+// as an errors.Is-able sentinel, so that callers (and the differential
+// fault-injection harness) can compare the *kind* of failure across the
+// two execution paths instead of matching error strings.
+package fault
+
+import "fmt"
+
+// Kind enumerates the machine fault classes.
+type Kind uint8
+
+const (
+	None Kind = iota
+	// Memory-area overflows, detected at the store sites of the
+	// allocation-bump registers (H, ESP/E, B, TR, PDL).
+	HeapOverflow
+	EnvOverflow
+	CPOverflow
+	TrailOverflow
+	PDLOverflow
+	// Resource budgets.
+	StepLimit  // sequential emulator instruction budget exhausted
+	CycleLimit // VLIW simulator cycle budget exhausted
+	Deadline   // wall-clock deadline missed
+	// Arithmetic.
+	ZeroDivide
+	// A load or store outside the simulated memory image (codegen bug or
+	// wild pointer), as opposed to a classified area overflow.
+	InvalidMemory
+	// A ball thrown via throw/1 (or a converted resource fault) unwound
+	// the whole choice-point stack without finding a catch/3 frame.
+	UncaughtThrow
+)
+
+var kindNames = [...]string{
+	"none", "heap overflow", "environment-stack overflow",
+	"choice-point-stack overflow", "trail overflow", "pdl overflow",
+	"step limit exceeded", "cycle limit exceeded", "deadline exceeded",
+	"zero divisor", "invalid memory access", "uncaught exception",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("fault(%d)", k)
+}
+
+// Fault is a typed machine fault. The canonical instances below are the
+// package's sentinels; executors return them (wrapped with machine
+// context) so errors.Is(err, fault.ErrHeapOverflow) works.
+type Fault struct {
+	Kind Kind
+}
+
+func (f *Fault) Error() string { return f.Kind.String() }
+
+// Is matches any Fault of the same kind, so wrapped faults compare equal
+// to the sentinels regardless of instance identity.
+func (f *Fault) Is(target error) bool {
+	t, ok := target.(*Fault)
+	return ok && t.Kind == f.Kind
+}
+
+// Sentinels, one per kind.
+var (
+	ErrHeapOverflow  = &Fault{Kind: HeapOverflow}
+	ErrEnvOverflow   = &Fault{Kind: EnvOverflow}
+	ErrCPOverflow    = &Fault{Kind: CPOverflow}
+	ErrTrailOverflow = &Fault{Kind: TrailOverflow}
+	ErrPDLOverflow   = &Fault{Kind: PDLOverflow}
+	ErrStepLimit     = &Fault{Kind: StepLimit}
+	ErrCycleLimit    = &Fault{Kind: CycleLimit}
+	ErrDeadline      = &Fault{Kind: Deadline}
+	ErrZeroDivide    = &Fault{Kind: ZeroDivide}
+	ErrInvalidMemory = &Fault{Kind: InvalidMemory}
+	ErrUncaughtThrow = &Fault{Kind: UncaughtThrow}
+)
+
+// Of returns the sentinel for k (nil for None).
+func Of(k Kind) *Fault {
+	switch k {
+	case HeapOverflow:
+		return ErrHeapOverflow
+	case EnvOverflow:
+		return ErrEnvOverflow
+	case CPOverflow:
+		return ErrCPOverflow
+	case TrailOverflow:
+		return ErrTrailOverflow
+	case PDLOverflow:
+		return ErrPDLOverflow
+	case StepLimit:
+		return ErrStepLimit
+	case CycleLimit:
+		return ErrCycleLimit
+	case Deadline:
+		return ErrDeadline
+	case ZeroDivide:
+		return ErrZeroDivide
+	case InvalidMemory:
+		return ErrInvalidMemory
+	case UncaughtThrow:
+		return ErrUncaughtThrow
+	}
+	return nil
+}
+
+// Catchable reports whether a fault of kind k is converted into a Prolog
+// ball catchable by catch/3. Budget faults (step/cycle limits, deadlines)
+// are deliberately hard: converting them would let a catch/3 loop run
+// forever under a supposedly bounded budget.
+func Catchable(k Kind) bool {
+	switch k {
+	case HeapOverflow, EnvOverflow, CPOverflow, TrailOverflow, PDLOverflow, ZeroDivide:
+		return true
+	}
+	return false
+}
+
+// BallName returns the resource_error/1 argument atom (or the ball atom)
+// used when converting a fault of kind k into a catchable term.
+func BallName(k Kind) string {
+	switch k {
+	case HeapOverflow:
+		return "heap"
+	case EnvOverflow:
+		return "env"
+	case CPOverflow:
+		return "cp"
+	case TrailOverflow:
+		return "trail"
+	case PDLOverflow:
+		return "pdl"
+	}
+	return ""
+}

@@ -1,0 +1,73 @@
+package faultsim
+
+import (
+	"testing"
+
+	"symbol/internal/fault"
+	"symbol/internal/ic"
+)
+
+// TestCorpusRunsClean: every corpus program must compile and succeed under
+// default resources on the sequential path — a program that faults by
+// itself is useless as an injection baseline.
+func TestCorpusRunsClean(t *testing.T) {
+	for _, p := range Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			u, err := Compile(p.Src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			out := u.Seq(Opts{})
+			if out.Kind != fault.None || !out.Succeeded {
+				t.Fatalf("default run not clean: kind=%v ok=%v err=%v",
+					out.Kind, out.Succeeded, out.Err)
+			}
+		})
+	}
+}
+
+// TestStressedAreaFaults: shrinking the area a program is documented to
+// stress produces that area's overflow kind sequentially.
+func TestStressedAreaFaults(t *testing.T) {
+	want := map[string]fault.Kind{
+		"heap":  fault.HeapOverflow,
+		"env":   fault.EnvOverflow,
+		"cp":    fault.CPOverflow,
+		"trail": fault.TrailOverflow,
+		"pdl":   fault.PDLOverflow,
+	}
+	shrink := func(area string) ic.Layout {
+		var l ic.Layout
+		switch area {
+		case "heap":
+			l.HeapWords = 2048
+		case "env":
+			l.EnvWords = 1024
+		case "cp":
+			l.CPWords = 1024
+		case "trail":
+			l.TrailWords = 512
+		case "pdl":
+			l.PDLWords = 64
+		}
+		return l
+	}
+	for _, p := range Programs() {
+		if p.Name == "nested-catch" {
+			continue // recovers instead of faulting, by design
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			u, err := Compile(p.Src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			out := u.Seq(Opts{Layout: shrink(p.Stresses)})
+			if out.Kind != want[p.Stresses] {
+				t.Fatalf("stressing %s: got kind=%v (err=%v), want %v",
+					p.Stresses, out.Kind, out.Err, want[p.Stresses])
+			}
+		})
+	}
+}

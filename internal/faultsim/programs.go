@@ -1,0 +1,84 @@
+package faultsim
+
+// NamedProgram is one fault-prone workload for the injection harness. Each
+// stresses a different memory area or machine resource, so that shrinking
+// that area (or the budget) produces a predictable fault kind, while the
+// default configuration runs it to completion.
+type NamedProgram struct {
+	Name string
+	Src  string
+	// Stresses names the area the workload grows fastest (documentation;
+	// the harness asserts agreement between executors, not which area
+	// overflows first).
+	Stresses string
+}
+
+// Programs returns the harness corpus. Every program defines main/0 and
+// succeeds under default resources.
+func Programs() []NamedProgram {
+	return []NamedProgram{
+		{
+			Name:     "deep-recursion",
+			Stresses: "env",
+			Src: `
+sum(0, 0).
+sum(N, S) :- N > 0, M is N - 1, sum(M, T), S is T + 1.
+main :- sum(3000, S), S > 0.
+`,
+		},
+		{
+			Name:     "list-build",
+			Stresses: "heap",
+			Src: `
+build(0, []).
+build(N, [N|T]) :- N > 0, M is N - 1, build(M, T).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+main :- build(3000, L), len(L, N), N > 0.
+`,
+		},
+		{
+			Name:     "backtrack-trail",
+			Stresses: "trail",
+			Src: `
+bind([]).
+bind([X|T]) :- X = a, bind(T).
+mk(0, []).
+mk(N, [_|T]) :- N > 0, M is N - 1, mk(M, T).
+flip(_).
+flip(_) :- fail.
+main :- mk(1500, L), flip(x), bind(L), ok(L).
+ok([a|_]).
+`,
+		},
+		{
+			Name:     "choice-points",
+			Stresses: "cp",
+			Src: `
+alt(_).
+alt(_) :- fail.
+spine(0).
+spine(N) :- N > 0, alt(N), M is N - 1, spine(M).
+main :- spine(2500).
+`,
+		},
+		{
+			Name:     "unify-pdl",
+			Stresses: "pdl",
+			Src: `
+mk(0, leaf).
+mk(N, t(L, N)) :- N > 0, M is N - 1, mk(M, L).
+main :- mk(200, A), mk(200, B), A = B.
+`,
+		},
+		{
+			Name:     "nested-catch",
+			Stresses: "heap",
+			Src: `
+build(0, []).
+build(N, [N|T]) :- N > 0, M is N - 1, build(M, T).
+main :- catch(build(2000, _L), resource_error(_), true).
+`,
+		},
+	}
+}

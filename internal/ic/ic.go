@@ -152,9 +152,11 @@ const (
 	SysNl              // newline
 	SysCompare         // RV = int(-1/0/1) from structural compare of A, B
 	SysWriteCode       // write integer val(A) as a character (put_char-ish)
+	SysBallPut         // copy term at A into the ball area and arm the ball flag
+	SysFault           // raise the machine fault whose fault.Kind is Imm
 )
 
-var sysNames = []string{"none", "write", "nl", "compare", "write_code"}
+var sysNames = []string{"none", "write", "nl", "compare", "write_code", "ball_put", "fault"}
 
 func (s SysID) String() string { return sysNames[s] }
 
@@ -172,9 +174,10 @@ const (
 	RegionCP
 	RegionTrail
 	RegionPDL
+	RegionBall
 )
 
-var regionNames = []string{"?", "heap", "env", "cp", "trail", "pdl"}
+var regionNames = []string{"?", "heap", "env", "cp", "trail", "pdl", "ball"}
 
 func (r Region) String() string { return regionNames[r] }
 
@@ -269,10 +272,18 @@ type Program struct {
 	// choice points). The back end must keep these addressable: they start
 	// traces and are never scheduled into the middle of one.
 	Entries map[int]bool
+	// ThrowPC is the entry of the $throwunwind runtime routine, where
+	// control lands when throw/1 runs or when the machine converts a
+	// resource fault into a catchable ball (0 for programs without the
+	// runtime routines, e.g. hand-assembled tests).
+	ThrowPC int
 }
 
 // Simulated memory layout: distinct stack areas per the WAM/BAM model
-// (§4.1). Word addresses.
+// (§4.1), plus a small ball buffer for catch/throw. Word addresses. The
+// base addresses are fixed (they are baked into the entry stub as
+// immediates); per-run Layout values shrink the usable *size* of each
+// area below these defaults, never move the bases.
 const (
 	HeapBase  = 1 << 20
 	HeapSize  = 12 << 20
@@ -284,25 +295,86 @@ const (
 	TrailSize = 2 << 20
 	PDLBase   = TrailBase + TrailSize
 	PDLSize   = 1 << 16
-	MemWords  = PDLBase + PDLSize
+	// BallBase holds the exception state: [BallBase] is the ball-pending
+	// flag, [BallBase+1] the ball root word, and the copied ball term
+	// follows. Its size is fixed; it is not a growable stack.
+	BallBase = PDLBase + PDLSize
+	BallSize = 1 << 16
+	MemWords = BallBase + BallSize
 )
 
-// RegionOf classifies a word address.
-func RegionOf(addr uint64) Region {
-	switch {
-	case addr >= HeapBase && addr < HeapBase+HeapSize:
-		return RegionHeap
-	case addr >= EnvBase && addr < EnvBase+EnvSize:
-		return RegionEnv
-	case addr >= CPBase && addr < CPBase+CPSize:
-		return RegionCP
-	case addr >= TrailBase && addr < TrailBase+TrailSize:
-		return RegionTrail
-	case addr >= PDLBase && addr < PDLBase+PDLSize:
-		return RegionPDL
-	default:
-		return RegionUnknown
+// Layout configures the usable number of words per memory area for one
+// run. A zero field means the compile-time default; values are clamped to
+// the defaults (bases are fixed, areas can only shrink).
+type Layout struct {
+	HeapWords  int64
+	EnvWords   int64
+	CPWords    int64
+	TrailWords int64
+	PDLWords   int64
+}
+
+func clampWords(v, def int64) int64 {
+	if v <= 0 || v > def {
+		return def
 	}
+	return v
+}
+
+// Limit returns the first word address past the usable part of region r
+// under the layout (0 for unknown regions).
+func (l Layout) Limit(r Region) uint64 {
+	switch r {
+	case RegionHeap:
+		return HeapBase + uint64(clampWords(l.HeapWords, HeapSize))
+	case RegionEnv:
+		return EnvBase + uint64(clampWords(l.EnvWords, EnvSize))
+	case RegionCP:
+		return CPBase + uint64(clampWords(l.CPWords, CPSize))
+	case RegionTrail:
+		return TrailBase + uint64(clampWords(l.TrailWords, TrailSize))
+	case RegionPDL:
+		return PDLBase + uint64(clampWords(l.PDLWords, PDLSize))
+	case RegionBall:
+		return BallBase + BallSize
+	}
+	return 0
+}
+
+// Base returns the first word address of region r (0 for unknown).
+func (l Layout) Base(r Region) uint64 {
+	switch r {
+	case RegionHeap:
+		return HeapBase
+	case RegionEnv:
+		return EnvBase
+	case RegionCP:
+		return CPBase
+	case RegionTrail:
+		return TrailBase
+	case RegionPDL:
+		return PDLBase
+	case RegionBall:
+		return BallBase
+	}
+	return 0
+}
+
+// RegionOf classifies a word address under the layout: addresses beyond
+// an area's configured limit but below its compile-time bound classify as
+// unknown, which is what makes shrunken-area stores detectable.
+func (l Layout) RegionOf(addr uint64) Region {
+	for _, r := range []Region{RegionHeap, RegionEnv, RegionCP, RegionTrail, RegionPDL, RegionBall} {
+		if addr >= l.Base(r) && addr < l.Limit(r) {
+			return r
+		}
+	}
+	return RegionUnknown
+}
+
+// RegionOf classifies a word address under the default layout.
+func RegionOf(addr uint64) Region {
+	return Layout{}.RegionOf(addr)
 }
 
 func regName(r Reg) string {

@@ -1,0 +1,152 @@
+// Ball-area manipulation for catch/throw. The ball area (ic.BallBase..)
+// holds the exception state shared by the IC runtime routines and the Go
+// side of both executors:
+//
+//	[BallBase+0]  ball-pending flag (int 0/1)
+//	[BallBase+1]  ball root word
+//	[BallBase+2…] the copied ball term
+//
+// throw/1 copies its argument here (SysBallPut) before the unwind
+// destroys the heap bindings it may reference; the machine writes
+// resource_error(Area) balls here directly when it converts an area
+// overflow into a catchable fault.
+package mterm
+
+import (
+	"fmt"
+
+	"symbol/internal/ic"
+	"symbol/internal/term"
+	"symbol/internal/word"
+)
+
+const (
+	ballFlag = ic.BallBase
+	ballRoot = ic.BallBase + 1
+	ballData = ic.BallBase + 2
+)
+
+// BallPut implements the SysBallPut escape: copy the term rooted at w
+// into the ball area and arm the ball flag. mem must be the full
+// simulated memory image.
+func BallPut(mem []word.W, w word.W) error {
+	root, err := copyTerm(mem, w)
+	if err != nil {
+		return err
+	}
+	mem[ballFlag] = word.MakeInt(1)
+	mem[ballRoot] = root
+	return nil
+}
+
+// BallFault writes a resource_error(Area) or zero-divisor ball for a
+// converted machine fault and arms the flag. The atoms are interned by
+// the translator, so Lookup failing means the program was not produced by
+// the standard pipeline; the caller then reports the fault as a hard
+// error instead.
+func BallFault(mem []word.W, atoms *term.Table, name string) bool {
+	if name == "" {
+		// Arithmetic fault: the ball is the bare atom zero_divisor.
+		name = "zero_divisor"
+		a, ok := atoms.Lookup(name)
+		if !ok {
+			return false
+		}
+		mem[ballFlag] = word.MakeInt(1)
+		mem[ballRoot] = word.Make(word.Atom, uint64(a))
+		return true
+	}
+	re, ok1 := atoms.Lookup("resource_error")
+	a, ok2 := atoms.Lookup(name)
+	if !ok1 || !ok2 {
+		return false
+	}
+	mem[ballData] = word.MakeFun(re, 1)
+	mem[ballData+1] = word.Make(word.Atom, uint64(a))
+	mem[ballFlag] = word.MakeInt(1)
+	mem[ballRoot] = word.Make(word.Str, ballData)
+	return true
+}
+
+// copyTerm copies the term rooted at w into the ball data area and
+// returns the new root word. Unbound variables become fresh unbound cells
+// in the ball area; sharing within the term is not preserved (each
+// occurrence copies), which is acceptable for exception balls. The copy
+// is depth-first with an explicit stack of (source, destination-cell)
+// pairs and fails cleanly if the ball area fills up.
+func copyTerm(mem []word.W, w word.W) (word.W, error) {
+	limit := uint64(ic.BallBase + ic.BallSize)
+	next := uint64(ballData)
+	alloc := func(n uint64) (uint64, error) {
+		if next+n > limit {
+			return 0, fmt.Errorf("mterm: ball too large for the ball area")
+		}
+		a := next
+		next += n
+		return a, nil
+	}
+	m := SliceMem(mem)
+
+	var copy1 func(w word.W, depth int) (word.W, error)
+	copy1 = func(w word.W, depth int) (word.W, error) {
+		if depth > maxDepth {
+			return 0, fmt.Errorf("mterm: ball term too deep")
+		}
+		w, err := Deref(m, w)
+		if err != nil {
+			return 0, err
+		}
+		switch w.Tag() {
+		case word.Ref: // unbound: fresh cell in the ball area
+			a, err := alloc(1)
+			if err != nil {
+				return 0, err
+			}
+			mem[a] = word.MakeRef(a)
+			return word.MakeRef(a), nil
+		case word.Lst:
+			a, err := alloc(2)
+			if err != nil {
+				return 0, err
+			}
+			for i := uint64(0); i < 2; i++ {
+				x, err := m.Load(w.Ptr() + i)
+				if err != nil {
+					return 0, err
+				}
+				c, err := copy1(x, depth+1)
+				if err != nil {
+					return 0, err
+				}
+				mem[a+i] = c
+			}
+			return word.Make(word.Lst, a), nil
+		case word.Str:
+			f, err := m.Load(w.Ptr())
+			if err != nil {
+				return 0, err
+			}
+			n := uint64(f.FunArity())
+			a, err := alloc(1 + n)
+			if err != nil {
+				return 0, err
+			}
+			mem[a] = f
+			for i := uint64(0); i < n; i++ {
+				x, err := m.Load(w.Ptr() + 1 + i)
+				if err != nil {
+					return 0, err
+				}
+				c, err := copy1(x, depth+1)
+				if err != nil {
+					return 0, err
+				}
+				mem[a+1+i] = c
+			}
+			return word.Make(word.Str, a), nil
+		default: // atoms, ints, functor words: immediate
+			return w, nil
+		}
+	}
+	return copy1(w, 0)
+}

@@ -111,6 +111,7 @@ func Fold(prog *ic.Program) *ic.Program {
 		Atoms:   prog.Atoms,
 		Entry:   remap[prog.Entry],
 		FailPC:  remap[prog.FailPC],
+		ThrowPC: remap[prog.ThrowPC],
 		Procs:   map[string]int{},
 		Names:   map[int]string{},
 		Entries: map[int]bool{},

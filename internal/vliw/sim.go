@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
+	"symbol/internal/fault"
 	"symbol/internal/ic"
 	"symbol/internal/mterm"
 	"symbol/internal/word"
@@ -23,19 +25,51 @@ type SimResult struct {
 // SimOptions configure simulation.
 type SimOptions struct {
 	MaxCycles int64 // abort bound (default 6e9)
+	// Layout shrinks the usable size of the memory areas below the
+	// compile-time defaults, mirroring emu.Options.Layout.
+	Layout ic.Layout
+	// Deadline, when non-zero, aborts the run with fault.ErrDeadline once
+	// the wall clock passes it.
+	Deadline time.Time
 	// Trace, if non-nil, receives one line per executed word (debug aid).
 	Trace io.Writer
 }
 
-// SimError is a simulation failure with cycle context.
+// SimError is a simulation failure with cycle context. Err, when non-nil,
+// is the underlying typed fault sentinel.
 type SimError struct {
 	WordIdx int
 	Cycle   int64
 	Reason  string
+	Err     error
 }
 
 func (e *SimError) Error() string {
 	return fmt.Sprintf("vliw: word %d cycle %d: %s", e.WordIdx, e.Cycle, e.Reason)
+}
+
+// Unwrap exposes the typed fault underneath the machine context.
+func (e *SimError) Unwrap() error { return e.Err }
+
+// ErrCycleLimit is reported (wrapped in *SimError) when MaxCycles is
+// exhausted.
+var ErrCycleLimit = fault.ErrCycleLimit
+
+// overflowKind maps an overflowed memory region to its fault kind.
+func overflowKind(r ic.Region) fault.Kind {
+	switch r {
+	case ic.RegionHeap:
+		return fault.HeapOverflow
+	case ic.RegionEnv:
+		return fault.EnvOverflow
+	case ic.RegionCP:
+		return fault.CPOverflow
+	case ic.RegionTrail:
+		return fault.TrailOverflow
+	case ic.RegionPDL:
+		return fault.PDLOverflow
+	}
+	return fault.InvalidMemory
 }
 
 type pendingWrite struct {
@@ -77,8 +111,38 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 	pcW := p.Entry
 	var writes []pendingWrite
 
-	fail := func(w int, format string, args ...interface{}) error {
+	fail := func(w int, format string, args ...interface{}) *SimError {
 		return &SimError{WordIdx: w, Cycle: cycle, Reason: fmt.Sprintf(format, args...)}
+	}
+	faultErr := func(w int, k fault.Kind) error {
+		e := fail(w, "%s", k.String())
+		e.Err = fault.Of(k)
+		return e
+	}
+
+	// Region bounds under the configured layout; see emu for why the
+	// one-sided check (addr past the annotated region's configured end)
+	// is sound for this runtime's store sites.
+	var limit [ic.RegionBall + 1]uint64
+	for r := ic.RegionHeap; r <= ic.RegionBall; r++ {
+		limit[r] = opts.Layout.Limit(r)
+	}
+	var pendingFault fault.Kind
+	throwWord := -1
+	if p.IC.ThrowPC > 0 {
+		if tw, ok := p.WordOf[p.IC.ThrowPC]; ok {
+			throwWord = tw
+		}
+	}
+	// raise converts a catchable fault into a ball delivered to the unwind
+	// routine; other kinds (or programs without the routine) abort.
+	raise := func(w int, k fault.Kind) error {
+		if fault.Catchable(k) && throwWord >= 0 &&
+			mterm.BallFault(mem, p.IC.Atoms, fault.BallName(k)) {
+			pendingFault = k
+			return nil
+		}
+		return faultErr(w, k)
 	}
 
 	read := func(wi int, r ic.Reg) (word.W, error) {
@@ -90,7 +154,10 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 
 	for {
 		if cycle >= opts.MaxCycles {
-			return nil, fail(pcW, "cycle limit exceeded")
+			return nil, faultErr(pcW, fault.CycleLimit)
+		}
+		if cycle&4095 == 0 && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			return nil, faultErr(pcW, fault.Deadline)
 		}
 		if pcW < 0 || pcW >= len(p.Words) {
 			return nil, fail(pcW, "word index out of range")
@@ -111,6 +178,7 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 		halted := false
 		status := 0
 
+	ops:
 		for _, op := range w {
 			in := &op.Inst
 			res.Ops++
@@ -139,8 +207,25 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 					return nil, err
 				}
 				addr := base.Val() + uint64(in.Imm)
+				if r := in.Reg; r != ic.RegionUnknown && addr >= limit[r] {
+					if err := raise(pcW, overflowKind(r)); err != nil {
+						return nil, err
+					}
+					// Imprecise mid-word fault: the word's pending register
+					// writes either follow the store in program order or are
+					// speculative, so discarding them (plus the committed
+					// store prefix — stores are strictly pc-ordered, one per
+					// word) leaves exactly the sequential machine state.
+					writes = writes[:0]
+					branched = true
+					halted = false
+					nextW = throwWord
+					break ops
+				}
 				if addr >= uint64(len(mem)) {
-					return nil, fail(pcW, "store out of range: %#x", addr)
+					e := fail(pcW, "store out of range: %#x", addr)
+					e.Err = fault.ErrInvalidMemory
+					return nil, e
 				}
 				mem[addr] = v
 			case ic.Add, ic.Sub, ic.Mul, ic.Div, ic.Mod, ic.And, ic.Or, ic.Xor, ic.Shl, ic.Shr:
@@ -168,15 +253,21 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 				case ic.Mul:
 					r = a * b
 				case ic.Div:
+					// Division never traps: a speculated divide hoisted above
+					// its guard may see a zero divisor, so it dismisses to 0
+					// (like speculative loads). The architectural zero-divide
+					// check is compiled code (bam.RaiseFault → SysFault).
 					if b == 0 {
-						return nil, fail(pcW, "division by zero")
+						r = 0
+					} else {
+						r = a / b
 					}
-					r = a / b
 				case ic.Mod:
 					if b == 0 {
-						return nil, fail(pcW, "modulo by zero")
+						r = 0
+					} else {
+						r = a % b
 					}
-					r = a % b
 				case ic.And:
 					r = a & b
 				case ic.Or:
@@ -260,8 +351,29 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 					status = int(in.Imm)
 				}
 			case ic.SysOp:
-				if err := simSys(in, pcW, read, mem, p, &out, &writes); err != nil {
-					return nil, err
+				switch in.Sys {
+				case ic.SysFault:
+					if err := raise(pcW, fault.Kind(in.Imm)); err != nil {
+						return nil, err
+					}
+					writes = writes[:0]
+					branched = true
+					halted = false
+					nextW = throwWord
+					break ops
+				case ic.SysBallPut:
+					av, err := read(pcW, in.A)
+					if err != nil {
+						return nil, err
+					}
+					if err := mterm.BallPut(mem, av); err != nil {
+						return nil, fail(pcW, "%v", err)
+					}
+					pendingFault = fault.None
+				default:
+					if err := simSys(in, pcW, read, mem, p, &out, &writes); err != nil {
+						return nil, err
+					}
 				}
 			default:
 				return nil, fail(pcW, "unknown opcode")
@@ -275,6 +387,20 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 		}
 		cycle++
 		if halted {
+			if status == 2 {
+				// The unwind found no catch frame (the $throwunwind Halt 2
+				// path): surface the converted fault or the uncaught ball.
+				if pendingFault != fault.None {
+					return nil, faultErr(pcW, pendingFault)
+				}
+				reason := fault.UncaughtThrow.String()
+				if s, err := mterm.FormatOps(mterm.SliceMem(mem), p.IC.Atoms, mem[ic.BallBase+1]); err == nil {
+					reason += ": " + s
+				}
+				e := fail(pcW, "%s", reason)
+				e.Err = fault.ErrUncaughtThrow
+				return nil, e
+			}
 			res.Status = status
 			res.Output = out.String()
 			res.Cycles = cycle

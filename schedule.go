@@ -49,7 +49,8 @@ type Scheduled struct {
 }
 
 // Schedule profiles the program (if needed) and compacts it for conf.
-func (p *Program) Schedule(conf MachineConfig, opts ScheduleOptions) (*Scheduled, error) {
+func (p *Program) Schedule(conf MachineConfig, opts ScheduleOptions) (_ *Scheduled, err error) {
+	defer guard(&err)
 	prof, err := p.Profile()
 	if err != nil {
 		return nil, err
@@ -102,7 +103,18 @@ type SimResult struct {
 
 // Simulate runs the compacted program on the cycle-level VLIW simulator.
 func (s *Scheduled) Simulate() (*SimResult, error) {
-	r, err := vliw.Sim(s.vprog, vliw.SimOptions{})
+	return s.SimulateWith(RunOptions{})
+}
+
+// SimulateWith runs the compacted program under explicit resource bounds,
+// with the same typed-fault and catch/3 semantics as Program.RunWith.
+func (s *Scheduled) SimulateWith(opts RunOptions) (_ *SimResult, err error) {
+	defer guard(&err)
+	r, err := vliw.Sim(s.vprog, vliw.SimOptions{
+		MaxCycles: opts.MaxCycles,
+		Layout:    opts.layout(),
+		Deadline:  opts.Deadline,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -20,15 +20,68 @@ package symbol
 
 import (
 	"fmt"
+	"time"
 
 	"symbol/internal/bam"
 	"symbol/internal/compile"
 	"symbol/internal/emu"
 	"symbol/internal/expand"
+	"symbol/internal/fault"
 	"symbol/internal/ic"
 	"symbol/internal/parse"
 	"symbol/internal/rename"
 )
+
+// Typed fault sentinels, re-exported so callers can classify failures with
+// errors.Is without importing internal packages. Both the sequential
+// emulator and the VLIW simulator report these kinds.
+var (
+	ErrHeapOverflow  = fault.ErrHeapOverflow
+	ErrEnvOverflow   = fault.ErrEnvOverflow
+	ErrCPOverflow    = fault.ErrCPOverflow
+	ErrTrailOverflow = fault.ErrTrailOverflow
+	ErrPDLOverflow   = fault.ErrPDLOverflow
+	ErrStepLimit     = fault.ErrStepLimit
+	ErrCycleLimit    = fault.ErrCycleLimit
+	ErrDeadline      = fault.ErrDeadline
+	ErrZeroDivide    = fault.ErrZeroDivide
+	ErrInvalidMemory = fault.ErrInvalidMemory
+	ErrUncaughtThrow = fault.ErrUncaughtThrow
+)
+
+// guard converts an escaped panic into an error at the API boundary, so no
+// malformed program or internal bug can crash an embedding process.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("symbol: internal panic: %v", r)
+	}
+}
+
+// RunOptions bound one execution (sequential or simulated): resource
+// budgets, a wall-clock deadline, and per-area memory sizes in words. Zero
+// fields mean the defaults; area sizes are clamped to the compile-time
+// maximums. Overflowing a shrunken area raises a typed fault that Prolog
+// code can intercept with catch/3 as resource_error(Area).
+type RunOptions struct {
+	MaxSteps   int64     // sequential ICI budget (0 = default)
+	MaxCycles  int64     // VLIW cycle budget (0 = default)
+	Deadline   time.Time // wall-clock bound (zero = none)
+	HeapWords  int64
+	EnvWords   int64
+	CPWords    int64
+	TrailWords int64
+	PDLWords   int64
+}
+
+func (o RunOptions) layout() ic.Layout {
+	return ic.Layout{
+		HeapWords:  o.HeapWords,
+		EnvWords:   o.EnvWords,
+		CPWords:    o.CPWords,
+		TrailWords: o.TrailWords,
+		PDLWords:   o.PDLWords,
+	}
+}
 
 func expandUnit(unit *bam.Unit, c *compile.Compiler) (*ic.Program, error) {
 	prog, err := expand.Translate(unit, c.Atoms())
@@ -68,7 +121,8 @@ func Compile(src string) (*Program, error) {
 }
 
 // CompileWith parses and compiles src with explicit options.
-func CompileWith(src string, opts Options) (*Program, error) {
+func CompileWith(src string, opts Options) (_ *Program, err error) {
+	defer guard(&err)
 	clauses, err := parse.All(src)
 	if err != nil {
 		return nil, fmt.Errorf("symbol: %w", err)
@@ -110,7 +164,23 @@ func (p *Program) CodeSize() int { return len(p.icp.Code) }
 
 // Run executes the program sequentially and returns its observable result.
 func (p *Program) Run() (*Result, error) {
-	res, err := emu.Run(p.icp, emu.Options{MaxSteps: p.opts.MaxSteps})
+	return p.RunWith(RunOptions{})
+}
+
+// RunWith executes the program sequentially under explicit resource bounds.
+// Resource faults surface as typed errors (errors.Is against ErrHeapOverflow
+// and friends) unless the program catches them with catch/3.
+func (p *Program) RunWith(opts RunOptions) (_ *Result, err error) {
+	defer guard(&err)
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = p.opts.MaxSteps
+	}
+	res, err := emu.Run(p.icp, emu.Options{
+		MaxSteps: maxSteps,
+		Layout:   opts.layout(),
+		Deadline: opts.Deadline,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -128,8 +198,11 @@ type Result struct {
 }
 
 // Profile runs the sequential emulator with statistics collection and
-// caches the result (used by the trace scheduler and the analyses).
-func (p *Program) Profile() (*emu.Profile, error) {
+// caches the result (used by the trace scheduler and the analyses). It
+// always runs under the default memory layout: the profile must describe
+// the program's normal behaviour, not a fault-injected run.
+func (p *Program) Profile() (_ *emu.Profile, err error) {
+	defer guard(&err)
 	if p.profile != nil {
 		return p.profile, nil
 	}
