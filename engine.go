@@ -1,0 +1,229 @@
+package symbol
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"symbol/internal/emu"
+	"symbol/internal/ic"
+	"symbol/internal/vliw"
+)
+
+// Engine is a goroutine-safe query engine over one compiled Program. It
+// answers many queries concurrently by recycling machine state (the
+// multi-megaword simulated memory image, the register file and the VLIW
+// ready array) through a sync.Pool: each run grabs a zeroed ic.State,
+// executes, resets it in O(words actually written), and returns it to the
+// pool. This replaces the allocate-per-run baseline of Program.Run, whose
+// fresh ~19M-word memory image per query collapses throughput under GC
+// pressure exactly where the paper's memory-operation analysis (~32% of the
+// dynamic mix) says the hot path lives.
+//
+// All methods are safe for concurrent use. Per-run RunOptions keep their
+// full fault and budget semantics: shrunken areas, step/cycle budgets and
+// deadlines behave identically to Program.RunWith / Scheduled.SimulateWith.
+type Engine struct {
+	prog *Program
+	conf MachineConfig
+	sops ScheduleOptions
+	pool sync.Pool // *ic.State
+
+	schedOnce sync.Once
+	sched     *Scheduled
+	schedErr  error
+}
+
+// NewEngine returns an engine over p that simulates, when asked, on the
+// paper's default 3-unit machine.
+func NewEngine(p *Program) *Engine {
+	return NewEngineConfig(p, DefaultMachine(3), ScheduleOptions{})
+}
+
+// NewEngineConfig returns an engine whose Simulate path schedules p for
+// conf under sopts. Scheduling (and the profiling run it needs) happens
+// lazily on the first Simulate call.
+func NewEngineConfig(p *Program, conf MachineConfig, sopts ScheduleOptions) *Engine {
+	e := &Engine{prog: p, conf: conf, sops: sopts}
+	e.pool.New = func() any { return ic.NewState() }
+	return e
+}
+
+// Program returns the compiled program the engine serves.
+func (e *Engine) Program() *Program { return e.prog }
+
+// acquire takes a zeroed machine state from the pool.
+func (e *Engine) acquire() *ic.State { return e.pool.Get().(*ic.State) }
+
+// release resets st (O(dirty) — only the pages the run wrote) and returns
+// it to the pool for the next query.
+func (e *Engine) release(st *ic.State) {
+	st.Reset()
+	e.pool.Put(st)
+}
+
+// interruptOf exposes a context's cancellation signal to the executors
+// (nil for contexts that can never be cancelled, keeping the hot loop's
+// poll free).
+func interruptOf(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// deadlineOf merges a context deadline into the per-run deadline, taking
+// the earlier of the two.
+func deadlineOf(ctx context.Context, opts RunOptions) RunOptions {
+	if ctx == nil {
+		return opts
+	}
+	if d, ok := ctx.Deadline(); ok && (opts.Deadline.IsZero() || d.Before(opts.Deadline)) {
+		opts.Deadline = d
+	}
+	return opts
+}
+
+// Run answers one query on the sequential emulator using pooled machine
+// state. Cancelling ctx aborts the run with ErrCanceled; a ctx deadline
+// tightens opts.Deadline.
+func (e *Engine) Run(ctx context.Context, opts RunOptions) (_ *Result, err error) {
+	defer guard(&err)
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = deadlineOf(ctx, opts)
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = e.prog.opts.MaxSteps
+	}
+	st := e.acquire()
+	// On a guarded panic the state's dirty set may be incomplete, so the
+	// state is dropped (not recycled) rather than risk leaking a word into
+	// the next query; errors are normal returns and recycle fine.
+	clean := false
+	defer func() {
+		if clean {
+			e.release(st)
+		}
+	}()
+	res, err := emu.Run(e.prog.icp, emu.Options{
+		MaxSteps:  maxSteps,
+		Layout:    opts.layout(),
+		Deadline:  opts.Deadline,
+		Interrupt: interruptOf(ctx),
+		State:     st,
+	})
+	clean = true
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Succeeded: res.Status == 0, Output: res.Output, Steps: res.Steps}, nil
+}
+
+// Scheduled returns the engine's lazily compacted program (scheduling it on
+// first use), so callers can inspect the code the Simulate path runs.
+func (e *Engine) Scheduled() (*Scheduled, error) {
+	e.schedOnce.Do(func() {
+		e.sched, e.schedErr = e.prog.Schedule(e.conf, e.sops)
+	})
+	return e.sched, e.schedErr
+}
+
+// Simulate answers one query on the cycle-level VLIW simulator using pooled
+// machine state, scheduling the program on first use. Cancelling ctx aborts
+// the run with ErrCanceled.
+func (e *Engine) Simulate(ctx context.Context, opts RunOptions) (_ *SimResult, err error) {
+	defer guard(&err)
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	sched, err := e.Scheduled()
+	if err != nil {
+		return nil, err
+	}
+	opts = deadlineOf(ctx, opts)
+	st := e.acquire()
+	clean := false
+	defer func() {
+		if clean {
+			e.release(st)
+		}
+	}()
+	r, err := vliw.Sim(sched.vprog, vliw.SimOptions{
+		MaxCycles: opts.MaxCycles,
+		Layout:    opts.layout(),
+		Deadline:  opts.Deadline,
+		Interrupt: interruptOf(ctx),
+		State:     st,
+	})
+	clean = true
+	if err != nil {
+		return nil, err
+	}
+	return &SimResult{
+		Succeeded: r.Status == 0,
+		Output:    r.Output,
+		Cycles:    r.Cycles,
+		Words:     r.Words,
+		Ops:       r.Ops,
+		Bubble:    r.Bubble,
+	}, nil
+}
+
+// BatchResult is one outcome of Engine.RunAll: the run's Result, or the
+// typed error that ended it. Exactly one of the fields is non-nil.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// RunAll answers runs[i] for every i, fanning the batch out across
+// min(GOMAXPROCS, len(runs)) workers that share the engine's state pool.
+// Each run keeps its own RunOptions semantics (budgets, deadlines, area
+// sizes, typed faults). Cancelling ctx aborts in-flight runs with
+// ErrCanceled and marks unstarted ones the same way; the returned slice
+// always has len(runs) entries, index-aligned with the input.
+func (e *Engine) RunAll(ctx context.Context, runs []RunOptions) []BatchResult {
+	out := make([]BatchResult, len(runs))
+	if len(runs) == 0 {
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(runs) {
+					return
+				}
+				if ctx != nil && ctx.Err() != nil {
+					out[i] = BatchResult{Err: ErrCanceled}
+					continue
+				}
+				res, err := e.Run(ctx, runs[i])
+				out[i] = BatchResult{Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunN answers the same query n times under opts — the batched load shape
+// of a benchmark or a warm-up — and reports the outcomes like RunAll.
+func (e *Engine) RunN(ctx context.Context, n int, opts RunOptions) []BatchResult {
+	runs := make([]RunOptions, n)
+	for i := range runs {
+		runs[i] = opts
+	}
+	return e.RunAll(ctx, runs)
+}

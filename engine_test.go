@@ -1,0 +1,311 @@
+package symbol
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const engineSrc = `
+len([], 0).
+len([_|T], N) :- len(T, M), N is M+1.
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+mk(0, []).
+mk(N, [N|T]) :- N > 0, M is N - 1, mk(M, T).
+main :- mk(60, L), nrev(L, R), len(R, N), write(N), nl.
+`
+
+// TestProfileConcurrent is the regression test for the Program.Profile data
+// race: before the sync.Once fix, concurrent first calls both wrote
+// p.profile unsynchronized and this test failed under -race.
+func TestProfileConcurrent(t *testing.T) {
+	prog, err := Compile(engineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	profiles := make([]interface{}, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			p, err := prog.Profile()
+			if err != nil {
+				t.Errorf("Profile: %v", err)
+				return
+			}
+			profiles[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if profiles[i] != profiles[0] {
+			t.Fatalf("Profile returned distinct instances: %p vs %p", profiles[i], profiles[0])
+		}
+	}
+}
+
+// TestRunOptionsValidate covers the negative-size bugfix: invalid options
+// must surface as a typed *OptionError from every public entry point,
+// before they can reach ic.Layout.
+func TestRunOptionsValidate(t *testing.T) {
+	prog, err := Compile(engineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []RunOptions{
+		{HeapWords: -1},
+		{EnvWords: -2},
+		{CPWords: -3},
+		{TrailWords: -4},
+		{PDLWords: -5},
+		{MaxSteps: -6},
+		{MaxCycles: -7},
+	}
+	sched, err := prog.Schedule(DefaultMachine(3), ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(prog)
+	for _, opts := range bad {
+		var oe *OptionError
+		if _, err := prog.RunWith(opts); !errors.As(err, &oe) {
+			t.Errorf("RunWith(%+v): got %v, want *OptionError", opts, err)
+		}
+		if _, err := sched.SimulateWith(opts); !errors.As(err, &oe) {
+			t.Errorf("SimulateWith(%+v): got %v, want *OptionError", opts, err)
+		}
+		if _, err := eng.Run(context.Background(), opts); !errors.As(err, &oe) {
+			t.Errorf("Engine.Run(%+v): got %v, want *OptionError", opts, err)
+		}
+		if _, err := eng.Simulate(context.Background(), opts); !errors.As(err, &oe) {
+			t.Errorf("Engine.Simulate(%+v): got %v, want *OptionError", opts, err)
+		}
+	}
+	if err := (RunOptions{}).Validate(); err != nil {
+		t.Errorf("zero options: %v", err)
+	}
+}
+
+// engineStressCases are the mixed per-run option sets of the concurrent
+// stress test: a normal run, two different shrunken layouts that fault
+// typed, and a tight step budget.
+func engineStressCases() []RunOptions {
+	return []RunOptions{
+		{},                    // plain run
+		{HeapWords: 4096},     // heap overflow under a shrunken heap
+		{EnvWords: 512},       // env overflow under a shrunken stack
+		{MaxSteps: 1000},      // step-budget fault
+		{HeapWords: 1 << 20},  // large enough to succeed
+		{TrailWords: 2 << 20}, // clamped to default, succeeds
+	}
+}
+
+// TestEngineConcurrentStress runs N goroutines x M mixed queries against
+// one Engine and asserts every outcome is identical to a serial
+// allocate-per-run execution of the same options: same success, same
+// output, same typed fault kind.
+func TestEngineConcurrentStress(t *testing.T) {
+	prog, err := Compile(engineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := engineStressCases()
+
+	// Serial ground truth, one fresh machine per case.
+	type outcome struct {
+		res *Result
+		err error
+	}
+	want := make([]outcome, len(cases))
+	for i, opts := range cases {
+		res, err := prog.RunWith(opts)
+		want[i] = outcome{res, err}
+	}
+
+	eng := NewEngine(prog)
+	const rounds = 8
+	runs := make([]RunOptions, 0, rounds*len(cases))
+	for r := 0; r < rounds; r++ {
+		runs = append(runs, cases...)
+	}
+	got := eng.RunAll(context.Background(), runs)
+	if len(got) != len(runs) {
+		t.Fatalf("RunAll returned %d outcomes for %d runs", len(got), len(runs))
+	}
+	for i, g := range got {
+		w := want[i%len(cases)]
+		if (g.Err == nil) != (w.err == nil) {
+			t.Fatalf("run %d (%+v): err=%v, serial err=%v", i, runs[i], g.Err, w.err)
+		}
+		if g.Err != nil {
+			if !errors.Is(g.Err, errors.Unwrap(w.err)) && g.Err.Error() != w.err.Error() {
+				t.Fatalf("run %d (%+v): err=%v, serial err=%v", i, runs[i], g.Err, w.err)
+			}
+			continue
+		}
+		if g.Result.Succeeded != w.res.Succeeded || g.Result.Output != w.res.Output {
+			t.Fatalf("run %d (%+v): got (%v, %q), serial (%v, %q)",
+				i, runs[i], g.Result.Succeeded, g.Result.Output, w.res.Succeeded, w.res.Output)
+		}
+		if g.Result.Steps != w.res.Steps {
+			t.Fatalf("run %d (%+v): steps %d, serial %d — pooled state leaked between runs",
+				i, runs[i], g.Result.Steps, w.res.Steps)
+		}
+	}
+}
+
+// TestEngineSimulatePooled checks the pooled VLIW path against the
+// allocate-per-run Scheduled.Simulate, including repeat runs on the same
+// recycled state.
+func TestEngineSimulatePooled(t *testing.T) {
+	prog, err := Compile(engineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := prog.Schedule(DefaultMachine(3), ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sched.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(prog)
+	for i := 0; i < 3; i++ {
+		got, err := eng.Simulate(context.Background(), RunOptions{})
+		if err != nil {
+			t.Fatalf("Simulate #%d: %v", i, err)
+		}
+		if got.Succeeded != want.Succeeded || got.Output != want.Output || got.Cycles != want.Cycles {
+			t.Fatalf("Simulate #%d: got %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestEngineCatchConcurrent mixes runs whose resource faults are caught by
+// catch/3 — the ball area is written and must be invisible to the next run
+// on the recycled state.
+func TestEngineCatchConcurrent(t *testing.T) {
+	src := `
+build(0, []).
+build(N, [N|T]) :- N > 0, M is N - 1, build(M, T).
+main :- catch(build(3000, _L), resource_error(A), (write(caught(A)), nl)).
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught, err := prog.RunWith(RunOptions{HeapWords: 4096})
+	if err != nil {
+		t.Fatalf("serial caught run: %v", err)
+	}
+	if !strings.Contains(caught.Output, "caught(heap)") {
+		t.Fatalf("serial caught run output %q", caught.Output)
+	}
+	plain, err := prog.RunWith(RunOptions{})
+	if err != nil {
+		t.Fatalf("serial plain run: %v", err)
+	}
+
+	eng := NewEngine(prog)
+	runs := make([]RunOptions, 40)
+	for i := range runs {
+		if i%2 == 0 {
+			runs[i] = RunOptions{HeapWords: 4096}
+		}
+	}
+	for i, g := range eng.RunAll(context.Background(), runs) {
+		if g.Err != nil {
+			t.Fatalf("run %d: %v", i, g.Err)
+		}
+		want := plain
+		if i%2 == 0 {
+			want = caught
+		}
+		if g.Result.Output != want.Output {
+			t.Fatalf("run %d: output %q, want %q", i, g.Result.Output, want.Output)
+		}
+	}
+}
+
+// TestEngineRunAllocs asserts the point of the pool: steady-state pooled
+// runs allocate far less than the allocate-per-run baseline (which makes a
+// fresh ~19M-word memory image and rescans the code for every query).
+func TestEngineRunAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector; allocation counts are not meaningful")
+	}
+	prog, err := Compile(engineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(prog)
+	ctx := context.Background()
+	// Warm the pool so the measurement sees the steady state.
+	if _, err := eng.Run(ctx, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := testing.AllocsPerRun(5, func() {
+		if _, err := prog.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	pooled := testing.AllocsPerRun(5, func() {
+		if _, err := eng.Run(ctx, RunOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/query: baseline=%.0f pooled=%.0f", baseline, pooled)
+	if pooled >= baseline/2 {
+		t.Fatalf("pooled path allocates %.0f objects/run, want < half of baseline %.0f", pooled, baseline)
+	}
+	if pooled > 64 {
+		t.Fatalf("pooled path allocates %.0f objects/run, want a small constant", pooled)
+	}
+}
+
+// TestEngineCancel covers ctx cancellation: an already-cancelled context
+// aborts every run with the typed ErrCanceled sentinel.
+func TestEngineCancel(t *testing.T) {
+	prog, err := Compile(engineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(prog)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, g := range eng.RunN(ctx, 4, RunOptions{}) {
+		if !errors.Is(g.Err, ErrCanceled) {
+			t.Fatalf("run %d: err=%v, want ErrCanceled", i, g.Err)
+		}
+	}
+}
+
+// TestEngineCtxDeadline checks that a context deadline is merged into the
+// run options and surfaces as the deadline fault.
+func TestEngineCtxDeadline(t *testing.T) {
+	src := `
+loop :- loop.
+main :- loop.
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(prog)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = eng.Run(ctx, RunOptions{})
+	if !errors.Is(err, ErrDeadline) && !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err=%v, want deadline or canceled fault", err)
+	}
+}

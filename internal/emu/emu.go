@@ -73,8 +73,19 @@ type Options struct {
 	// corresponding typed fault (catchable as resource_error(Area)).
 	Layout ic.Layout
 	// Deadline, when non-zero, aborts the run with fault.ErrDeadline once
-	// the wall clock passes it (checked every few thousand steps).
+	// the wall clock passes it (checked every fault.CheckInterval steps).
 	Deadline time.Time
+	// Interrupt, when non-nil, aborts the run with fault.ErrCanceled once
+	// it is closed (polled at the deadline cadence). It lets an embedding
+	// caller propagate context cancellation into a running query.
+	Interrupt <-chan struct{}
+	// State, when non-nil, is the caller-provided machine state to run in
+	// (memory image + register file). The machine assumes it is all zero —
+	// fresh from ic.NewState or restored by State.Reset — and marks every
+	// memory write in its dirty set. Recycling one State across runs avoids
+	// reallocating the multi-megaword memory image per query. Nil means
+	// allocate a private state for this run.
+	State *ic.State
 	// Trace, if non-nil, receives one line per executed instruction with
 	// machine-state context (debugging aid; very verbose).
 	Trace io.Writer
@@ -84,6 +95,7 @@ type Options struct {
 type Machine struct {
 	prog *ic.Program
 	opts Options
+	st   *ic.State
 	mem  []word.W
 	regs []word.W
 	pc   int
@@ -119,28 +131,22 @@ func overflowKind(r ic.Region) fault.Kind {
 	return fault.InvalidMemory
 }
 
-// New prepares a machine for prog.
+// New prepares a machine for prog. When opts.State is set the machine runs
+// in that (zeroed) state; otherwise it allocates a private one.
 func New(prog *ic.Program, opts Options) *Machine {
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 4e9
 	}
-	maxReg := ic.Reg(0)
-	for i := range prog.Code {
-		in := &prog.Code[i]
-		if d := in.Def(); d > maxReg {
-			maxReg = d
-		}
-		for _, u := range in.Uses(nil) {
-			if u > maxReg {
-				maxReg = u
-			}
-		}
+	st := opts.State
+	if st == nil {
+		st = ic.NewState()
 	}
 	m := &Machine{
 		prog: prog,
 		opts: opts,
-		mem:  make([]word.W, ic.MemWords),
-		regs: make([]word.W, maxReg+1),
+		st:   st,
+		mem:  st.Mem(),
+		regs: st.Regs(int(prog.MaxReg()) + 1),
 		pc:   prog.Entry,
 	}
 	for r := ic.RegionHeap; r <= ic.RegionBall; r++ {
@@ -181,6 +187,7 @@ func (m *Machine) faultErr(k fault.Kind) error {
 func (m *Machine) raise(k fault.Kind) (redirect bool, err error) {
 	if fault.Catchable(k) && m.prog.ThrowPC > 0 &&
 		mterm.BallFault(m.mem, m.prog.Atoms, fault.BallName(k)) {
+		m.st.TouchRange(ic.BallBase, ic.BallBase+ic.BallSize)
 		m.pendingFault = k
 		return true, nil
 	}
@@ -222,8 +229,17 @@ func (m *Machine) Run() (*Result, error) {
 		if steps >= m.opts.MaxSteps {
 			return nil, m.faultErr(fault.StepLimit)
 		}
-		if steps&4095 == 0 && !m.opts.Deadline.IsZero() && time.Now().After(m.opts.Deadline) {
-			return nil, m.faultErr(fault.Deadline)
+		if steps&(fault.CheckInterval-1) == 0 {
+			if !m.opts.Deadline.IsZero() && time.Now().After(m.opts.Deadline) {
+				return nil, m.faultErr(fault.Deadline)
+			}
+			if m.opts.Interrupt != nil {
+				select {
+				case <-m.opts.Interrupt:
+					return nil, m.faultErr(fault.Canceled)
+				default:
+				}
+			}
 		}
 		steps++
 		in := &code[m.pc]
@@ -273,6 +289,7 @@ func (m *Machine) Run() (*Result, error) {
 				return nil, e
 			}
 			m.mem[addr] = m.regs[in.B]
+			m.st.Touch(addr)
 		case ic.Add, ic.Sub, ic.Mul, ic.Div, ic.Mod, ic.And, ic.Or, ic.Xor, ic.Shl, ic.Shr:
 			a := m.regs[in.A].Int()
 			var b int64
@@ -432,7 +449,11 @@ func (m *Machine) sys(in *ic.Inst) error {
 		}
 		m.regs[ic.RegRV] = word.MakeInt(int64(c))
 	case ic.SysBallPut:
-		if err := mterm.BallPut(m.mem, m.regs[in.A]); err != nil {
+		// Touch before the error check: a failed copy may still have
+		// written part of the ball area, and Reset must see it.
+		err := mterm.BallPut(m.mem, m.regs[in.A])
+		m.st.TouchRange(ic.BallBase, ic.BallBase+ic.BallSize)
+		if err != nil {
 			return m.fail(err.Error())
 		}
 		// A user throw supersedes any converted resource fault in flight.

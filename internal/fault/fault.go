@@ -34,6 +34,9 @@ const (
 	// A ball thrown via throw/1 (or a converted resource fault) unwound
 	// the whole choice-point stack without finding a catch/3 frame.
 	UncaughtThrow
+	// The embedding caller cancelled the run (context cancellation); like
+	// the budget faults it is deliberately not catchable.
+	Canceled
 )
 
 var kindNames = [...]string{
@@ -41,7 +44,16 @@ var kindNames = [...]string{
 	"choice-point-stack overflow", "trail overflow", "pdl overflow",
 	"step limit exceeded", "cycle limit exceeded", "deadline exceeded",
 	"zero divisor", "invalid memory access", "uncaught exception",
+	"run canceled",
 }
+
+// CheckInterval is the polling cadence, in executed steps or issued cycles,
+// at which both executors test the wall-clock deadline and the caller's
+// cancellation signal. It is shared so the sequential emulator and the VLIW
+// simulator cannot drift apart; it must stay a power of two (the executors
+// poll with a mask). The differential fault-injection harness covers the
+// parity.
+const CheckInterval = 4096
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -79,6 +91,7 @@ var (
 	ErrZeroDivide    = &Fault{Kind: ZeroDivide}
 	ErrInvalidMemory = &Fault{Kind: InvalidMemory}
 	ErrUncaughtThrow = &Fault{Kind: UncaughtThrow}
+	ErrCanceled      = &Fault{Kind: Canceled}
 )
 
 // Of returns the sentinel for k (nil for None).
@@ -106,6 +119,8 @@ func Of(k Kind) *Fault {
 		return ErrInvalidMemory
 	case UncaughtThrow:
 		return ErrUncaughtThrow
+	case Canceled:
+		return ErrCanceled
 	}
 	return nil
 }

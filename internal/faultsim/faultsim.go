@@ -16,6 +16,7 @@ package faultsim
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"symbol/internal/compile"
 	"symbol/internal/core"
@@ -57,11 +58,15 @@ func Compile(src string) (*Unit, error) {
 }
 
 // Opts bound one injected run. Zero values mean the executor defaults
-// (full-size areas, default budgets).
+// (full-size areas, default budgets, no deadline).
 type Opts struct {
 	MaxSteps  int64 // sequential budget
 	MaxCycles int64 // VLIW budget
 	Layout    ic.Layout
+	// Deadline injects a wall-clock bound into both executors. They must
+	// poll it at the same cadence (fault.CheckInterval) and classify a miss
+	// as the same fault.Deadline kind; a differential run catches drift.
+	Deadline time.Time
 }
 
 // Outcome classifies how a run ended.
@@ -91,6 +96,7 @@ func (u *Unit) Seq(opts Opts) Outcome {
 	res, err := emu.Run(u.IC, emu.Options{
 		MaxSteps: opts.MaxSteps,
 		Layout:   opts.Layout,
+		Deadline: opts.Deadline,
 	})
 	if err != nil {
 		return Outcome{Kind: Classify(err), Err: err}
@@ -127,6 +133,7 @@ func (u *Unit) VLIW(opts Opts) (Outcome, error) {
 	res, err := vliw.Sim(vp, vliw.SimOptions{
 		MaxCycles: opts.MaxCycles,
 		Layout:    opts.Layout,
+		Deadline:  opts.Deadline,
 	})
 	if err != nil {
 		return Outcome{Kind: Classify(err), Err: err}, nil

@@ -2,6 +2,7 @@ package faultsim
 
 import (
 	"testing"
+	"time"
 
 	"symbol/internal/fault"
 	"symbol/internal/ic"
@@ -69,5 +70,40 @@ func TestStressedAreaFaults(t *testing.T) {
 					p.Stresses, out.Kind, out.Err, want[p.Stresses])
 			}
 		})
+	}
+}
+
+// TestDeadlineParity injects an already-expired wall-clock deadline into
+// both executors and requires them to classify it as the same fault kind
+// (fault.Deadline) — the differential guard for the shared polling cadence.
+// Both poll at step/cycle 0 (fault.CheckInterval aligned), so an expired
+// deadline is detected before any work happens and the test is not timing
+// sensitive.
+func TestDeadlineParity(t *testing.T) {
+	u, err := Compile(Programs()[0].Src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	opts := Opts{Deadline: time.Now().Add(-time.Second)}
+	seq, par, err := u.Differential(opts)
+	if err != nil {
+		t.Fatalf("differential: %v", err)
+	}
+	if seq.Kind != fault.Deadline {
+		t.Fatalf("sequential deadline kind = %v (err=%v), want %v", seq.Kind, seq.Err, fault.Deadline)
+	}
+	if par.Kind != fault.Deadline {
+		t.Fatalf("vliw deadline kind = %v (err=%v), want %v", par.Kind, par.Err, fault.Deadline)
+	}
+	if !Agree(seq, par) {
+		t.Fatalf("deadline outcomes disagree: seq=%v par=%v", seq.Kind, par.Kind)
+	}
+}
+
+// TestCheckIntervalPowerOfTwo pins the cadence contract: the executors poll
+// with a mask, so the shared interval must stay a power of two.
+func TestCheckIntervalPowerOfTwo(t *testing.T) {
+	if n := fault.CheckInterval; n <= 0 || n&(n-1) != 0 {
+		t.Fatalf("fault.CheckInterval = %d, want a positive power of two", n)
 	}
 }

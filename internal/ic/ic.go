@@ -12,6 +12,7 @@ package ic
 
 import (
 	"fmt"
+	"sync"
 
 	"symbol/internal/term"
 	"symbol/internal/word"
@@ -277,6 +278,31 @@ type Program struct {
 	// resource fault into a catchable ball (0 for programs without the
 	// runtime routines, e.g. hand-assembled tests).
 	ThrowPC int
+
+	maxRegOnce sync.Once
+	maxReg     Reg
+}
+
+// MaxReg returns the highest register number named anywhere in the program,
+// computed once and cached: executors size their register files from it, and
+// a pooled engine must not rescan the whole code array on every query. Code
+// must not be mutated after the first call.
+func (p *Program) MaxReg() Reg {
+	p.maxRegOnce.Do(func() {
+		var buf [4]Reg
+		for i := range p.Code {
+			in := &p.Code[i]
+			if d := in.Def(); d > p.maxReg {
+				p.maxReg = d
+			}
+			for _, u := range in.Uses(buf[:0]) {
+				if u > p.maxReg {
+					p.maxReg = u
+				}
+			}
+		}
+	})
+	return p.maxReg
 }
 
 // Simulated memory layout: distinct stack areas per the WAM/BAM model

@@ -1,0 +1,124 @@
+package ic
+
+import "symbol/internal/word"
+
+// Dirty-page tracking granularity. Every store into the simulated memory
+// marks its page; Reset zeroes only the marked pages, so recycling a State
+// across runs costs O(words actually written), not O(MemWords). 4096 words
+// (one 32 KiB span) keeps the page table tiny (~4700 entries) while making
+// the per-store bookkeeping a shift, a byte load and a rarely-taken branch.
+const (
+	PageShift = 12
+	PageWords = 1 << PageShift
+	numPages  = (MemWords + PageWords - 1) / PageWords
+)
+
+// State is one executor's worth of mutable machine state: the simulated
+// tagged memory image and the (virtual) register file, plus the VLIW
+// simulator's per-register ready cycles. It exists so that an embedding
+// process serving many queries can recycle the multi-megaword memory image
+// through a pool instead of allocating and faulting it in from scratch on
+// every run.
+//
+// A State is NOT safe for concurrent use; it represents one machine. The
+// contract with the executors:
+//
+//   - a fresh State is all zeroes, exactly like a freshly made slice;
+//   - the executor calls Touch (or TouchRange) for every memory word it
+//     writes;
+//   - Reset restores the all-zero state in time proportional to the pages
+//     dirtied since the previous Reset.
+type State struct {
+	mem   []word.W
+	regs  []word.W
+	ready []int64
+
+	dirty    []int32 // indices of dirtied pages, in first-touch order
+	dirtyBit []bool  // per-page dirty flag
+}
+
+// NewState allocates a zeroed machine state sized for the compile-time
+// memory layout.
+func NewState() *State {
+	return &State{
+		mem:      make([]word.W, MemWords),
+		dirtyBit: make([]bool, numPages),
+	}
+}
+
+// Mem returns the simulated memory image (always MemWords long).
+func (s *State) Mem() []word.W { return s.mem }
+
+// Regs returns a zeroed register file of at least n registers, reusing the
+// previous run's backing array when it is large enough. (Reset already
+// zeroed it; growth allocates fresh, which is zero by construction.)
+func (s *State) Regs(n int) []word.W {
+	if cap(s.regs) < n {
+		s.regs = make([]word.W, n)
+	} else {
+		s.regs = s.regs[:n]
+	}
+	return s.regs
+}
+
+// Ready returns a zeroed ready-cycle array of at least n entries for the
+// VLIW simulator's latency bookkeeping, with the same reuse contract as
+// Regs.
+func (s *State) Ready(n int) []int64 {
+	if cap(s.ready) < n {
+		s.ready = make([]int64, n)
+	} else {
+		s.ready = s.ready[:n]
+	}
+	return s.ready
+}
+
+// Touch marks the page holding addr dirty. Callers must Touch every memory
+// word they write, or Reset will miss it. Out-of-image addresses are
+// ignored (the executors bounds-check stores before writing).
+func (s *State) Touch(addr uint64) {
+	pg := addr >> PageShift
+	if pg < uint64(len(s.dirtyBit)) && !s.dirtyBit[pg] {
+		s.dirtyBit[pg] = true
+		s.dirty = append(s.dirty, int32(pg))
+	}
+}
+
+// TouchRange marks every page intersecting [lo, hi) dirty. Used for bulk
+// writers (the ball-copy routines) whose exact extent is inconvenient to
+// track store by store.
+func (s *State) TouchRange(lo, hi uint64) {
+	if hi > uint64(len(s.mem)) {
+		hi = uint64(len(s.mem))
+	}
+	if lo >= hi {
+		return
+	}
+	for pg := lo >> PageShift; pg <= (hi-1)>>PageShift; pg++ {
+		if !s.dirtyBit[pg] {
+			s.dirtyBit[pg] = true
+			s.dirty = append(s.dirty, int32(pg))
+		}
+	}
+}
+
+// DirtyPages reports how many memory pages have been written since the last
+// Reset (observability for pool tuning and tests).
+func (s *State) DirtyPages() int { return len(s.dirty) }
+
+// Reset restores the all-zero state: it zeroes exactly the dirtied memory
+// pages, the register file and the ready array, then clears the dirty set.
+func (s *State) Reset() {
+	for _, pg := range s.dirty {
+		lo := int(pg) << PageShift
+		hi := lo + PageWords
+		if hi > len(s.mem) {
+			hi = len(s.mem)
+		}
+		clear(s.mem[lo:hi])
+		s.dirtyBit[pg] = false
+	}
+	s.dirty = s.dirty[:0]
+	clear(s.regs[:cap(s.regs)])
+	clear(s.ready[:cap(s.ready)])
+}

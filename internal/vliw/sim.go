@@ -29,8 +29,16 @@ type SimOptions struct {
 	// compile-time defaults, mirroring emu.Options.Layout.
 	Layout ic.Layout
 	// Deadline, when non-zero, aborts the run with fault.ErrDeadline once
-	// the wall clock passes it.
+	// the wall clock passes it (checked every fault.CheckInterval cycles,
+	// the same cadence as the sequential emulator).
 	Deadline time.Time
+	// Interrupt, when non-nil, aborts the run with fault.ErrCanceled once
+	// it is closed (polled at the deadline cadence), mirroring emu.Options.
+	Interrupt <-chan struct{}
+	// State, when non-nil, is the caller-provided machine state (memory
+	// image, register file, ready cycles) to run in; it must be all zero.
+	// Mirrors emu.Options.State.
+	State *ic.State
 	// Trace, if non-nil, receives one line per executed word (debug aid).
 	Trace io.Writer
 }
@@ -88,22 +96,14 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 	if opts.MaxCycles == 0 {
 		opts.MaxCycles = 6e9
 	}
-	maxReg := ic.Reg(0)
-	for _, w := range p.Words {
-		for _, op := range w {
-			if d := op.Inst.Def(); d > maxReg {
-				maxReg = d
-			}
-			for _, u := range op.Inst.Uses(nil) {
-				if u > maxReg {
-					maxReg = u
-				}
-			}
-		}
+	st := opts.State
+	if st == nil {
+		st = ic.NewState()
 	}
-	regs := make([]word.W, maxReg+1)
-	ready := make([]int64, maxReg+1)
-	mem := make([]word.W, ic.MemWords)
+	nregs := int(p.MaxReg()) + 1
+	regs := st.Regs(nregs)
+	ready := st.Ready(nregs)
+	mem := st.Mem()
 	var out strings.Builder
 
 	res := &SimResult{}
@@ -139,6 +139,7 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 	raise := func(w int, k fault.Kind) error {
 		if fault.Catchable(k) && throwWord >= 0 &&
 			mterm.BallFault(mem, p.IC.Atoms, fault.BallName(k)) {
+			st.TouchRange(ic.BallBase, ic.BallBase+ic.BallSize)
 			pendingFault = k
 			return nil
 		}
@@ -156,8 +157,17 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 		if cycle >= opts.MaxCycles {
 			return nil, faultErr(pcW, fault.CycleLimit)
 		}
-		if cycle&4095 == 0 && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			return nil, faultErr(pcW, fault.Deadline)
+		if cycle&(fault.CheckInterval-1) == 0 {
+			if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+				return nil, faultErr(pcW, fault.Deadline)
+			}
+			if opts.Interrupt != nil {
+				select {
+				case <-opts.Interrupt:
+					return nil, faultErr(pcW, fault.Canceled)
+				default:
+				}
+			}
 		}
 		if pcW < 0 || pcW >= len(p.Words) {
 			return nil, fail(pcW, "word index out of range")
@@ -228,6 +238,7 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 					return nil, e
 				}
 				mem[addr] = v
+				st.Touch(addr)
 			case ic.Add, ic.Sub, ic.Mul, ic.Div, ic.Mod, ic.And, ic.Or, ic.Xor, ic.Shl, ic.Shr:
 				av, err := read(pcW, in.A)
 				if err != nil {
@@ -366,7 +377,11 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 					if err != nil {
 						return nil, err
 					}
-					if err := mterm.BallPut(mem, av); err != nil {
+					// Touch before the error check: a failed copy may still
+					// have written part of the ball area.
+					err = mterm.BallPut(mem, av)
+					st.TouchRange(ic.BallBase, ic.BallBase+ic.BallSize)
+					if err != nil {
 						return nil, fail(pcW, "%v", err)
 					}
 					pendingFault = fault.None

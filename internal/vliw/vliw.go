@@ -10,6 +10,7 @@ package vliw
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"symbol/internal/ic"
 	"symbol/internal/machine"
@@ -37,6 +38,33 @@ type Program struct {
 	// TraceBounds marks the first word index of every emitted trace, used
 	// by listings and statistics.
 	TraceBounds []int
+
+	maxRegOnce sync.Once
+	maxReg     ic.Reg
+}
+
+// MaxReg returns the highest register number named anywhere in the
+// scheduled code, computed once and cached so repeated simulations of a
+// pooled program do not rescan every word. Words must not be mutated after
+// the first call.
+func (p *Program) MaxReg() ic.Reg {
+	p.maxRegOnce.Do(func() {
+		var buf [4]ic.Reg
+		for _, w := range p.Words {
+			for i := range w {
+				in := &w[i].Inst
+				if d := in.Def(); d > p.maxReg {
+					p.maxReg = d
+				}
+				for _, u := range in.Uses(buf[:0]) {
+					if u > p.maxReg {
+						p.maxReg = u
+					}
+				}
+			}
+		}
+	})
+	return p.maxReg
 }
 
 // OpCount returns the number of static operations (excluding empty slots).

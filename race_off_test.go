@@ -1,0 +1,5 @@
+//go:build !race
+
+package symbol
+
+const raceEnabled = false

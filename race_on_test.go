@@ -1,0 +1,8 @@
+//go:build race
+
+package symbol
+
+// raceEnabled reports whether the race detector is compiled in. Under it,
+// sync.Pool intentionally drops items at random to surface races, so
+// allocation-count assertions about pooling are not meaningful.
+const raceEnabled = true

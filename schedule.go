@@ -110,6 +110,9 @@ func (s *Scheduled) Simulate() (*SimResult, error) {
 // with the same typed-fault and catch/3 semantics as Program.RunWith.
 func (s *Scheduled) SimulateWith(opts RunOptions) (_ *SimResult, err error) {
 	defer guard(&err)
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	r, err := vliw.Sim(s.vprog, vliw.SimOptions{
 		MaxCycles: opts.MaxCycles,
 		Layout:    opts.layout(),

@@ -20,6 +20,7 @@ package symbol
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"symbol/internal/bam"
@@ -47,6 +48,7 @@ var (
 	ErrZeroDivide    = fault.ErrZeroDivide
 	ErrInvalidMemory = fault.ErrInvalidMemory
 	ErrUncaughtThrow = fault.ErrUncaughtThrow
+	ErrCanceled      = fault.ErrCanceled
 )
 
 // guard converts an escaped panic into an error at the API boundary, so no
@@ -71,6 +73,43 @@ type RunOptions struct {
 	CPWords    int64
 	TrailWords int64
 	PDLWords   int64
+}
+
+// OptionError reports a RunOptions field holding a nonsensical value (for
+// example a negative area size or budget). It is returned before any
+// machine state is touched, so an invalid request can never fault or panic
+// deep inside an executor.
+type OptionError struct {
+	Field string // the offending RunOptions field name
+	Value int64
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("symbol: invalid RunOptions.%s: %d", e.Field, e.Value)
+}
+
+// Validate checks the options. Zero values are always valid (they mean the
+// defaults); negative budgets and negative area sizes are rejected with a
+// *OptionError. Oversized areas are not an error — ic.Layout clamps them to
+// the compile-time maximums.
+func (o RunOptions) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int64
+	}{
+		{"MaxSteps", o.MaxSteps},
+		{"MaxCycles", o.MaxCycles},
+		{"HeapWords", o.HeapWords},
+		{"EnvWords", o.EnvWords},
+		{"CPWords", o.CPWords},
+		{"TrailWords", o.TrailWords},
+		{"PDLWords", o.PDLWords},
+	} {
+		if f.v < 0 {
+			return &OptionError{Field: f.name, Value: f.v}
+		}
+	}
+	return nil
 }
 
 func (o RunOptions) layout() ic.Layout {
@@ -105,13 +144,18 @@ func DefaultOptions() Options {
 }
 
 // Program is a compiled Prolog program ready for emulation and scheduling.
+// It is immutable after CompileWith and safe to share across goroutines:
+// the only lazily computed piece of state, the execution profile, is built
+// under a sync.Once.
 type Program struct {
 	opts      Options
 	bam       *bam.Unit
 	icp       *ic.Program
 	undefined []string
 
-	profile *emu.Profile
+	profOnce sync.Once
+	profile  *emu.Profile
+	profErr  error
 }
 
 // Compile parses and compiles src (which must define main/0) with default
@@ -172,6 +216,9 @@ func (p *Program) Run() (*Result, error) {
 // and friends) unless the program catches them with catch/3.
 func (p *Program) RunWith(opts RunOptions) (_ *Result, err error) {
 	defer guard(&err)
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = p.opts.MaxSteps
@@ -201,15 +248,19 @@ type Result struct {
 // caches the result (used by the trace scheduler and the analyses). It
 // always runs under the default memory layout: the profile must describe
 // the program's normal behaviour, not a fault-injected run.
-func (p *Program) Profile() (_ *emu.Profile, err error) {
-	defer guard(&err)
-	if p.profile != nil {
-		return p.profile, nil
-	}
-	res, err := emu.Run(p.icp, emu.Options{MaxSteps: p.opts.MaxSteps, Profile: true})
-	if err != nil {
-		return nil, err
-	}
-	p.profile = res.Profile
-	return p.profile, nil
+//
+// The profiling run happens exactly once per Program, under a sync.Once, so
+// concurrent callers are safe and all observe the same cached profile (or
+// the same error).
+func (p *Program) Profile() (*emu.Profile, error) {
+	p.profOnce.Do(func() {
+		defer guard(&p.profErr)
+		res, err := emu.Run(p.icp, emu.Options{MaxSteps: p.opts.MaxSteps, Profile: true})
+		if err != nil {
+			p.profErr = err
+			return
+		}
+		p.profile = res.Profile
+	})
+	return p.profile, p.profErr
 }
