@@ -31,6 +31,7 @@ import (
 var (
 	maxSteps = flag.Int64("maxsteps", 0, "abort a query after this many ICI steps (0 = default limit)")
 	timeout  = flag.Duration("timeout", 0, "abort a query after this wall-clock duration (0 = none)")
+	noFuse   = flag.Bool("nofuse", false, "disable superinstruction fusion (plain predecoded stream)")
 )
 
 func main() {
@@ -149,7 +150,7 @@ func ask(program []term.Term, query string, all bool) error {
 	if *timeout > 0 {
 		deadline = time.Now().Add(*timeout)
 	}
-	res, err := emu.Run(prog, emu.Options{MaxSteps: *maxSteps, Deadline: deadline})
+	res, err := emu.Run(prog, emu.Options{MaxSteps: *maxSteps, Deadline: deadline, NoFuse: *noFuse})
 	if err != nil {
 		return err
 	}

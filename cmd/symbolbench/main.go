@@ -9,6 +9,10 @@
 //	symbolbench -exp fig2,fig3  # a comma-separated subset
 //	symbolbench -parallel 4     # pooled-engine throughput vs baseline
 //	symbolbench -parallel 4 -bench queens_8 -runs 64
+//	symbolbench -emubench       # emulator steps/sec: legacy vs nofuse vs fused
+//	symbolbench -emubench -emumode legacy -benchjson BENCH_baseline.json
+//	symbolbench -smoke          # fail if fusion lost throughput vs nofuse
+//	symbolbench -emubench -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: fig2, fig3, table1, table2 (includes fig4), table3
 // (includes fig6), table4, table5.
@@ -40,12 +44,33 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiments to run (comma separated): fig2,fig3,table1,table2,fig4,table3,fig6,table4,table5,all")
 	parallel := flag.Int("parallel", 0, "engine-benchmark mode: drive a pooled symbol.Engine with this many workers (0 = run the paper experiments)")
-	benchName := flag.String("bench", "queens_8", "benchmark program for -parallel mode")
+	benchName := flag.String("bench", "queens_8", "benchmark program for -parallel and -emubench modes")
 	runs := flag.Int("runs", 32, "queries per path in -parallel mode")
+	emubench := flag.Bool("emubench", false, "emulator-throughput mode: measure ICI steps/sec on -bench under -emumode")
+	emumode := flag.String("emumode", "all", "execution modes for -emubench (comma separated): legacy, nofuse, fused, all")
+	emuruns := flag.Int("emuruns", 5, "timed runs per mode in -emubench mode")
+	benchJSON := flag.String("benchjson", "", "write -emubench results as JSON to this file")
+	smoke := flag.Bool("smoke", false, "with -emubench: measure nofuse vs fused and fail if fusion lost throughput")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
 
+	if *emubench || *smoke {
+		err := withProfiles(*cpuprofile, *memprofile, func() error {
+			return benchEmuSteps(*benchName, *emumode, *emuruns, *benchJSON, *smoke)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "symbolbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *parallel > 0 {
-		if err := benchEngine(*benchName, *parallel, *runs); err != nil {
+		err := withProfiles(*cpuprofile, *memprofile, func() error {
+			return benchEngine(*benchName, *parallel, *runs)
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "symbolbench:", err)
 			os.Exit(1)
 		}

@@ -114,6 +114,7 @@ func (e *Engine) Run(ctx context.Context, opts RunOptions) (_ *Result, err error
 		Deadline:  opts.Deadline,
 		Interrupt: interruptOf(ctx),
 		State:     st,
+		NoFuse:    opts.NoFuse,
 	})
 	clean = true
 	if err != nil {

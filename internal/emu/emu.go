@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"symbol/internal/exec"
 	"symbol/internal/fault"
 	"symbol/internal/ic"
 	"symbol/internal/mterm"
@@ -87,8 +88,19 @@ type Options struct {
 	// allocate a private state for this run.
 	State *ic.State
 	// Trace, if non-nil, receives one line per executed instruction with
-	// machine-state context (debugging aid; very verbose).
+	// machine-state context (debugging aid; very verbose). Tracing implies
+	// the legacy reference interpreter: superinstruction fusion is disabled
+	// so every ICI produces exactly one trace line.
 	Trace io.Writer
+	// NoFuse runs on the plain predecoded stream, one internal op per ICI,
+	// with superinstruction fusion disabled. Observable behaviour is
+	// identical either way (that is differentially tested); the flag exists
+	// for benchmarking and for pinning down a miscompare.
+	NoFuse bool
+	// Legacy forces the original non-predecoded reference interpreter, the
+	// semantic baseline the predecoded loops are verified against (implied
+	// by Trace). Kept for differential tests and baseline benchmarks.
+	Legacy bool
 }
 
 // Machine is the sequential IC interpreter.
@@ -149,6 +161,10 @@ func New(prog *ic.Program, opts Options) *Machine {
 		regs: st.Regs(int(prog.MaxReg()) + 1),
 		pc:   prog.Entry,
 	}
+	// Unannotated stores never region-fault: give RegionUnknown an
+	// unreachable limit so the predecoded store handler needs no separate
+	// "is this store annotated" test.
+	m.limit[ic.RegionUnknown] = ^uint64(0)
 	for r := ic.RegionHeap; r <= ic.RegionBall; r++ {
 		m.limit[r] = opts.Layout.Limit(r)
 	}
@@ -218,8 +234,29 @@ func (m *Machine) load(addr uint64) (word.W, error) {
 	return m.mem[addr], nil
 }
 
-// Run interprets until Halt, an error, or the step limit.
+// Run interprets until Halt, an error, or the step limit. The hot path runs
+// over the program's predecoded stream (internal/exec), fused unless
+// opts.NoFuse; tracing (or opts.Legacy) selects the original reference
+// interpreter, which executes ic.Inst directly.
 func (m *Machine) Run() (*Result, error) {
+	if m.opts.Trace != nil || m.opts.Legacy {
+		return m.runLegacy()
+	}
+	xp := exec.Of(m.prog)
+	s := &xp.Fused
+	if m.opts.NoFuse {
+		s = &xp.Plain
+	}
+	if m.prof != nil {
+		return m.runProfiled(s)
+	}
+	return m.runFast(s)
+}
+
+// runLegacy is the original one-ICI-at-a-time interpreter. It is the
+// semantic reference for the predecoded loops in run.go and the only loop
+// that supports Trace.
+func (m *Machine) runLegacy() (*Result, error) {
 	code := m.prog.Code
 	var steps int64
 	for {
@@ -401,7 +438,11 @@ func (m *Machine) evalCmp(in *ic.Inst) bool {
 	case ic.CondEq, ic.CondNe:
 		var b word.W
 		if in.HasImm {
-			b = word.W(in.Imm)
+			// Full-word immediates live in Word, already tagged; Imm is
+			// only for the ordered value comparisons below. (Reinterpreting
+			// Imm's raw bits as a tagged word here compared against garbage
+			// whenever an emitter stored a plain integer in it.)
+			b = in.Word
 		} else {
 			b = m.regs[in.B]
 		}
@@ -430,34 +471,53 @@ func (m *Machine) evalCmp(in *ic.Inst) bool {
 	}
 }
 
+// The sys builtins are shared between the legacy and predecoded loops as
+// one small method per SysID (the predecoded stream has a distinct opcode
+// for each, so the legacy dispatch below is only used under Trace/Legacy).
+
+func (m *Machine) sysWrite(a ic.Reg) error {
+	s, err := mterm.FormatOps(mterm.SliceMem(m.mem), m.prog.Atoms, m.regs[a])
+	if err != nil {
+		return err
+	}
+	m.out.WriteString(s)
+	return nil
+}
+
+func (m *Machine) sysCompare(a, b ic.Reg) error {
+	c, err := mterm.Compare(mterm.SliceMem(m.mem), m.prog.Atoms, m.regs[a], m.regs[b])
+	if err != nil {
+		return err
+	}
+	m.regs[ic.RegRV] = word.MakeInt(int64(c))
+	return nil
+}
+
+func (m *Machine) sysBallPut(a ic.Reg) error {
+	// Touch before the error check: a failed copy may still have
+	// written part of the ball area, and Reset must see it.
+	err := mterm.BallPut(m.mem, m.regs[a])
+	m.st.TouchRange(ic.BallBase, ic.BallBase+ic.BallSize)
+	if err != nil {
+		return m.fail(err.Error())
+	}
+	// A user throw supersedes any converted resource fault in flight.
+	m.pendingFault = fault.None
+	return nil
+}
+
 func (m *Machine) sys(in *ic.Inst) error {
 	switch in.Sys {
 	case ic.SysWrite:
-		s, err := mterm.FormatOps(mterm.SliceMem(m.mem), m.prog.Atoms, m.regs[in.A])
-		if err != nil {
-			return err
-		}
-		m.out.WriteString(s)
+		return m.sysWrite(in.A)
 	case ic.SysNl:
 		m.out.WriteByte('\n')
 	case ic.SysWriteCode:
 		m.out.WriteByte(byte(m.regs[in.A].Int()))
 	case ic.SysCompare:
-		c, err := mterm.Compare(mterm.SliceMem(m.mem), m.prog.Atoms, m.regs[in.A], m.regs[in.B])
-		if err != nil {
-			return err
-		}
-		m.regs[ic.RegRV] = word.MakeInt(int64(c))
+		return m.sysCompare(in.A, in.B)
 	case ic.SysBallPut:
-		// Touch before the error check: a failed copy may still have
-		// written part of the ball area, and Reset must see it.
-		err := mterm.BallPut(m.mem, m.regs[in.A])
-		m.st.TouchRange(ic.BallBase, ic.BallBase+ic.BallSize)
-		if err != nil {
-			return m.fail(err.Error())
-		}
-		// A user throw supersedes any converted resource fault in flight.
-		m.pendingFault = fault.None
+		return m.sysBallPut(in.A)
 	default:
 		return m.fail("unknown sys op")
 	}

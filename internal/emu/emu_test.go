@@ -60,7 +60,7 @@ func TestALUOps(t *testing.T) {
 			{Op: ic.MovI, D: t1, Word: word.MakeInt(c.b)},
 			{Op: c.op, D: t0, A: t0, B: t1},
 			{Op: ic.BrCmp, A: t0, Cond: ic.CondEq, HasImm: true,
-				Imm: int64(word.MakeInt(c.want)), Target: 5},
+				Word: word.MakeInt(c.want), Target: 5},
 			{Op: ic.Halt, Imm: 1},
 			{Op: ic.Halt, Imm: 0},
 		}
@@ -77,7 +77,7 @@ func TestALUPreservesTag(t *testing.T) {
 		{Op: ic.Add, D: t0, A: t0, HasImm: true, Imm: 4},
 		{Op: ic.BrTag, A: t0, Cond: ic.CondNe, Tag: word.Lst, Target: 4},
 		{Op: ic.BrCmp, A: t0, Cond: ic.CondEq, HasImm: true,
-			Imm: int64(word.Make(word.Lst, 104)), Target: 5},
+			Word: word.Make(word.Lst, 104), Target: 5},
 		{Op: ic.Halt, Imm: 1},
 		{Op: ic.Halt, Imm: 0},
 	}
@@ -94,7 +94,7 @@ func TestMemoryAndLea(t *testing.T) {
 		{Op: ic.Lea, D: t1, A: ic.RegH, Imm: 2, Tag: word.Str},
 		{Op: ic.Ld, D: t0, A: t1, Imm: 0},
 		{Op: ic.BrCmp, A: t0, Cond: ic.CondNe, HasImm: true,
-			Imm: int64(word.MakeInt(99)), Target: 7},
+			Word: word.MakeInt(99), Target: 7},
 		{Op: ic.Halt, Imm: 0},
 		{Op: ic.Halt, Imm: 1},
 	}
@@ -120,7 +120,7 @@ func TestGetTag(t *testing.T) {
 		{Op: ic.MovI, D: t0, Word: word.Make(word.Atom, 5)},
 		{Op: ic.GetTag, D: t1, A: t0},
 		{Op: ic.BrCmp, A: t1, Cond: ic.CondNe, HasImm: true,
-			Imm: int64(word.MakeInt(int64(word.Atom))), Target: 4},
+			Word: word.MakeInt(int64(word.Atom)), Target: 4},
 		{Op: ic.Halt, Imm: 0},
 		{Op: ic.Halt, Imm: 1},
 	}
@@ -206,7 +206,7 @@ func TestSysCompareViaEmu(t *testing.T) {
 		{Op: ic.MovI, D: t0, Word: word.MakeInt(3)},
 		{Op: ic.SysOp, Sys: ic.SysCompare, A: rA, B: t0},
 		{Op: ic.BrCmp, A: ic.RegRV, Cond: ic.CondNe, HasImm: true,
-			Imm: int64(word.MakeInt(0)), Target: 5},
+			Word: word.MakeInt(0), Target: 5},
 		{Op: ic.Halt, Imm: 0},
 		{Op: ic.Halt, Imm: 1},
 	}
@@ -230,5 +230,69 @@ func TestOutputAndWriteCode(t *testing.T) {
 	}
 	if res.Output != "A\n-7" {
 		t.Errorf("output %q", res.Output)
+	}
+}
+
+// TestBrCmpEqImmWordSemantics is the regression test for the evalCmp
+// immediate-equality bug: CondEq/CondNe with HasImm compare the full tagged
+// word in Inst.Word. The old code reinterpreted Imm's raw bits as a tagged
+// word, so an emitter that stored a plain integer in Imm (here: 5, which as
+// raw bits is a Ref-tagged word) silently compared against garbage. The
+// instruction below carries that garbage Imm on purpose; all three
+// execution modes must ignore it and take the branch on the Word match.
+func TestBrCmpEqImmWordSemantics(t *testing.T) {
+	code := []ic.Inst{
+		{Op: ic.MovI, D: t0, Word: word.MakeInt(5)},
+		{Op: ic.BrCmp, A: t0, Cond: ic.CondEq, HasImm: true,
+			Word: word.MakeInt(5), Imm: 5, Target: 3},
+		{Op: ic.Halt, Imm: 1},
+		// Ne with a mismatched Word must also branch.
+		{Op: ic.BrCmp, A: t0, Cond: ic.CondNe, HasImm: true,
+			Word: word.MakeInt(6), Imm: 5, Target: 5},
+		{Op: ic.Halt, Imm: 1},
+		{Op: ic.Halt, Imm: 0},
+	}
+	prog := mkProg(code)
+	for _, opts := range []Options{
+		{MaxSteps: 100, Legacy: true},
+		{MaxSteps: 100, NoFuse: true},
+		{MaxSteps: 100},
+	} {
+		res, err := Run(prog, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != 0 {
+			t.Errorf("legacy=%v nofuse=%v: BrCmp imm compared raw Imm bits instead of Word",
+				opts.Legacy, opts.NoFuse)
+		}
+	}
+}
+
+// TestRunModesAgreeOnErrors spot-checks that the predecoded loops report
+// the same machine errors as the legacy interpreter, including the pc and
+// instruction context embedded in the rendered message.
+func TestRunModesAgreeOnErrors(t *testing.T) {
+	cases := [][]ic.Inst{
+		{{Op: ic.Jmp, Target: -3}},                             // static bad target
+		{{Op: ic.MovI, D: t0, Word: word.MakeInt(99)}, {Op: ic.JmpR, A: t0}}, // dynamic bad pc
+		{{Op: ic.MovI, D: t0, Word: word.MakeInt(0)},
+			{Op: ic.MovI, D: t1, Word: word.MakeInt(1)},
+			{Op: ic.Div, D: t1, A: t1, B: t0}}, // zero divide
+		{{Op: ic.MovI, D: t0, Word: word.MakeInt(-1)},
+			{Op: ic.Ld, D: t1, A: t0}}, // load out of range
+	}
+	for i, code := range cases {
+		prog := mkProg(code)
+		_, legacyErr := Run(prog, Options{MaxSteps: 100, Legacy: true})
+		if legacyErr == nil {
+			t.Fatalf("case %d: legacy run unexpectedly succeeded", i)
+		}
+		for _, opts := range []Options{{MaxSteps: 100, NoFuse: true}, {MaxSteps: 100}} {
+			_, err := Run(prog, opts)
+			if err == nil || err.Error() != legacyErr.Error() {
+				t.Errorf("case %d (nofuse=%v): error %v, legacy %v", i, opts.NoFuse, err, legacyErr)
+			}
+		}
 	}
 }

@@ -1,0 +1,481 @@
+// Package exec is the predecoded execution core shared by the sequential
+// IntCode emulator and the VLIW simulator. It translates ic.Inst — a
+// general, assembler-friendly record whose meaning depends on several
+// selector fields (HasImm, Cond, Sys, Region) — into a dense internal
+// format in which every operand form is a distinct opcode, so the hot
+// interpreter loops dispatch once per operation and never re-test selectors
+// that were fixed at assembly time. Branch targets are pre-resolved to
+// stream indices, out-of-range targets land on an explicit trap op, and
+// store-site region limits are reduced to a single table-indexed compare.
+//
+// On top of the predecoded stream, a peephole pass fuses the hottest
+// BAM-shaped instruction pairs into superinstructions (see fuse.go). Fused
+// ops carry the static ICI width of their constituents, so executors keep
+// reporting Steps, Expect/Taken and the paper's §3.1/§4 dynamic statistics
+// in original-ICI units: fusion changes dispatch counts, never the
+// architecture-level numbers.
+//
+// Predecoding is per-Program, lazy, and cached under a sync.Once (via
+// ic.Program.ExecCache), so a pooled engine answering many queries pays for
+// it once.
+package exec
+
+import (
+	"symbol/internal/ic"
+	"symbol/internal/word"
+)
+
+// XCode is a dense internal opcode. Unlike ic.Op, the operand form is part
+// of the opcode: register-vs-immediate ALU variants, branch conditions and
+// sys escapes are all split so the run loops dispatch without selector
+// tests.
+type XCode uint8
+
+const (
+	// XBadPC traps execution that reaches an invalid pc: a branch whose
+	// target was out of range at predecode time, or control falling off the
+	// end of the code. It is the zero Code so a zeroed op is a trap, never
+	// a silent nop.
+	XBadPC XCode = iota
+	XUnknown      // unknown ic.Op (matches the legacy "unknown opcode" error)
+	XNop
+
+	XLd // D = mem[val(A)+Imm]
+	XSt // mem[val(A)+Imm] = B, overflow-checked against limit[Region]
+
+	// ALU, register / immediate second operand.
+	XAddR
+	XAddI
+	XSubR
+	XSubI
+	XMulR
+	XMulI
+	XDivR
+	XDivI
+	XModR
+	XModI
+	XAndR
+	XAndI
+	XOrR
+	XOrI
+	XXorR
+	XXorI
+	XShlR
+	XShlI
+	XShrR
+	XShrI
+
+	XMkTag
+	XGetTag
+	XLea
+	XMov
+	XMovI
+
+	// Branches, split by condition and operand form. The Eq/Ne immediate
+	// form compares full tagged words held in W (see ic.Inst.Word); the
+	// ordered forms compare signed value fields.
+	XBrTagEq
+	XBrTagNe
+	XBrCmpEqR
+	XBrCmpNeR
+	XBrCmpEqI
+	XBrCmpNeI
+	XBrCmpOrdR // Cond ∈ {Lt, Le, Gt, Ge}
+	XBrCmpOrdI
+
+	XJmp
+	XJmpR
+	XJsr
+	XHalt
+
+	// Sys escapes, one opcode per builtin.
+	XSysWrite
+	XSysNl
+	XSysWriteCode
+	XSysCompare
+	XSysBallPut
+	XSysFault
+	XSysBad // unknown SysID (matches the legacy "unknown sys op" error)
+
+	// Superinstructions. Each fuses two ICIs; Width is 2 and the profiled
+	// loops account both constituent pcs (PC and PC+1). Second-constituent
+	// operands live in D2/A2/Imm2.
+	XFLdBrTagEq  // D = mem[A+Imm]; if tag(regs[D2]) == Tag goto Target
+	XFLdBrTagNe  // D = mem[A+Imm]; if tag(regs[D2]) != Tag goto Target
+	XFLdBrCmpEqR // D = mem[A+Imm]; if regs[D2] == regs[A2] goto Target
+	XFLdBrCmpNeR // D = mem[A+Imm]; if regs[D2] != regs[A2] goto Target
+	XFGetTagBrEqI
+	XFGetTagBrNeI
+	XFStAdd  // mem[A+Imm] = B (region-checked); D2 = D2 + Imm2
+	XFMovJmp // D = A; goto Target
+	XFCMovR  // if cmp(regs[A], regs[B], Cond) skip, else D2 = regs[A2]
+
+	// Memory-shaped pairs: choice-point pushes and restores are runs of
+	// adjacent stores/loads, and argument setup is runs of moves, so these
+	// dominate the unfused dynamic mix once the branch shapes are handled.
+	XFLdLd      // D = mem[A+Imm]; D2 = mem[A2+Imm2]
+	XFLdMov     // D = mem[A+Imm]; D2 = regs[A2]
+	XFStSt      // mem[A+Imm] = B (Region); mem[A2+Imm2] = regs[D2] (Region2)
+	XFStMovI    // mem[A+Imm] = B (Region); D2 = W
+	XFMovISt    // D = W; mem[A2+Imm2] = regs[D2] (Region2)
+	XFMovMov    // D = regs[A]; D2 = regs[A2]
+	XFMovBrTagEq // D = regs[A]; if tag(regs[D2]) == Tag goto Target
+	XFMovBrTagNe // D = regs[A]; if tag(regs[D2]) != Tag goto Target
+
+	NumCodes
+)
+
+var codeNames = [NumCodes]string{
+	"badpc", "unknown", "nop", "ld", "st",
+	"add.r", "add.i", "sub.r", "sub.i", "mul.r", "mul.i", "div.r", "div.i",
+	"mod.r", "mod.i", "and.r", "and.i", "or.r", "or.i", "xor.r", "xor.i",
+	"shl.r", "shl.i", "shr.r", "shr.i",
+	"mktag", "gettag", "lea", "mov", "movi",
+	"brtag.eq", "brtag.ne", "brcmp.eq.r", "brcmp.ne.r", "brcmp.eq.i",
+	"brcmp.ne.i", "brcmp.ord.r", "brcmp.ord.i",
+	"jmp", "jmpr", "jsr", "halt",
+	"sys.write", "sys.nl", "sys.write_code", "sys.compare", "sys.ball_put",
+	"sys.fault", "sys.bad",
+	"f.ld+brtag.eq", "f.ld+brtag.ne", "f.ld+brcmp.eq", "f.ld+brcmp.ne",
+	"f.gettag+br.eq", "f.gettag+br.ne", "f.st+add", "f.mov+jmp", "f.cmov",
+	"f.ld+ld", "f.ld+mov", "f.st+st", "f.st+movi", "f.movi+st", "f.mov+mov",
+	"f.mov+brtag.eq", "f.mov+brtag.ne",
+}
+
+func (c XCode) String() string {
+	if int(c) < len(codeNames) {
+		return codeNames[c]
+	}
+	return "xcode(?)"
+}
+
+// Fused reports whether the opcode is a superinstruction.
+func (c XCode) Fused() bool { return c >= XFLdBrTagEq && c < NumCodes }
+
+// hasTarget reports whether the op's Target field is a code address that
+// predecoding must remap to a stream index.
+func hasTarget(c XCode) bool {
+	switch c {
+	case XBrTagEq, XBrTagNe, XBrCmpEqR, XBrCmpNeR, XBrCmpEqI, XBrCmpNeI,
+		XBrCmpOrdR, XBrCmpOrdI, XJmp, XJsr,
+		XFLdBrTagEq, XFLdBrTagNe, XFLdBrCmpEqR, XFLdBrCmpNeR,
+		XFGetTagBrEqI, XFGetTagBrNeI, XFMovJmp, XFMovBrTagEq, XFMovBrTagNe:
+		return true
+	}
+	return false
+}
+
+// Op is one predecoded operation. Field use by opcode follows the comments
+// on the XCode constants; PC is the original pc of the (first) constituent,
+// used for return-address generation, profiling and error context.
+type Op struct {
+	Code    XCode
+	Width   uint8 // static ICI count: 1, or 2 for superinstructions
+	Tag     word.Tag
+	Region  ic.Region
+	Region2 ic.Region // second store's region in store-pair superinstructions
+	Cond    ic.Cond
+
+	D, A, B ic.Reg
+	D2, A2  ic.Reg
+
+	Imm    int64
+	Imm2   int64
+	W      word.W
+	Target int32
+	PC     int32
+}
+
+// Stream is one executable predecoded form of a program.
+type Stream struct {
+	// Ops is the operation stream. The ops after the program proper are
+	// XBadPC traps: one for control falling off the end of the code, plus
+	// one per statically out-of-range branch target (each trap's Imm holds
+	// the invalid pc it stands for, so the executor reports the same pc the
+	// legacy bounds check would have). Dispatching on a trap op replaces
+	// the per-iteration pc bounds test.
+	Ops []Op
+	// XOf maps an original pc to its stream index, or -1 when the pc was
+	// fused into the interior of a superinstruction. Interior pcs are never
+	// jump targets (the fusion pass refuses to consume them), so -1 is
+	// reachable only through arithmetic on code addresses, which nothing in
+	// the runtime model does.
+	XOf []int32
+	// Entry and Throw are the stream indices of the program entry and of
+	// the $throwunwind routine (Throw = -1 for programs without it).
+	Entry int32
+	Throw int32
+
+	bad int32 // index of the fall-off-the-end trap
+}
+
+// Lookup resolves an original pc to a stream index, returning a trap index
+// for pcs that are out of range or fused into a superinstruction interior.
+func (s *Stream) Lookup(pc int) int32 {
+	if pc < 0 || pc >= len(s.XOf) {
+		return s.bad
+	}
+	if x := s.XOf[pc]; x >= 0 {
+		return x
+	}
+	return s.bad
+}
+
+// Program is the predecoded execution image of one ic.Program: the plain
+// stream (one op per ICI, stream index == pc) and the fused stream (plain
+// plus superinstructions). Both are immutable after Predecode.
+type Program struct {
+	Plain Stream
+	Fused Stream
+	Stats Stats
+}
+
+// Stats summarizes the fusion pass over the static code.
+type Stats struct {
+	PlainOps int           // ICIs in the program
+	FusedOps int           // ops in the fused stream (excluding the trap)
+	Pairs    map[XCode]int // static superinstruction counts by opcode
+}
+
+// Of returns the cached predecoded image of p, building it on first use.
+func Of(p *ic.Program) *Program {
+	return p.ExecCache(func() any { return Predecode(p) }).(*Program)
+}
+
+// Decode1 predecodes a single ICI without target resolution: the Target
+// field is copied through verbatim. The VLIW simulator uses it per
+// operation slot, where targets are already word indices.
+func Decode1(in *ic.Inst, pc int) Op {
+	op := Op{
+		Width: 1, PC: int32(pc),
+		D: in.D, A: in.A, B: in.B,
+		Imm: in.Imm, W: in.Word,
+		Tag: in.Tag, Region: in.Reg, Cond: in.Cond,
+		Target: int32(in.Target),
+	}
+	alu := func(r, i XCode) XCode {
+		if in.HasImm {
+			return i
+		}
+		return r
+	}
+	switch in.Op {
+	case ic.Nop:
+		op.Code = XNop
+	case ic.Ld:
+		op.Code = XLd
+	case ic.St:
+		op.Code = XSt
+	case ic.Add:
+		op.Code = alu(XAddR, XAddI)
+	case ic.Sub:
+		op.Code = alu(XSubR, XSubI)
+	case ic.Mul:
+		op.Code = alu(XMulR, XMulI)
+	case ic.Div:
+		op.Code = alu(XDivR, XDivI)
+	case ic.Mod:
+		op.Code = alu(XModR, XModI)
+	case ic.And:
+		op.Code = alu(XAndR, XAndI)
+	case ic.Or:
+		op.Code = alu(XOrR, XOrI)
+	case ic.Xor:
+		op.Code = alu(XXorR, XXorI)
+	case ic.Shl:
+		op.Code = alu(XShlR, XShlI)
+	case ic.Shr:
+		op.Code = alu(XShrR, XShrI)
+	case ic.MkTag:
+		op.Code = XMkTag
+	case ic.GetTag:
+		op.Code = XGetTag
+	case ic.Lea:
+		op.Code = XLea
+	case ic.Mov:
+		op.Code = XMov
+	case ic.MovI:
+		op.Code = XMovI
+	case ic.BrTag:
+		// The reference interpreter treats every condition except Ne as Eq.
+		if in.Cond == ic.CondNe {
+			op.Code = XBrTagNe
+		} else {
+			op.Code = XBrTagEq
+		}
+	case ic.BrCmp:
+		switch in.Cond {
+		case ic.CondEq:
+			op.Code = alu(XBrCmpEqR, XBrCmpEqI)
+		case ic.CondNe:
+			op.Code = alu(XBrCmpNeR, XBrCmpNeI)
+		default:
+			op.Code = alu(XBrCmpOrdR, XBrCmpOrdI)
+		}
+	case ic.Jmp:
+		op.Code = XJmp
+	case ic.JmpR:
+		op.Code = XJmpR
+	case ic.Jsr:
+		op.Code = XJsr
+	case ic.Halt:
+		op.Code = XHalt
+	case ic.SysOp:
+		switch in.Sys {
+		case ic.SysWrite:
+			op.Code = XSysWrite
+		case ic.SysNl:
+			op.Code = XSysNl
+		case ic.SysWriteCode:
+			op.Code = XSysWriteCode
+		case ic.SysCompare:
+			op.Code = XSysCompare
+		case ic.SysBallPut:
+			op.Code = XSysBallPut
+		case ic.SysFault:
+			op.Code = XSysFault
+		default:
+			op.Code = XSysBad
+		}
+	default:
+		op.Code = XUnknown
+	}
+	return op
+}
+
+// OrdCmp compares signed value fields under an ordered BrCmp condition.
+func OrdCmp(a, b int64, c ic.Cond) bool {
+	switch c {
+	case ic.CondLt:
+		return a < b
+	case ic.CondLe:
+		return a <= b
+	case ic.CondGt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// CmpW is the full BrCmp register-form predicate: Eq/Ne compare whole
+// tagged words, ordered conditions compare signed value fields.
+func CmpW(a, b word.W, c ic.Cond) bool {
+	switch c {
+	case ic.CondEq:
+		return a == b
+	case ic.CondNe:
+		return a != b
+	default:
+		return OrdCmp(a.Int(), b.Int(), c)
+	}
+}
+
+// jumpTargets computes every pc that control can enter other than by
+// falling through from its predecessor: static branch targets, procedure
+// entries and other indirect-control pcs recorded in Entries, return points
+// after Jsr, and any code address materialized by MovI (retry addresses
+// stored into choice points). The fusion pass never consumes such a pc as
+// the second constituent of a superinstruction, which is what keeps every
+// reachable jump target addressable in the fused stream.
+func jumpTargets(p *ic.Program) []bool {
+	n := len(p.Code)
+	t := make([]bool, n)
+	mark := func(pc int) {
+		if pc >= 0 && pc < n {
+			t[pc] = true
+		}
+	}
+	mark(p.Entry)
+	mark(p.FailPC)
+	mark(p.ThrowPC)
+	for pc := range p.Entries {
+		mark(pc)
+	}
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		switch in.Op {
+		case ic.BrTag, ic.BrCmp, ic.Jmp, ic.Jsr:
+			mark(in.Target)
+			if in.Op == ic.Jsr {
+				mark(pc + 1)
+			}
+		case ic.MovI:
+			if in.Word.Tag() == word.Code {
+				mark(int(in.Word.Val()))
+			}
+		}
+	}
+	return t
+}
+
+// finish seals a stream: appends the trap ops, remaps branch targets from
+// original pcs to stream indices (out-of-range targets get a dedicated trap
+// carrying the invalid pc), and resolves the entry and throw indices.
+func finish(s *Stream, p *ic.Program) {
+	n := len(p.Code)
+	real := len(s.Ops)
+	s.bad = int32(real)
+	s.Ops = append(s.Ops, Op{Code: XBadPC, Width: 1, PC: int32(n), Imm: int64(n)})
+	for i := 0; i < real; i++ {
+		if !hasTarget(s.Ops[i].Code) {
+			continue
+		}
+		t := int(s.Ops[i].Target)
+		if t < 0 || t >= n {
+			s.Ops[i].Target = int32(len(s.Ops))
+			s.Ops = append(s.Ops, Op{Code: XBadPC, Width: 1, PC: s.Ops[i].PC, Imm: int64(t)})
+			continue
+		}
+		x := s.XOf[t]
+		if x < 0 {
+			// Unreachable by construction: jumpTargets marked every static
+			// target and the fusion pass refuses to bury marked pcs.
+			panic("exec: branch into superinstruction interior")
+		}
+		s.Ops[i].Target = x
+	}
+	s.Entry = s.Lookup(p.Entry)
+	s.Throw = -1
+	if p.ThrowPC > 0 {
+		s.Throw = s.Lookup(p.ThrowPC)
+	}
+}
+
+// Predecode builds the execution image of p. Callers normally use Of,
+// which caches the result on the program.
+func Predecode(p *ic.Program) *Program {
+	n := len(p.Code)
+	xp := &Program{Stats: Stats{PlainOps: n, Pairs: map[XCode]int{}}}
+
+	plain := &xp.Plain
+	plain.Ops = make([]Op, 0, n+1)
+	plain.XOf = make([]int32, n)
+	for pc := range p.Code {
+		plain.XOf[pc] = int32(pc)
+		plain.Ops = append(plain.Ops, Decode1(&p.Code[pc], pc))
+	}
+	finish(plain, p)
+
+	targets := jumpTargets(p)
+	fused := &xp.Fused
+	fused.Ops = make([]Op, 0, n+1)
+	fused.XOf = make([]int32, n)
+	for pc := 0; pc < n; {
+		if pc+1 < n && !targets[pc+1] {
+			if fop, ok := fusePair(&p.Code[pc], &p.Code[pc+1], pc); ok {
+				fused.XOf[pc] = int32(len(fused.Ops))
+				fused.XOf[pc+1] = -1
+				fused.Ops = append(fused.Ops, fop)
+				xp.Stats.Pairs[fop.Code]++
+				pc += 2
+				continue
+			}
+		}
+		fused.XOf[pc] = int32(len(fused.Ops))
+		fused.Ops = append(fused.Ops, Decode1(&p.Code[pc], pc))
+		pc++
+	}
+	xp.Stats.FusedOps = len(fused.Ops)
+	finish(fused, p)
+	return xp
+}

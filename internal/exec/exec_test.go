@@ -1,0 +1,250 @@
+package exec
+
+import (
+	"testing"
+
+	"symbol/internal/ic"
+	"symbol/internal/term"
+	"symbol/internal/word"
+)
+
+const (
+	t0 = ic.FirstTemp
+	t1 = ic.FirstTemp + 1
+	t2 = ic.FirstTemp + 2
+)
+
+func mkProg(code []ic.Inst) *ic.Program {
+	return &ic.Program{
+		Code:    code,
+		Atoms:   term.NewTable(),
+		Procs:   map[string]int{},
+		Names:   map[int]string{},
+		Entries: map[int]bool{0: true},
+	}
+}
+
+// TestDecode1Splits checks that the selector fields of ic.Inst become
+// distinct opcodes: the run loops rely on never having to test HasImm,
+// Cond or Sys again.
+func TestDecode1Splits(t *testing.T) {
+	cases := []struct {
+		in   ic.Inst
+		want XCode
+	}{
+		{ic.Inst{Op: ic.Add, D: t0, A: t0, B: t1}, XAddR},
+		{ic.Inst{Op: ic.Add, D: t0, A: t0, HasImm: true, Imm: 3}, XAddI},
+		{ic.Inst{Op: ic.Div, D: t0, A: t0, B: t1}, XDivR},
+		{ic.Inst{Op: ic.Shr, D: t0, A: t0, HasImm: true, Imm: 1}, XShrI},
+		{ic.Inst{Op: ic.BrCmp, A: t0, Cond: ic.CondEq, B: t1}, XBrCmpEqR},
+		{ic.Inst{Op: ic.BrCmp, A: t0, Cond: ic.CondNe, HasImm: true, Word: word.MakeInt(1)}, XBrCmpNeI},
+		{ic.Inst{Op: ic.BrCmp, A: t0, Cond: ic.CondLe, HasImm: true, Imm: 7}, XBrCmpOrdI},
+		{ic.Inst{Op: ic.BrCmp, A: t0, Cond: ic.CondGt, B: t1}, XBrCmpOrdR},
+		{ic.Inst{Op: ic.BrTag, A: t0, Tag: word.Lst}, XBrTagEq},
+		{ic.Inst{Op: ic.BrTag, A: t0, Cond: ic.CondNe, Tag: word.Ref}, XBrTagNe},
+		{ic.Inst{Op: ic.SysOp, Sys: ic.SysWrite, A: t0}, XSysWrite},
+		{ic.Inst{Op: ic.SysOp, Sys: ic.SysNl}, XSysNl},
+		{ic.Inst{Op: ic.SysOp, Sys: ic.SysID(99)}, XSysBad},
+		{ic.Inst{Op: ic.Op(200)}, XUnknown},
+	}
+	for _, c := range cases {
+		op := Decode1(&c.in, 0)
+		if op.Code != c.want {
+			t.Errorf("%s decodes to %s, want %s", c.in.String(), op.Code, c.want)
+		}
+		if op.Width != 1 {
+			t.Errorf("%s has width %d, want 1", c.in.String(), op.Width)
+		}
+	}
+}
+
+// TestFusionCatalog drives each catalog shape through Predecode and checks
+// the resulting superinstruction, its operands, and the stream bookkeeping
+// (XOf interior marking, stats, width).
+func TestFusionCatalog(t *testing.T) {
+	halt := ic.Inst{Op: ic.Halt}
+	cases := []struct {
+		name string
+		a, b ic.Inst
+		want XCode
+	}{
+		{"ld+brtag", ic.Inst{Op: ic.Ld, D: t0, A: t1, Imm: 2},
+			ic.Inst{Op: ic.BrTag, A: t0, Tag: word.Ref, Target: 3}, XFLdBrTagEq},
+		{"ld+brtag.ne", ic.Inst{Op: ic.Ld, D: t0, A: t1},
+			ic.Inst{Op: ic.BrTag, A: t0, Cond: ic.CondNe, Tag: word.Ref, Target: 3}, XFLdBrTagNe},
+		{"ld+brcmp.eq.r", ic.Inst{Op: ic.Ld, D: t0, A: t1},
+			ic.Inst{Op: ic.BrCmp, A: t0, Cond: ic.CondEq, B: t1, Target: 3}, XFLdBrCmpEqR},
+		{"gettag+br.eq.i", ic.Inst{Op: ic.GetTag, D: t0, A: t1},
+			ic.Inst{Op: ic.BrCmp, A: t0, Cond: ic.CondEq, HasImm: true,
+				Word: word.MakeInt(int64(word.Lst)), Target: 3}, XFGetTagBrEqI},
+		{"st+add", ic.Inst{Op: ic.St, A: ic.RegH, B: t0, Reg: ic.RegionHeap},
+			ic.Inst{Op: ic.Add, D: ic.RegH, A: ic.RegH, HasImm: true, Imm: 1}, XFStAdd},
+		{"mov+jmp", ic.Inst{Op: ic.Mov, D: t0, A: t1},
+			ic.Inst{Op: ic.Jmp, Target: 0}, XFMovJmp},
+		{"cmov", ic.Inst{Op: ic.BrCmp, A: t0, Cond: ic.CondGe, B: t1, Target: 3},
+			ic.Inst{Op: ic.Mov, D: t0, A: t1}, XFCMovR},
+		{"ld+ld", ic.Inst{Op: ic.Ld, D: t0, A: t1, Imm: 2},
+			ic.Inst{Op: ic.Ld, D: t1, A: t0, Imm: 3}, XFLdLd},
+		{"ld+mov", ic.Inst{Op: ic.Ld, D: t0, A: t1, Imm: 2},
+			ic.Inst{Op: ic.Mov, D: t1, A: t0}, XFLdMov},
+		{"st+st", ic.Inst{Op: ic.St, A: ic.RegH, B: t0, Reg: ic.RegionHeap},
+			ic.Inst{Op: ic.St, A: ic.RegH, B: t1, Imm: 1, Reg: ic.RegionHeap}, XFStSt},
+		{"st+movi", ic.Inst{Op: ic.St, A: ic.RegH, B: t0, Reg: ic.RegionHeap},
+			ic.Inst{Op: ic.MovI, D: t1, Word: word.MakeInt(7)}, XFStMovI},
+		{"movi+st", ic.Inst{Op: ic.MovI, D: t0, Word: word.MakeInt(7)},
+			ic.Inst{Op: ic.St, A: ic.RegH, B: t0, Reg: ic.RegionHeap}, XFMovISt},
+		{"mov+mov", ic.Inst{Op: ic.Mov, D: t0, A: t1},
+			ic.Inst{Op: ic.Mov, D: t1, A: t0}, XFMovMov},
+		{"mov+brtag", ic.Inst{Op: ic.Mov, D: t0, A: t1},
+			ic.Inst{Op: ic.BrTag, A: t0, Tag: word.Ref, Target: 3}, XFMovBrTagEq},
+		{"mov+brtag.ne", ic.Inst{Op: ic.Mov, D: t0, A: t1},
+			ic.Inst{Op: ic.BrTag, A: t0, Cond: ic.CondNe, Tag: word.Ref, Target: 3}, XFMovBrTagNe},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// pc 0 is always a jump target (entry), so the pair sits at 1,2.
+			p := mkProg([]ic.Inst{{Op: ic.Nop}, c.a, c.b, halt})
+			xp := Predecode(p)
+			x := xp.Fused.XOf[1]
+			if x < 0 {
+				t.Fatal("pair head has no stream index")
+			}
+			op := xp.Fused.Ops[x]
+			if op.Code != c.want {
+				t.Fatalf("fused to %s, want %s", op.Code, c.want)
+			}
+			if op.Width != 2 || !op.Code.Fused() {
+				t.Fatalf("fused op has width %d, Fused()=%v", op.Width, op.Code.Fused())
+			}
+			if op.PC != 1 {
+				t.Fatalf("fused op PC = %d, want 1", op.PC)
+			}
+			if xp.Fused.XOf[2] != -1 {
+				t.Fatalf("interior pc 2 has XOf %d, want -1", xp.Fused.XOf[2])
+			}
+			if got := xp.Stats.Pairs[c.want]; got != 1 {
+				t.Fatalf("Stats.Pairs[%s] = %d, want 1", c.want, got)
+			}
+			if xp.Stats.FusedOps != xp.Stats.PlainOps-1 {
+				t.Fatalf("FusedOps = %d, want PlainOps-1 = %d",
+					xp.Stats.FusedOps, xp.Stats.PlainOps-1)
+			}
+			// Lookup on the interior must route to a trap, not mid-pair.
+			if ti := xp.Fused.Lookup(2); xp.Fused.Ops[ti].Code != XBadPC {
+				t.Fatalf("Lookup(interior) resolved to %s", xp.Fused.Ops[ti].Code)
+			}
+		})
+	}
+}
+
+// TestFusionBlockedByJumpTarget: a pair whose second pc is reachable by a
+// branch must not fuse, or the branch could land mid-superinstruction.
+func TestFusionBlockedByJumpTarget(t *testing.T) {
+	p := mkProg([]ic.Inst{
+		{Op: ic.Nop},
+		{Op: ic.Mov, D: t0, A: t1},     // pc 1: head of a would-be mov+jmp pair
+		{Op: ic.Jmp, Target: 1},        // pc 2: also a branch target (see pc 3)
+		{Op: ic.BrCmp, A: t0, Cond: ic.CondEq, B: t1, Target: 2}, // marks pc 2
+		{Op: ic.Halt},
+	})
+	xp := Predecode(p)
+	x := xp.Fused.XOf[1]
+	if op := xp.Fused.Ops[x]; op.Code.Fused() {
+		t.Fatalf("pair fused to %s despite pc 2 being a jump target", op.Code)
+	}
+	if xp.Fused.XOf[2] < 0 {
+		t.Fatal("jump-target pc 2 lost its stream index")
+	}
+}
+
+// TestFusionBlockedByIndirectTargets: code addresses materialized by MovI
+// (choice-point retry addresses) are indirect jump targets and must stay
+// addressable; a marked pc blocks fusion only as the second constituent —
+// as a pair head it is still the superinstruction's own address.
+func TestFusionBlockedByIndirectTargets(t *testing.T) {
+	p := mkProg([]ic.Inst{
+		{Op: ic.Nop},
+		{Op: ic.Jsr, D: t2, Target: 4}, // pc 1: marks pc 2 as a return point
+		{Op: ic.Mov, D: t0, A: t1},     // pc 2: marked, but as pair *head*
+		{Op: ic.Jmp, Target: 4},
+		{Op: ic.Halt},
+	})
+	xp := Predecode(p)
+	if op := xp.Fused.Ops[xp.Fused.XOf[2]]; op.Code != XFMovJmp {
+		t.Fatalf("marked pair head decoded to %s, want f.mov+jmp (heads may fuse)", op.Code)
+	}
+
+	p = mkProg([]ic.Inst{
+		{Op: ic.Nop},
+		{Op: ic.MovI, D: t2, Word: word.Make(word.Code, 3)}, // marks pc 3
+		{Op: ic.Mov, D: t0, A: t1},                          // pc 2: head
+		{Op: ic.Jmp, Target: 4},                             // pc 3: marked
+		{Op: ic.Halt},
+	})
+	xp = Predecode(p)
+	if op := xp.Fused.Ops[xp.Fused.XOf[2]]; op.Code.Fused() {
+		t.Fatalf("pair fused to %s despite pc 3 being MovI-addressable", op.Code)
+	}
+}
+
+// TestTrapTargets: a statically out-of-range branch target must resolve to
+// a trap op carrying the original invalid pc, and Lookup of out-of-range
+// pcs must land on the fall-off trap.
+func TestTrapTargets(t *testing.T) {
+	p := mkProg([]ic.Inst{
+		{Op: ic.Nop},
+		{Op: ic.Jmp, Target: -1},
+		{Op: ic.Halt},
+	})
+	xp := Predecode(p)
+	for _, s := range []*Stream{&xp.Plain, &xp.Fused} {
+		jmp := s.Ops[s.XOf[1]]
+		trap := s.Ops[jmp.Target]
+		if trap.Code != XBadPC {
+			t.Fatalf("out-of-range target resolved to %s", trap.Code)
+		}
+		if trap.Imm != -1 {
+			t.Fatalf("trap carries pc %d, want -1", trap.Imm)
+		}
+		if trap.PC != 1 {
+			t.Fatalf("trap reports from pc %d, want 1", trap.PC)
+		}
+		for _, pc := range []int{-7, len(p.Code), len(p.Code) + 12} {
+			ti := s.Lookup(pc)
+			if op := s.Ops[ti]; op.Code != XBadPC || op.Imm != int64(len(p.Code)) {
+				t.Fatalf("Lookup(%d) = %s imm %d", pc, op.Code, op.Imm)
+			}
+		}
+	}
+}
+
+// TestStreamIdentity: the plain stream is index-identical to the code
+// (XOf[pc] == pc) so JmpR resolution in the NoFuse path is the identity.
+func TestStreamIdentity(t *testing.T) {
+	p := mkProg([]ic.Inst{
+		{Op: ic.Nop},
+		{Op: ic.MovI, D: t0, Word: word.MakeInt(5)},
+		{Op: ic.Halt},
+	})
+	xp := Predecode(p)
+	for pc := range p.Code {
+		if xp.Plain.XOf[pc] != int32(pc) {
+			t.Fatalf("plain XOf[%d] = %d", pc, xp.Plain.XOf[pc])
+		}
+	}
+	if xp.Plain.Entry != int32(p.Entry) {
+		t.Fatalf("plain entry %d, want %d", xp.Plain.Entry, p.Entry)
+	}
+	if xp.Plain.Throw != -1 {
+		t.Fatalf("throwless program has Throw %d, want -1", xp.Plain.Throw)
+	}
+}
+
+// TestOfCaches: Of must predecode once per program and hand every caller
+// the same image.
+func TestOfCaches(t *testing.T) {
+	p := mkProg([]ic.Inst{{Op: ic.Halt}})
+	if a, b := Of(p), Of(p); a != b {
+		t.Fatal("Of rebuilt the execution image")
+	}
+}

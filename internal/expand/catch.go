@@ -126,7 +126,7 @@ func (a *asm) catchRoutine() {
 	a.emit(ic.Inst{Op: ic.MovI, D: tb, Word: word.MakeRef(ic.BallBase)})
 	f := a.temp()
 	a.emit(ic.Inst{Op: ic.Ld, D: f, A: tb, Imm: 0, Reg: ic.RegionBall})
-	brThrow := a.emit(ic.Inst{Op: ic.BrCmp, A: f, Cond: ic.CondEq, HasImm: true, Imm: int64(word.MakeInt(1))})
+	brThrow := a.emit(ic.Inst{Op: ic.BrCmp, A: f, Cond: ic.CondEq, HasImm: true, Word: word.MakeInt(1)})
 	// No ball: catch/3 simply fails like its goal.
 	a.popFrame()
 	a.emit(ic.Inst{Op: ic.Jmp, Target: a.failPC})

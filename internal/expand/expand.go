@@ -269,9 +269,9 @@ func (a *asm) entryStub() {
 func (a *asm) failRoutine() {
 	a.failPC = a.here()
 	a.name("$fail")
-	bottom := int64(word.MakeRef(ic.CPBase))
+	bottom := word.MakeRef(ic.CPBase)
 	// brcmp b eq <bottom>, halt1  — patched with a local forward offset.
-	brHalt := a.emit(ic.Inst{Op: ic.BrCmp, A: ic.RegB, Cond: ic.CondEq, HasImm: true, Imm: bottom})
+	brHalt := a.emit(ic.Inst{Op: ic.BrCmp, A: ic.RegB, Cond: ic.CondEq, HasImm: true, Word: bottom})
 	a.emit(ic.Inst{Op: ic.Ld, D: ic.RegH, A: ic.RegB, Imm: cpH, Reg: ic.RegionCP})
 	ttr := a.temp()
 	a.emit(ic.Inst{Op: ic.Ld, D: ttr, A: ic.RegB, Imm: cpTR, Reg: ic.RegionCP})
@@ -303,7 +303,7 @@ func (a *asm) unifyRoutine() {
 	p := a.temp()
 	a.proc("$unify")
 
-	pdlBottom := int64(word.MakeRef(ic.PDLBase))
+	pdlBottom := word.MakeRef(ic.PDLBase)
 	a.emit(ic.Inst{Op: ic.MovI, D: p, Word: word.MakeRef(ic.PDLBase)})
 
 	loop := a.here()
@@ -411,7 +411,7 @@ func (a *asm) unifyRoutine() {
 	for _, pc := range toNext {
 		a.code[pc].Target = next
 	}
-	brDone := a.emit(ic.Inst{Op: ic.BrCmp, A: p, Cond: ic.CondEq, HasImm: true, Imm: pdlBottom})
+	brDone := a.emit(ic.Inst{Op: ic.BrCmp, A: p, Cond: ic.CondEq, HasImm: true, Word: pdlBottom})
 	a.emit(ic.Inst{Op: ic.Sub, D: p, A: p, HasImm: true, Imm: 2})
 	t8 := a.temp()
 	t9 := a.temp()

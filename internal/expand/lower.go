@@ -211,7 +211,7 @@ func (a *asm) lower(in *bam.Instr) error {
 			inst.HasImm = true
 			switch in.Cond {
 			case ic.CondEq, ic.CondNe:
-				inst.Imm = int64(a.immWord(in.V2)) // full-word comparison
+				inst.Word = a.immWord(in.V2) // full-word comparison
 			default:
 				if in.V2.K != bam.VInt {
 					return fmt.Errorf("expand: ordered compare against non-integer")

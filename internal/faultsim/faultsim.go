@@ -67,6 +67,13 @@ type Opts struct {
 	// poll it at the same cadence (fault.CheckInterval) and classify a miss
 	// as the same fault.Deadline kind; a differential run catches drift.
 	Deadline time.Time
+	// NoFuse makes Seq run the plain predecoded stream with superinstruction
+	// fusion disabled, so fused and unfused sequential runs can themselves be
+	// compared differentially under every injected configuration.
+	NoFuse bool
+	// Legacy makes Seq run the original reference interpreter instead of the
+	// predecoded stream, pinning a three-way miscompare to predecode itself.
+	Legacy bool
 }
 
 // Outcome classifies how a run ended.
@@ -97,6 +104,8 @@ func (u *Unit) Seq(opts Opts) Outcome {
 		MaxSteps: opts.MaxSteps,
 		Layout:   opts.Layout,
 		Deadline: opts.Deadline,
+		NoFuse:   opts.NoFuse,
+		Legacy:   opts.Legacy,
 	})
 	if err != nil {
 		return Outcome{Kind: Classify(err), Err: err}

@@ -98,8 +98,15 @@ const (
 
 	// Control. Branches resolve in the second pipeline stage: a taken
 	// branch costs one bubble on pipelined machines, 2 cycles sequentially.
+	//
+	// BrCmp's immediate form is split by condition: the ordered conditions
+	// (Lt/Le/Gt/Ge) compare signed *value fields* and take the immediate
+	// from Imm; the full-word conditions (Eq/Ne) compare complete tagged
+	// words and take the immediate from Word, so the intended tag is always
+	// explicit at the construction site (never an int64 reinterpreted as a
+	// word).
 	BrTag // if tag(A) ~ Tag (Cond Eq/Ne) jump Target
-	BrCmp // if A ~ (B|Imm) (Cond) jump Target
+	BrCmp // if A ~ (B | Imm | Word) (Cond) jump Target
 	Jmp   // jump Target
 	JmpR  // jump val(A)
 	Jsr   // D = code(next pc); jump Target
@@ -187,9 +194,9 @@ type Inst struct {
 	Op     Op
 	D      Reg    // destination register
 	A, B   Reg    // source registers
-	Imm    int64  // ALU/branch immediate, load/store offset, halt status
-	HasImm bool   // B-or-Imm selector for ALU and BrCmp
-	Word   word.W // MovI full-word immediate
+	Imm    int64  // ALU/ordered-branch immediate, load/store offset, halt status
+	HasImm bool   // B-or-immediate selector for ALU and BrCmp
+	Word   word.W // MovI immediate; BrCmp Eq/Ne full-word immediate
 	Tag    word.Tag
 	Cond   Cond
 	Target int // branch target pc (instruction index)
@@ -281,6 +288,20 @@ type Program struct {
 
 	maxRegOnce sync.Once
 	maxReg     Reg
+
+	execOnce  sync.Once
+	execCache any
+}
+
+// ExecCache returns the program's predecoded execution image, building it
+// with build on the first call and caching it for the life of the Program.
+// The cache lives here (rather than in a global map keyed by *Program) so a
+// program and its predecoded form are reclaimed together; the value is
+// opaque to this package because the predecoder (internal/exec) sits above
+// ic in the import graph. Code must not be mutated after the first call.
+func (p *Program) ExecCache(build func() any) any {
+	p.execOnce.Do(func() { p.execCache = build() })
+	return p.execCache
 }
 
 // MaxReg returns the highest register number named anywhere in the program,
@@ -462,6 +483,9 @@ func (in *Inst) String() string {
 		return fmt.Sprintf("brtag %s %s %s, @%d", regName(in.A), in.Cond, in.Tag, in.Target)
 	case BrCmp:
 		if in.HasImm {
+			if in.Cond == CondEq || in.Cond == CondNe {
+				return fmt.Sprintf("brcmp %s %s %s, @%d", regName(in.A), in.Cond, in.Word, in.Target)
+			}
 			return fmt.Sprintf("brcmp %s %s %d, @%d", regName(in.A), in.Cond, in.Imm, in.Target)
 		}
 		return fmt.Sprintf("brcmp %s %s %s, @%d", regName(in.A), in.Cond, regName(in.B), in.Target)

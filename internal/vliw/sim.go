@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"symbol/internal/exec"
 	"symbol/internal/fault"
 	"symbol/internal/ic"
 	"symbol/internal/mterm"
@@ -92,6 +93,11 @@ type pendingWrite struct {
 // configured memory latency for loads). The simulator verifies the static
 // schedule at run time: reading a register whose producer is still in
 // flight is an error, as a real VLIW has no interlocks.
+//
+// The per-op execute step dispatches on the predecoded operation slots
+// (Program.XWords): the same dense opcodes as the sequential emulator's
+// predecoded loops, with imm-vs-reg variants and sys escapes resolved at
+// decode time instead of per issue.
 func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 	if opts.MaxCycles == 0 {
 		opts.MaxCycles = 6e9
@@ -104,6 +110,7 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 	regs := st.Regs(nregs)
 	ready := st.Ready(nregs)
 	mem := st.Mem()
+	xwords := p.XWords()
 	var out strings.Builder
 
 	res := &SimResult{}
@@ -122,8 +129,10 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 
 	// Region bounds under the configured layout; see emu for why the
 	// one-sided check (addr past the annotated region's configured end)
-	// is sound for this runtime's store sites.
+	// is sound for this runtime's store sites. RegionUnknown gets an
+	// unreachable limit so unannotated stores need no separate test.
 	var limit [ic.RegionBall + 1]uint64
+	limit[ic.RegionUnknown] = ^uint64(0)
 	for r := ic.RegionHeap; r <= ic.RegionBall; r++ {
 		limit[r] = opts.Layout.Limit(r)
 	}
@@ -172,10 +181,9 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 		if pcW < 0 || pcW >= len(p.Words) {
 			return nil, fail(pcW, "word index out of range")
 		}
-		w := p.Words[pcW]
 		if opts.Trace != nil {
 			fmt.Fprintf(opts.Trace, "%6d w%-5d", cycle, pcW)
-			for _, op := range w {
+			for _, op := range p.Words[pcW] {
 				fmt.Fprintf(opts.Trace, " [%s]", op.Inst.String())
 			}
 			fmt.Fprintf(opts.Trace, "  b=%x tr=%x h=%x e=%x\n",
@@ -187,38 +195,39 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 		branched := false
 		halted := false
 		status := 0
+		xw := xwords[pcW]
 
 	ops:
-		for _, op := range w {
-			in := &op.Inst
+		for oi := range xw {
+			op := &xw[oi]
 			res.Ops++
-			switch in.Op {
-			case ic.Nop:
-			case ic.Ld:
-				base, err := read(pcW, in.A)
+			switch op.Code {
+			case exec.XNop:
+			case exec.XLd:
+				base, err := read(pcW, op.A)
 				if err != nil {
 					return nil, err
 				}
-				addr := base.Val() + uint64(in.Imm)
+				addr := base.Val() + uint64(op.Imm)
 				var v word.W
 				if addr < uint64(len(mem)) {
 					v = mem[addr]
 				}
 				// Out-of-range speculative loads are dismissed (return 0),
 				// as on machines with non-faulting loads.
-				writes = append(writes, pendingWrite{in.D, v, p.Config.MemLatency})
-			case ic.St:
-				base, err := read(pcW, in.A)
+				writes = append(writes, pendingWrite{op.D, v, p.Config.MemLatency})
+			case exec.XSt:
+				base, err := read(pcW, op.A)
 				if err != nil {
 					return nil, err
 				}
-				v, err := read(pcW, in.B)
+				v, err := read(pcW, op.B)
 				if err != nil {
 					return nil, err
 				}
-				addr := base.Val() + uint64(in.Imm)
-				if r := in.Reg; r != ic.RegionUnknown && addr >= limit[r] {
-					if err := raise(pcW, overflowKind(r)); err != nil {
+				addr := base.Val() + uint64(op.Imm)
+				if addr >= limit[op.Region] {
+					if err := raise(pcW, overflowKind(op.Region)); err != nil {
 						return nil, err
 					}
 					// Imprecise mid-word fault: the word's pending register
@@ -239,107 +248,283 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 				}
 				mem[addr] = v
 				st.Touch(addr)
-			case ic.Add, ic.Sub, ic.Mul, ic.Div, ic.Mod, ic.And, ic.Or, ic.Xor, ic.Shl, ic.Shr:
-				av, err := read(pcW, in.A)
+
+			case exec.XAddR:
+				av, bv, err := read2(read, pcW, op)
 				if err != nil {
 					return nil, err
 				}
-				a := av.Int()
-				var b int64
-				if in.HasImm {
-					b = in.Imm
-				} else {
-					bv, err := read(pcW, in.B)
-					if err != nil {
-						return nil, err
-					}
-					b = bv.Int()
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()+bv.Int())), 1})
+			case exec.XAddI:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()+op.Imm)), 1})
+			case exec.XSubR:
+				av, bv, err := read2(read, pcW, op)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()-bv.Int())), 1})
+			case exec.XSubI:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()-op.Imm)), 1})
+			case exec.XMulR:
+				av, bv, err := read2(read, pcW, op)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()*bv.Int())), 1})
+			case exec.XMulI:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()*op.Imm)), 1})
+			case exec.XDivR:
+				av, bv, err := read2(read, pcW, op)
+				if err != nil {
+					return nil, err
+				}
+				// Division never traps: a speculated divide hoisted above
+				// its guard may see a zero divisor, so it dismisses to 0
+				// (like speculative loads). The architectural zero-divide
+				// check is compiled code (bam.RaiseFault → SysFault).
+				var r int64
+				if b := bv.Int(); b != 0 {
+					r = av.Int() / b
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(r)), 1})
+			case exec.XDivI:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
 				}
 				var r int64
-				switch in.Op {
-				case ic.Add:
-					r = a + b
-				case ic.Sub:
-					r = a - b
-				case ic.Mul:
-					r = a * b
-				case ic.Div:
-					// Division never traps: a speculated divide hoisted above
-					// its guard may see a zero divisor, so it dismisses to 0
-					// (like speculative loads). The architectural zero-divide
-					// check is compiled code (bam.RaiseFault → SysFault).
-					if b == 0 {
-						r = 0
-					} else {
-						r = a / b
-					}
-				case ic.Mod:
-					if b == 0 {
-						r = 0
-					} else {
-						r = a % b
-					}
-				case ic.And:
-					r = a & b
-				case ic.Or:
-					r = a | b
-				case ic.Xor:
-					r = a ^ b
-				case ic.Shl:
-					r = a << uint(b&63)
-				case ic.Shr:
-					r = a >> uint(b&63)
+				if op.Imm != 0 {
+					r = av.Int() / op.Imm
 				}
-				writes = append(writes, pendingWrite{in.D, word.Make(av.Tag(), uint64(r)), 1})
-			case ic.MkTag:
-				av, err := read(pcW, in.A)
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(r)), 1})
+			case exec.XModR:
+				av, bv, err := read2(read, pcW, op)
 				if err != nil {
 					return nil, err
 				}
-				writes = append(writes, pendingWrite{in.D, av.WithTag(in.Tag), 1})
-			case ic.Lea:
-				av, err := read(pcW, in.A)
+				var r int64
+				if b := bv.Int(); b != 0 {
+					r = av.Int() % b
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(r)), 1})
+			case exec.XModI:
+				av, err := read(pcW, op.A)
 				if err != nil {
 					return nil, err
 				}
-				writes = append(writes, pendingWrite{in.D, word.Make(in.Tag, uint64(av.Int()+in.Imm)), 1})
-			case ic.GetTag:
-				av, err := read(pcW, in.A)
+				var r int64
+				if op.Imm != 0 {
+					r = av.Int() % op.Imm
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(r)), 1})
+			case exec.XAndR:
+				av, bv, err := read2(read, pcW, op)
 				if err != nil {
 					return nil, err
 				}
-				writes = append(writes, pendingWrite{in.D, word.MakeInt(int64(av.Tag())), 1})
-			case ic.Mov:
-				av, err := read(pcW, in.A)
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()&bv.Int())), 1})
+			case exec.XAndI:
+				av, err := read(pcW, op.A)
 				if err != nil {
 					return nil, err
 				}
-				writes = append(writes, pendingWrite{in.D, av, 1})
-			case ic.MovI:
-				writes = append(writes, pendingWrite{in.D, in.Word, 1})
-			case ic.BrTag, ic.BrCmp:
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()&op.Imm)), 1})
+			case exec.XOrR:
+				av, bv, err := read2(read, pcW, op)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()|bv.Int())), 1})
+			case exec.XOrI:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()|op.Imm)), 1})
+			case exec.XXorR:
+				av, bv, err := read2(read, pcW, op)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()^bv.Int())), 1})
+			case exec.XXorI:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()^op.Imm)), 1})
+			case exec.XShlR:
+				av, bv, err := read2(read, pcW, op)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()<<uint(bv.Int()&63))), 1})
+			case exec.XShlI:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()<<uint(op.Imm&63))), 1})
+			case exec.XShrR:
+				av, bv, err := read2(read, pcW, op)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()>>uint(bv.Int()&63))), 1})
+			case exec.XShrI:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(av.Tag(), uint64(av.Int()>>uint(op.Imm&63))), 1})
+
+			case exec.XMkTag:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, av.WithTag(op.Tag), 1})
+			case exec.XLea:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.Make(op.Tag, uint64(av.Int()+op.Imm)), 1})
+			case exec.XGetTag:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, word.MakeInt(int64(av.Tag())), 1})
+			case exec.XMov:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{op.D, av, 1})
+			case exec.XMovI:
+				writes = append(writes, pendingWrite{op.D, op.W, 1})
+
+			case exec.XBrTagEq:
 				if branched {
 					continue // a higher-priority branch already resolved
 				}
-				taken, err := evalBranch(in, pcW, read)
+				av, err := read(pcW, op.A)
 				if err != nil {
 					return nil, err
 				}
-				if taken {
+				if av.Tag() == op.Tag {
 					branched = true
-					nextW = in.Target
+					nextW = int(op.Target)
 				}
-			case ic.Jmp:
+			case exec.XBrTagNe:
+				if branched {
+					continue
+				}
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				if av.Tag() != op.Tag {
+					branched = true
+					nextW = int(op.Target)
+				}
+			case exec.XBrCmpEqR:
+				if branched {
+					continue
+				}
+				av, bv, err := read2(read, pcW, op)
+				if err != nil {
+					return nil, err
+				}
+				if av == bv {
+					branched = true
+					nextW = int(op.Target)
+				}
+			case exec.XBrCmpNeR:
+				if branched {
+					continue
+				}
+				av, bv, err := read2(read, pcW, op)
+				if err != nil {
+					return nil, err
+				}
+				if av != bv {
+					branched = true
+					nextW = int(op.Target)
+				}
+			case exec.XBrCmpEqI:
+				if branched {
+					continue
+				}
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				if av == op.W {
+					branched = true
+					nextW = int(op.Target)
+				}
+			case exec.XBrCmpNeI:
+				if branched {
+					continue
+				}
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				if av != op.W {
+					branched = true
+					nextW = int(op.Target)
+				}
+			case exec.XBrCmpOrdR:
+				if branched {
+					continue
+				}
+				av, bv, err := read2(read, pcW, op)
+				if err != nil {
+					return nil, err
+				}
+				if exec.OrdCmp(av.Int(), bv.Int(), op.Cond) {
+					branched = true
+					nextW = int(op.Target)
+				}
+			case exec.XBrCmpOrdI:
+				if branched {
+					continue
+				}
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				if exec.OrdCmp(av.Int(), op.Imm, op.Cond) {
+					branched = true
+					nextW = int(op.Target)
+				}
+
+			case exec.XJmp:
 				if branched {
 					continue
 				}
 				branched = true
-				nextW = in.Target
-			case ic.JmpR:
+				nextW = int(op.Target)
+			case exec.XJmpR:
 				if branched {
 					continue
 				}
-				av, err := read(pcW, in.A)
+				av, err := read(pcW, op.A)
 				if err != nil {
 					return nil, err
 				}
@@ -349,47 +534,71 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 				}
 				branched = true
 				nextW = tw
-			case ic.Jsr:
+			case exec.XJsr:
 				if branched {
 					continue
 				}
-				writes = append(writes, pendingWrite{in.D, word.Make(word.Code, uint64(op.PC+1)), 1})
+				writes = append(writes, pendingWrite{op.D, word.Make(word.Code, uint64(op.PC+1)), 1})
 				branched = true
-				nextW = in.Target
-			case ic.Halt:
+				nextW = int(op.Target)
+			case exec.XHalt:
 				if !branched {
 					halted = true
-					status = int(in.Imm)
+					status = int(op.Imm)
 				}
-			case ic.SysOp:
-				switch in.Sys {
-				case ic.SysFault:
-					if err := raise(pcW, fault.Kind(in.Imm)); err != nil {
-						return nil, err
-					}
-					writes = writes[:0]
-					branched = true
-					halted = false
-					nextW = throwWord
-					break ops
-				case ic.SysBallPut:
-					av, err := read(pcW, in.A)
-					if err != nil {
-						return nil, err
-					}
-					// Touch before the error check: a failed copy may still
-					// have written part of the ball area.
-					err = mterm.BallPut(mem, av)
-					st.TouchRange(ic.BallBase, ic.BallBase+ic.BallSize)
-					if err != nil {
-						return nil, fail(pcW, "%v", err)
-					}
-					pendingFault = fault.None
-				default:
-					if err := simSys(in, pcW, read, mem, p, &out, &writes); err != nil {
-						return nil, err
-					}
+
+			case exec.XSysWrite:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
 				}
+				s, err := mterm.FormatOps(mterm.SliceMem(mem), p.IC.Atoms, av)
+				if err != nil {
+					return nil, err
+				}
+				out.WriteString(s)
+			case exec.XSysNl:
+				out.WriteByte('\n')
+			case exec.XSysWriteCode:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				out.WriteByte(byte(av.Int()))
+			case exec.XSysCompare:
+				av, bv, err := read2(read, pcW, op)
+				if err != nil {
+					return nil, err
+				}
+				c, err := mterm.Compare(mterm.SliceMem(mem), p.IC.Atoms, av, bv)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, pendingWrite{ic.RegRV, word.MakeInt(int64(c)), 1})
+			case exec.XSysBallPut:
+				av, err := read(pcW, op.A)
+				if err != nil {
+					return nil, err
+				}
+				// Touch before the error check: a failed copy may still
+				// have written part of the ball area.
+				err = mterm.BallPut(mem, av)
+				st.TouchRange(ic.BallBase, ic.BallBase+ic.BallSize)
+				if err != nil {
+					return nil, fail(pcW, "%v", err)
+				}
+				pendingFault = fault.None
+			case exec.XSysFault:
+				if err := raise(pcW, fault.Kind(op.Imm)); err != nil {
+					return nil, err
+				}
+				writes = writes[:0]
+				branched = true
+				halted = false
+				nextW = throwWord
+				break ops
+			case exec.XSysBad:
+				return nil, fmt.Errorf("vliw: unknown sys op")
 			default:
 				return nil, fail(pcW, "unknown opcode")
 			}
@@ -430,97 +639,15 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 	}
 }
 
-func evalBranch(in *ic.Inst, wi int, read func(int, ic.Reg) (word.W, error)) (bool, error) {
-	av, err := read(wi, in.A)
+// read2 reads an op's two register operands under the latency check.
+func read2(read func(int, ic.Reg) (word.W, error), wi int, op *exec.Op) (word.W, word.W, error) {
+	av, err := read(wi, op.A)
 	if err != nil {
-		return false, err
+		return 0, 0, err
 	}
-	if in.Op == ic.BrTag {
-		taken := av.Tag() == in.Tag
-		if in.Cond == ic.CondNe {
-			taken = !taken
-		}
-		return taken, nil
+	bv, err := read(wi, op.B)
+	if err != nil {
+		return 0, 0, err
 	}
-	switch in.Cond {
-	case ic.CondEq, ic.CondNe:
-		var b word.W
-		if in.HasImm {
-			b = word.W(in.Imm)
-		} else {
-			b, err = read(wi, in.B)
-			if err != nil {
-				return false, err
-			}
-		}
-		if in.Cond == ic.CondEq {
-			return av == b, nil
-		}
-		return av != b, nil
-	default:
-		a := av.Int()
-		var b int64
-		if in.HasImm {
-			b = in.Imm
-		} else {
-			bv, err := read(wi, in.B)
-			if err != nil {
-				return false, err
-			}
-			b = bv.Int()
-		}
-		switch in.Cond {
-		case ic.CondLt:
-			return a < b, nil
-		case ic.CondLe:
-			return a <= b, nil
-		case ic.CondGt:
-			return a > b, nil
-		default:
-			return a >= b, nil
-		}
-	}
-}
-
-func simSys(in *ic.Inst, wi int, read func(int, ic.Reg) (word.W, error),
-	mem []word.W, p *Program, out *strings.Builder, writes *[]pendingWrite) error {
-	switch in.Sys {
-	case ic.SysWrite:
-		av, err := read(wi, in.A)
-		if err != nil {
-			return err
-		}
-		s, err := mterm.FormatOps(mterm.SliceMem(mem), p.IC.Atoms, av)
-		if err != nil {
-			return err
-		}
-		out.WriteString(s)
-		return nil
-	case ic.SysNl:
-		out.WriteByte('\n')
-		return nil
-	case ic.SysWriteCode:
-		av, err := read(wi, in.A)
-		if err != nil {
-			return err
-		}
-		out.WriteByte(byte(av.Int()))
-		return nil
-	case ic.SysCompare:
-		av, err := read(wi, in.A)
-		if err != nil {
-			return err
-		}
-		bv, err := read(wi, in.B)
-		if err != nil {
-			return err
-		}
-		c, err := mterm.Compare(mterm.SliceMem(mem), p.IC.Atoms, av, bv)
-		if err != nil {
-			return err
-		}
-		*writes = append(*writes, pendingWrite{ic.RegRV, word.MakeInt(int64(c)), 1})
-		return nil
-	}
-	return fmt.Errorf("vliw: unknown sys op")
+	return av, bv, nil
 }

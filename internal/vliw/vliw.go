@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"symbol/internal/exec"
 	"symbol/internal/ic"
 	"symbol/internal/machine"
 )
@@ -41,6 +42,29 @@ type Program struct {
 
 	maxRegOnce sync.Once
 	maxReg     ic.Reg
+
+	xwOnce sync.Once
+	xwords [][]exec.Op
+}
+
+// XWords returns the predecoded operation slots, one exec.Op per vliw.Op
+// with the same word/slot shape as Words. The simulator dispatches on the
+// dense opcodes (operand forms resolved, no HasImm/Sys selector tests);
+// branch targets stay word indices, exactly as in the linked Inst. Built
+// once and cached, so repeated simulations of a pooled program do not
+// re-decode. Words must not be mutated after the first call.
+func (p *Program) XWords() [][]exec.Op {
+	p.xwOnce.Do(func() {
+		p.xwords = make([][]exec.Op, len(p.Words))
+		for wi, w := range p.Words {
+			xw := make([]exec.Op, len(w))
+			for i := range w {
+				xw[i] = exec.Decode1(&w[i].Inst, w[i].PC)
+			}
+			p.xwords[wi] = xw
+		}
+	})
+	return p.xwords
 }
 
 // MaxReg returns the highest register number named anywhere in the

@@ -55,8 +55,8 @@ func TestParallelWordSemantics(t *testing.T) {
 			{Inst: ic.Inst{Op: ic.MovI, D: t1, Word: word.MakeInt(2)}}},
 		{{Inst: ic.Inst{Op: ic.Mov, D: t0, A: t1}},
 			{Inst: ic.Inst{Op: ic.Mov, D: t1, A: t0}}},
-		{{Inst: ic.Inst{Op: ic.BrCmp, A: t0, Cond: ic.CondNe, HasImm: true, Imm: int64(word.MakeInt(2)), Target: 4}}},
-		{{Inst: ic.Inst{Op: ic.BrCmp, A: t1, Cond: ic.CondNe, HasImm: true, Imm: int64(word.MakeInt(1)), Target: 4}},
+		{{Inst: ic.Inst{Op: ic.BrCmp, A: t0, Cond: ic.CondNe, HasImm: true, Word: word.MakeInt(2), Target: 4}}},
+		{{Inst: ic.Inst{Op: ic.BrCmp, A: t1, Cond: ic.CondNe, HasImm: true, Word: word.MakeInt(1), Target: 4}},
 			{Inst: ic.Inst{Op: ic.Halt, Imm: 0}}},
 		{{Inst: ic.Inst{Op: ic.Halt, Imm: 1}}},
 	}, 0)
@@ -102,8 +102,8 @@ func TestMultiwayBranchPriority(t *testing.T) {
 	// Two taken branches in one word: the first (higher priority) wins.
 	p := mk([]Word{
 		{{Inst: ic.Inst{Op: ic.MovI, D: t0, Word: word.MakeInt(5)}}},
-		{{Inst: ic.Inst{Op: ic.BrCmp, A: t0, Cond: ic.CondEq, HasImm: true, Imm: int64(word.MakeInt(5)), Target: 2}},
-			{Inst: ic.Inst{Op: ic.BrCmp, A: t0, Cond: ic.CondEq, HasImm: true, Imm: int64(word.MakeInt(5)), Target: 3}}},
+		{{Inst: ic.Inst{Op: ic.BrCmp, A: t0, Cond: ic.CondEq, HasImm: true, Word: word.MakeInt(5), Target: 2}},
+			{Inst: ic.Inst{Op: ic.BrCmp, A: t0, Cond: ic.CondEq, HasImm: true, Word: word.MakeInt(5), Target: 3}}},
 		{{Inst: ic.Inst{Op: ic.Halt, Imm: 0}}},
 		{{Inst: ic.Inst{Op: ic.Halt, Imm: 1}}},
 	}, 0)

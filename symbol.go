@@ -73,6 +73,11 @@ type RunOptions struct {
 	CPWords    int64
 	TrailWords int64
 	PDLWords   int64
+	// NoFuse disables superinstruction fusion in the sequential emulator,
+	// running the plain predecoded stream instead. Observable behaviour is
+	// identical either way; the switch exists for benchmarking the fusion
+	// layer and for pinning down a miscompare to it.
+	NoFuse bool
 }
 
 // OptionError reports a RunOptions field holding a nonsensical value (for
@@ -227,6 +232,7 @@ func (p *Program) RunWith(opts RunOptions) (_ *Result, err error) {
 		MaxSteps: maxSteps,
 		Layout:   opts.layout(),
 		Deadline: opts.Deadline,
+		NoFuse:   opts.NoFuse,
 	})
 	if err != nil {
 		return nil, err
