@@ -23,6 +23,8 @@ import (
 	"symbol/internal/compile"
 	"symbol/internal/emu"
 	"symbol/internal/expand"
+	"symbol/internal/ic"
+	"symbol/internal/obs"
 	"symbol/internal/parse"
 	"symbol/internal/rename"
 	"symbol/internal/term"
@@ -32,6 +34,8 @@ var (
 	maxSteps = flag.Int64("maxsteps", 0, "abort a query after this many ICI steps (0 = default limit)")
 	timeout  = flag.Duration("timeout", 0, "abort a query after this wall-clock duration (0 = none)")
 	noFuse   = flag.Bool("nofuse", false, "disable superinstruction fusion (plain predecoded stream)")
+	stats    = flag.Bool("stats", false, "print per-query execution stats (op-class mix, memory high-water marks)")
+	events   = flag.Int("events", 0, "trace the query's last N executor milestone events to stderr")
 )
 
 func main() {
@@ -150,9 +154,25 @@ func ask(program []term.Term, query string, all bool) error {
 	if *timeout > 0 {
 		deadline = time.Now().Add(*timeout)
 	}
-	res, err := emu.Run(prog, emu.Options{MaxSteps: *maxSteps, Deadline: deadline, NoFuse: *noFuse})
+	var trace *obs.Trace
+	if *events > 0 {
+		trace = obs.NewTrace(*events)
+	}
+	res, err := emu.Run(prog, emu.Options{
+		MaxSteps: *maxSteps,
+		Deadline: deadline,
+		NoFuse:   *noFuse,
+		Events:   trace,
+	})
+	if trace != nil {
+		// The trace survives faulting runs, so dump it before bailing.
+		printEvents(trace, prog)
+	}
 	if err != nil {
 		return err
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, res.Stats.String())
 	}
 	out := res.Output
 	if all {
@@ -164,6 +184,27 @@ func ask(program []term.Term, query string, all bool) error {
 	}
 	fmt.Print(out)
 	return nil
+}
+
+// printEvents dumps the traced milestones to stderr, labeling pcs with the
+// program's listing labels where they land on one.
+func printEvents(trace *obs.Trace, prog *ic.Program) {
+	if d := trace.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "events: %d recorded, oldest %d dropped\n", trace.Total(), d)
+	}
+	for _, e := range trace.Events() {
+		fmt.Fprint(os.Stderr, e.String())
+		if name, ok := prog.Names[int(e.PC)]; ok {
+			fmt.Fprintf(os.Stderr, "  ; %s", name)
+		}
+		switch e.Kind {
+		case obs.EvCall, obs.EvExec:
+			if name, ok := prog.Names[int(e.Arg)]; ok {
+				fmt.Fprintf(os.Stderr, "  -> %s", name)
+			}
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 }
 
 // bindingWriter builds  write('X = '), write(X), nl.

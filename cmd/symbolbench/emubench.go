@@ -13,6 +13,7 @@ import (
 	"symbol/internal/emu"
 	"symbol/internal/exec"
 	"symbol/internal/ic"
+	"symbol/internal/obs"
 )
 
 // The -emubench mode measures sequential emulator throughput in ICI
@@ -61,8 +62,13 @@ type emuBenchResult struct {
 // benchEmuSteps runs the steps-throughput benchmark. modes is a comma list
 // or "all"; results are printed benchstat-style and optionally written as
 // JSON. With smoke set, the nofuse and fused modes are always measured and
-// the run fails if fused throughput is below nofuse.
-func benchEmuSteps(name, modes string, runs int, jsonPath string, smoke bool) error {
+// the run fails if fused throughput is below nofuse. statsPath, when
+// non-empty, dumps one execution's full symbol.Stats per mode as JSON.
+// comparePath, when non-empty, names a committed baseline JSON (an earlier
+// -benchjson file) and the run fails if any measured mode's best steps/s
+// falls more than tolerance percent below the baseline's — the CI guard
+// that keeps the always-on stats counters within their overhead budget.
+func benchEmuSteps(name, modes string, runs int, jsonPath string, smoke bool, statsPath, comparePath string, tolerance float64) error {
 	b, err := benchprog.Get(name)
 	if err != nil {
 		return err
@@ -85,6 +91,7 @@ func benchEmuSteps(name, modes string, runs int, jsonPath string, smoke bool) er
 	}
 
 	results := make([]emuBenchResult, 0, len(want))
+	modeStats := map[string]obs.Stats{}
 	for _, mode := range want {
 		base, ok := emuModeOpts[mode]
 		if !ok {
@@ -113,6 +120,7 @@ func benchEmuSteps(name, modes string, runs int, jsonPath string, smoke bool) er
 					return fmt.Errorf("%s/%s: wrong answer (status=%d output=%q)", name, mode, res.Status, res.Output)
 				}
 				st.Reset()
+				modeStats[mode] = res.Stats
 				steps += res.Steps
 				iters++
 				if time.Since(start) >= 100*time.Millisecond {
@@ -149,6 +157,23 @@ func benchEmuSteps(name, modes string, runs int, jsonPath string, smoke bool) er
 		fmt.Printf("# wrote %s\n", jsonPath)
 	}
 
+	if statsPath != "" {
+		data, err := json.MarshalIndent(modeStats, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(statsPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", statsPath)
+	}
+
+	if comparePath != "" {
+		if err := compareBaseline(results, comparePath, tolerance); err != nil {
+			return err
+		}
+	}
+
 	if smoke {
 		best := map[string]float64{}
 		for _, r := range results {
@@ -160,6 +185,41 @@ func benchEmuSteps(name, modes string, runs int, jsonPath string, smoke bool) er
 		}
 		fmt.Printf("# smoke ok: fused %.2f Msteps/s >= nofuse %.2f Msteps/s\n",
 			best["fused"]/1e6, best["nofuse"]/1e6)
+	}
+	return nil
+}
+
+// compareBaseline checks every measured mode against a committed -benchjson
+// baseline, failing if best steps/s dropped more than tolerance percent.
+// Modes absent from the baseline are reported but not failed, so a new mode
+// can land before its baseline is regenerated.
+func compareBaseline(results []emuBenchResult, path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var baseline []emuBenchResult
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	base := map[string]float64{}
+	for _, r := range baseline {
+		base[r.Bench+"/"+r.Mode] = r.BestSPS
+	}
+	for _, r := range results {
+		key := r.Bench + "/" + r.Mode
+		want, ok := base[key]
+		if !ok {
+			fmt.Printf("# compare: %s not in %s, skipping\n", key, path)
+			continue
+		}
+		floor := want * (1 - tolerance/100)
+		if r.BestSPS < floor {
+			return fmt.Errorf("compare: %s best %.2f Msteps/s is more than %.1f%% below baseline %.2f Msteps/s (%s)",
+				key, r.BestSPS/1e6, tolerance, want/1e6, path)
+		}
+		fmt.Printf("# compare ok: %s best %.2f Msteps/s vs baseline %.2f Msteps/s (floor %.2f at -tolerance %.1f)\n",
+			key, r.BestSPS/1e6, want/1e6, floor/1e6, tolerance)
 	}
 	return nil
 }

@@ -11,6 +11,8 @@
 //	symbolbench -parallel 4 -bench queens_8 -runs 64
 //	symbolbench -emubench       # emulator steps/sec: legacy vs nofuse vs fused
 //	symbolbench -emubench -emumode legacy -benchjson BENCH_baseline.json
+//	symbolbench -emubench -statsjson stats.json   # per-mode execution stats
+//	symbolbench -emubench -emumode fused -compare BENCH_fused.json -tolerance 5
 //	symbolbench -smoke          # fail if fusion lost throughput vs nofuse
 //	symbolbench -emubench -cpuprofile cpu.out -memprofile mem.out
 //
@@ -50,6 +52,9 @@ func main() {
 	emumode := flag.String("emumode", "all", "execution modes for -emubench (comma separated): legacy, nofuse, fused, all")
 	emuruns := flag.Int("emuruns", 5, "timed runs per mode in -emubench mode")
 	benchJSON := flag.String("benchjson", "", "write -emubench results as JSON to this file")
+	statsJSON := flag.String("statsjson", "", "with -emubench: write one execution's full Stats per mode as JSON to this file")
+	compare := flag.String("compare", "", "with -emubench: committed -benchjson baseline; fail if best steps/s drops below it by more than -tolerance")
+	tolerance := flag.Float64("tolerance", 5, "allowed throughput drop vs -compare baseline, in percent")
 	smoke := flag.Bool("smoke", false, "with -emubench: measure nofuse vs fused and fail if fusion lost throughput")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
@@ -57,7 +62,7 @@ func main() {
 
 	if *emubench || *smoke {
 		err := withProfiles(*cpuprofile, *memprofile, func() error {
-			return benchEmuSteps(*benchName, *emumode, *emuruns, *benchJSON, *smoke)
+			return benchEmuSteps(*benchName, *emumode, *emuruns, *benchJSON, *smoke, *statsJSON, *compare, *tolerance)
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "symbolbench:", err)
@@ -250,5 +255,8 @@ func benchEngine(name string, workers, runs int) error {
 		poolQPS/baseQPS,
 		float64(baseAllocs)/float64(max(poolAllocs, 1)),
 		float64(baseBytes)/float64(max(poolBytes, 1)))
+	m := eng.Metrics()
+	fmt.Printf("  engine metrics: %d started, %d succeeded, pool %d gets / %d misses, %d pages reset, %d Msteps total\n",
+		m.Started, m.Succeeded, m.PoolGets, m.PoolMisses, m.DirtyPagesReset, m.Totals.Steps/1e6)
 	return nil
 }

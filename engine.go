@@ -2,12 +2,16 @@ package symbol
 
 import (
 	"context"
+	"expvar"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"symbol/internal/emu"
+	"symbol/internal/fault"
 	"symbol/internal/ic"
+	"symbol/internal/obs"
 	"symbol/internal/vliw"
 )
 
@@ -29,6 +33,7 @@ type Engine struct {
 	conf MachineConfig
 	sops ScheduleOptions
 	pool sync.Pool // *ic.State
+	met  obs.Metrics
 
 	schedOnce sync.Once
 	sched     *Scheduled
@@ -46,19 +51,27 @@ func NewEngine(p *Program) *Engine {
 // lazily on the first Simulate call.
 func NewEngineConfig(p *Program, conf MachineConfig, sopts ScheduleOptions) *Engine {
 	e := &Engine{prog: p, conf: conf, sops: sopts}
-	e.pool.New = func() any { return ic.NewState() }
+	e.pool.New = func() any {
+		e.met.RecordPoolMiss()
+		return ic.NewState()
+	}
 	return e
 }
 
 // Program returns the compiled program the engine serves.
 func (e *Engine) Program() *Program { return e.prog }
 
-// acquire takes a zeroed machine state from the pool.
-func (e *Engine) acquire() *ic.State { return e.pool.Get().(*ic.State) }
+// acquire takes a zeroed machine state from the pool. Misses (fresh
+// allocations) are counted by the pool's New hook.
+func (e *Engine) acquire() *ic.State {
+	e.met.RecordPoolGet()
+	return e.pool.Get().(*ic.State)
+}
 
 // release resets st (O(dirty) — only the pages the run wrote) and returns
 // it to the pool for the next query.
 func (e *Engine) release(st *ic.State) {
+	e.met.RecordReset(st.DirtyPages())
 	st.Reset()
 	e.pool.Put(st)
 }
@@ -91,6 +104,7 @@ func deadlineOf(ctx context.Context, opts RunOptions) RunOptions {
 func (e *Engine) Run(ctx context.Context, opts RunOptions) (_ *Result, err error) {
 	defer guard(&err)
 	if err := opts.Validate(); err != nil {
+		e.met.RecordRejected()
 		return nil, err
 	}
 	opts = deadlineOf(ctx, opts)
@@ -98,6 +112,16 @@ func (e *Engine) Run(ctx context.Context, opts RunOptions) (_ *Result, err error
 	if maxSteps == 0 {
 		maxSteps = e.prog.opts.MaxSteps
 	}
+	e.met.RecordStart()
+	// Every RecordStart must be balanced or the in-flight gauge drifts; the
+	// settled flag covers the guarded-panic exit, which reaches neither the
+	// RecordFailed nor the RecordDone call below.
+	settled := false
+	defer func() {
+		if !settled {
+			e.met.RecordFailed(fault.None)
+		}
+	}()
 	st := e.acquire()
 	// On a guarded panic the state's dirty set may be incomplete, so the
 	// state is dropped (not recycled) rather than risk leaking a word into
@@ -108,6 +132,10 @@ func (e *Engine) Run(ctx context.Context, opts RunOptions) (_ *Result, err error
 			e.release(st)
 		}
 	}()
+	var trace *obs.Trace
+	if opts.TraceEvents > 0 {
+		trace = obs.NewTrace(opts.TraceEvents)
+	}
 	res, err := emu.Run(e.prog.icp, emu.Options{
 		MaxSteps:  maxSteps,
 		Layout:    opts.layout(),
@@ -115,12 +143,28 @@ func (e *Engine) Run(ctx context.Context, opts RunOptions) (_ *Result, err error
 		Interrupt: interruptOf(ctx),
 		State:     st,
 		NoFuse:    opts.NoFuse,
+		Events:    trace,
 	})
 	clean = true
 	if err != nil {
+		settled = true
+		e.met.RecordFailed(fault.KindOf(err))
 		return nil, err
 	}
-	return &Result{Succeeded: res.Status == 0, Output: res.Output, Steps: res.Steps}, nil
+	r := &Result{Succeeded: res.Status == 0, Output: res.Output, Steps: res.Steps, Stats: res.Stats}
+	if trace != nil {
+		r.Events = trace.Events()
+		r.EventsDropped = trace.Dropped()
+	}
+	settled = true
+	e.met.RecordDone(&r.Stats, r.Succeeded)
+	return r, nil
+}
+
+// RunContext answers one query configured by functional options — the
+// variadic companion to Run.
+func (e *Engine) RunContext(ctx context.Context, opts ...RunOption) (*Result, error) {
+	return e.Run(ctx, buildRunOptions(opts))
 }
 
 // Scheduled returns the engine's lazily compacted program (scheduling it on
@@ -138,6 +182,7 @@ func (e *Engine) Scheduled() (*Scheduled, error) {
 func (e *Engine) Simulate(ctx context.Context, opts RunOptions) (_ *SimResult, err error) {
 	defer guard(&err)
 	if err := opts.Validate(); err != nil {
+		e.met.RecordRejected()
 		return nil, err
 	}
 	sched, err := e.Scheduled()
@@ -145,6 +190,13 @@ func (e *Engine) Simulate(ctx context.Context, opts RunOptions) (_ *SimResult, e
 		return nil, err
 	}
 	opts = deadlineOf(ctx, opts)
+	e.met.RecordStart()
+	settled := false
+	defer func() {
+		if !settled {
+			e.met.RecordFailed(fault.None)
+		}
+	}()
 	st := e.acquire()
 	clean := false
 	defer func() {
@@ -152,25 +204,71 @@ func (e *Engine) Simulate(ctx context.Context, opts RunOptions) (_ *SimResult, e
 			e.release(st)
 		}
 	}()
+	var trace *obs.Trace
+	if opts.TraceEvents > 0 {
+		trace = obs.NewTrace(opts.TraceEvents)
+	}
 	r, err := vliw.Sim(sched.vprog, vliw.SimOptions{
 		MaxCycles: opts.MaxCycles,
 		Layout:    opts.layout(),
 		Deadline:  opts.Deadline,
 		Interrupt: interruptOf(ctx),
 		State:     st,
+		Events:    trace,
 	})
 	clean = true
 	if err != nil {
+		settled = true
+		e.met.RecordFailed(fault.KindOf(err))
 		return nil, err
 	}
-	return &SimResult{
+	sr := &SimResult{
 		Succeeded: r.Status == 0,
 		Output:    r.Output,
 		Cycles:    r.Cycles,
 		Words:     r.Words,
 		Ops:       r.Ops,
 		Bubble:    r.Bubble,
-	}, nil
+		Stats:     r.Stats,
+	}
+	if trace != nil {
+		sr.Events = trace.Events()
+		sr.EventsDropped = trace.Dropped()
+	}
+	settled = true
+	e.met.RecordDone(&sr.Stats, sr.Succeeded)
+	return sr, nil
+}
+
+// SimulateContext answers one query on the VLIW simulator configured by
+// functional options — the variadic companion to Simulate.
+func (e *Engine) SimulateContext(ctx context.Context, opts ...RunOption) (*SimResult, error) {
+	return e.Simulate(ctx, buildRunOptions(opts))
+}
+
+// Metrics snapshots the engine-wide aggregate counters: queries by outcome,
+// fault breakdown, pool behaviour, and the Add-sum of every completed run's
+// Stats (Totals), plus latency and step histograms. Recording is lock-free;
+// snapshotting is safe at any time from any goroutine.
+func (e *Engine) Metrics() MetricsSnapshot { return e.met.Snapshot() }
+
+// WriteMetrics renders the current metrics snapshot in the Prometheus text
+// exposition format, for mounting on any HTTP mux:
+//
+//	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+//	    eng.WriteMetrics(w)
+//	})
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	_, err := e.met.Snapshot().WriteTo(w)
+	return err
+}
+
+// PublishExpvar registers the engine's metrics snapshot as an expvar
+// variable under name, so it appears as JSON on the standard /debug/vars
+// endpoint. Like expvar.Publish, it panics if name is already registered —
+// call it once per engine with a unique name.
+func (e *Engine) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return e.met.Snapshot() }))
 }
 
 // BatchResult is one outcome of Engine.RunAll: the run's Result, or the

@@ -16,6 +16,7 @@ import (
 	"symbol/internal/fault"
 	"symbol/internal/ic"
 	"symbol/internal/mterm"
+	"symbol/internal/obs"
 	"symbol/internal/word"
 )
 
@@ -43,6 +44,10 @@ type Result struct {
 	Output  string // text produced by write/1 and nl/0
 	Steps   int64  // dynamic ICI count
 	Profile *Profile
+	// Stats is the per-run observability record (op-class mix, memory
+	// high-water marks, choice-point/trail activity, faults, wall time),
+	// populated on every completed run in every interpreter mode.
+	Stats obs.Stats
 }
 
 // Error is a runtime error with machine context. Err, when non-nil, is the
@@ -101,6 +106,12 @@ type Options struct {
 	// semantic baseline the predecoded loops are verified against (implied
 	// by Trace). Kept for differential tests and baseline benchmarks.
 	Legacy bool
+	// Events, if non-nil, receives executor milestone events (call/fail
+	// ports, choice-point push/pop, catch/throw, faults, halt). Like Trace
+	// it implies the legacy reference interpreter, so the predecoded loops
+	// carry no event hooks and pay nothing when tracing is off. On an
+	// error return the trace still holds the events up to the fault.
+	Events *obs.Trace
 }
 
 // Machine is the sequential IC interpreter.
@@ -124,6 +135,32 @@ type Machine struct {
 	// converted into a catchable ball, so an uncaught unwind reports the
 	// original fault rather than a generic uncaught exception.
 	pendingFault fault.Kind
+
+	// Observability state. ctr is written by the run loops (the fast loops
+	// only touch disp and the skip fixups; the legacy loop fills cls and
+	// the mark counters instead); start stamps Run entry for wall time.
+	ctr     counters
+	start   time.Time
+	events  *obs.Trace
+	evStep  int64        // step counter mirror for events emitted inside raise
+	catchPC int          // pc of the $catchh handler entry, -1 when absent
+	procPC  map[int]bool // procedure entry pcs, built only when tracing events
+}
+
+// counters is the cheap per-run instrumentation the loops write. disp is
+// sized 256 (not exec.NumCodes) and indexed by the uint8 opcode so the
+// increment compiles without a bounds check.
+type counters struct {
+	disp [256]int64 // per-XCode dispatch counts (predecoded loops)
+	// Fused second constituents skipped because the first store faulted
+	// catchably: the dispatch count over-counts the second half by these.
+	skipStAdd, skipStSt, skipStMovI int64
+	cmovMoves                       int64 // XFCMovR second constituents actually executed
+	// Legacy-loop equivalents: per-class counts and mark counts, gathered
+	// per step since the legacy loop has no dense opcodes.
+	cls                        [int(ic.NumClasses)]int64
+	cpPush, cpPop, trailUndo   int64
+	faultsRaised, faultsCaught int64
 }
 
 // overflowKind maps an overflowed memory region to its fault kind.
@@ -154,12 +191,23 @@ func New(prog *ic.Program, opts Options) *Machine {
 		st = ic.NewState()
 	}
 	m := &Machine{
-		prog: prog,
-		opts: opts,
-		st:   st,
-		mem:  st.Mem(),
-		regs: st.Regs(int(prog.MaxReg()) + 1),
-		pc:   prog.Entry,
+		prog:    prog,
+		opts:    opts,
+		st:      st,
+		mem:     st.Mem(),
+		regs:    st.Regs(int(prog.MaxReg()) + 1),
+		pc:      prog.Entry,
+		events:  opts.Events,
+		catchPC: -1,
+	}
+	if pc, ok := prog.Procs["$catchh"]; ok {
+		m.catchPC = pc
+	}
+	if m.events != nil {
+		m.procPC = make(map[int]bool, len(prog.Procs))
+		for _, pc := range prog.Procs {
+			m.procPC[pc] = true
+		}
 	}
 	// Unannotated stores never region-fault: give RegionUnknown an
 	// unreachable limit so the predecoded store handler needs no separate
@@ -201,10 +249,15 @@ func (m *Machine) faultErr(k fault.Kind) error {
 // into a ball and delivered to the $throwunwind routine (redirect true);
 // everything else surfaces as a typed hard error.
 func (m *Machine) raise(k fault.Kind) (redirect bool, err error) {
+	m.ctr.faultsRaised++
+	if m.events != nil {
+		m.events.Add(obs.Event{Step: m.evStep, PC: int32(m.pc), Kind: obs.EvFault, Arg: int64(k)})
+	}
 	if fault.Catchable(k) && m.prog.ThrowPC > 0 &&
 		mterm.BallFault(m.mem, m.prog.Atoms, fault.BallName(k)) {
 		m.st.TouchRange(ic.BallBase, ic.BallBase+ic.BallSize)
 		m.pendingFault = k
+		m.ctr.faultsCaught++
 		return true, nil
 	}
 	return false, m.faultErr(k)
@@ -239,7 +292,8 @@ func (m *Machine) load(addr uint64) (word.W, error) {
 // opts.NoFuse; tracing (or opts.Legacy) selects the original reference
 // interpreter, which executes ic.Inst directly.
 func (m *Machine) Run() (*Result, error) {
-	if m.opts.Trace != nil || m.opts.Legacy {
+	m.start = time.Now()
+	if m.opts.Trace != nil || m.opts.Legacy || m.events != nil {
 		return m.runLegacy()
 	}
 	xp := exec.Of(m.prog)
@@ -251,6 +305,63 @@ func (m *Machine) Run() (*Result, error) {
 		return m.runProfiled(s)
 	}
 	return m.runFast(s)
+}
+
+// stats assembles the per-run record shared by every loop: the caller
+// supplies the class counts and choice-point/trail totals its own
+// instrumentation produced, the machine adds fault counters, wall time and
+// the page-granular memory high-water marks.
+func (m *Machine) stats(steps int64, cls *[int(ic.NumClasses)]int64, cp, undo int64) obs.Stats {
+	return obs.Stats{
+		Steps:        steps,
+		MemOps:       cls[ic.ClassMemory],
+		ALUOps:       cls[ic.ClassALU],
+		MoveOps:      cls[ic.ClassMove],
+		ControlOps:   cls[ic.ClassControl],
+		SysOps:       cls[ic.ClassSys],
+		HeapHigh:     int64(m.st.MaxDirty(ic.HeapBase, ic.HeapBase+ic.HeapSize) - ic.HeapBase),
+		EnvHigh:      int64(m.st.MaxDirty(ic.EnvBase, ic.EnvBase+ic.EnvSize) - ic.EnvBase),
+		CPHigh:       int64(m.st.MaxDirty(ic.CPBase, ic.CPBase+ic.CPSize) - ic.CPBase),
+		TrailHigh:    int64(m.st.MaxDirty(ic.TrailBase, ic.TrailBase+ic.TrailSize) - ic.TrailBase),
+		PDLHigh:      int64(m.st.MaxDirty(ic.PDLBase, ic.PDLBase+ic.PDLSize) - ic.PDLBase),
+		ChoicePoints: cp,
+		TrailUndos:   undo,
+		FaultsRaised: m.ctr.faultsRaised,
+		FaultsCaught: m.ctr.faultsCaught,
+		Wall:         time.Since(m.start),
+	}
+}
+
+// statsFast expands the predecoded loops' per-opcode dispatch counters into
+// the exact per-class dynamic mix in original-ICI units. Every dispatch
+// counted both constituents of a superinstruction; the skip counters undo
+// the (rare) second constituents that did not execute because the first
+// store faulted catchably, and XFCMovR's conditional second constituent is
+// replaced by the count of moves that actually ran. The marked opcodes make
+// the dispatch array itself the choice-point and trail-undo counters.
+func (m *Machine) statsFast(steps int64) obs.Stats {
+	d := &m.ctr.disp
+	// One spare slot catches the Class2Of "no second constituent" sentinel.
+	var cls [int(ic.NumClasses) + 1]int64
+	for c := 0; c < int(exec.NumCodes); c++ {
+		n := d[c]
+		if n == 0 {
+			continue
+		}
+		cls[exec.ClassOf[c]] += n
+		cls[exec.Class2Of[c]] += n
+	}
+	cls[ic.ClassALU] -= m.ctr.skipStAdd
+	cls[ic.ClassMemory] -= m.ctr.skipStSt
+	cls[ic.ClassMove] -= m.ctr.skipStMovI
+	cls[ic.ClassMove] -= d[exec.XFCMovR] - m.ctr.cmovMoves
+	head := [int(ic.NumClasses)]int64(cls[:int(ic.NumClasses)])
+	return m.stats(steps, &head, d[exec.XMovCP], d[exec.XLdUndo])
+}
+
+// statsLegacy packages the legacy loop's per-step counts.
+func (m *Machine) statsLegacy(steps int64) obs.Stats {
+	return m.stats(steps, &m.ctr.cls, m.ctr.cpPush, m.ctr.trailUndo)
 }
 
 // runLegacy is the original one-ICI-at-a-time interpreter. It is the
@@ -280,6 +391,18 @@ func (m *Machine) runLegacy() (*Result, error) {
 		}
 		steps++
 		in := &code[m.pc]
+		m.ctr.cls[in.Class()]++
+		switch in.Mark {
+		case ic.MarkCPPush:
+			m.ctr.cpPush++
+		case ic.MarkCPPop:
+			m.ctr.cpPop++
+		case ic.MarkTrailUndo:
+			m.ctr.trailUndo++
+		}
+		if m.events != nil {
+			m.evStep = steps
+		}
 		if m.prof != nil {
 			m.prof.Expect[m.pc]++
 		}
@@ -404,11 +527,15 @@ func (m *Machine) runLegacy() (*Result, error) {
 			if in.Imm == 2 {
 				return nil, m.uncaught()
 			}
+			if m.events != nil {
+				m.events.Add(obs.Event{Step: steps, PC: int32(m.pc), Kind: obs.EvHalt, Arg: in.Imm})
+			}
 			res := &Result{
 				Status:  int(in.Imm),
 				Output:  m.out.String(),
 				Steps:   steps,
 				Profile: m.prof,
+				Stats:   m.statsLegacy(steps),
 			}
 			return res, nil
 		case ic.SysOp:
@@ -426,7 +553,50 @@ func (m *Machine) runLegacy() (*Result, error) {
 		default:
 			return nil, m.fail("unknown opcode")
 		}
+		if m.events != nil {
+			m.emitEvents(steps, in, next)
+		}
 		m.pc = next
+	}
+}
+
+// emitEvents derives milestone events from the instruction that just
+// executed at m.pc and the pc control moves to next. Fault events are
+// emitted inside raise (they may precede a hard-error return), halts in
+// the Halt arm; everything else is recognizable here from the instruction
+// shape, its Mark, or the destination pc.
+func (m *Machine) emitEvents(steps int64, in *ic.Inst, next int) {
+	t := m.events
+	pc := int32(m.pc)
+	switch in.Mark {
+	case ic.MarkCPPush:
+		t.Add(obs.Event{Step: steps, PC: pc, Kind: obs.EvChoicePush, Arg: int64(m.regs[ic.RegB].Val())})
+	case ic.MarkCPPop:
+		t.Add(obs.Event{Step: steps, PC: pc, Kind: obs.EvChoicePop, Arg: int64(m.regs[ic.RegB].Val())})
+	}
+	switch in.Op {
+	case ic.Jsr:
+		t.Add(obs.Event{Step: steps, PC: pc, Kind: obs.EvCall, Arg: int64(in.Target)})
+	case ic.Jmp:
+		if m.procPC[in.Target] && in.Target != m.prog.FailPC {
+			t.Add(obs.Event{Step: steps, PC: pc, Kind: obs.EvExec, Arg: int64(in.Target)})
+		}
+	case ic.JmpR:
+		// Only returns through the continuation register: $fail's retry
+		// dispatch and the rethrow paths JmpR through temporaries.
+		if in.A == ic.RegCP {
+			t.Add(obs.Event{Step: steps, PC: pc, Kind: obs.EvReturn, Arg: int64(next)})
+		}
+	case ic.SysOp:
+		if in.Sys == ic.SysBallPut {
+			t.Add(obs.Event{Step: steps, PC: pc, Kind: obs.EvThrow})
+		}
+	}
+	if next == m.prog.FailPC {
+		t.Add(obs.Event{Step: steps, PC: pc, Kind: obs.EvFail})
+	}
+	if next == m.catchPC {
+		t.Add(obs.Event{Step: steps, PC: pc, Kind: obs.EvCatch})
 	}
 }
 

@@ -274,7 +274,7 @@ func TestBrCmpEqImmWordSemantics(t *testing.T) {
 // instruction context embedded in the rendered message.
 func TestRunModesAgreeOnErrors(t *testing.T) {
 	cases := [][]ic.Inst{
-		{{Op: ic.Jmp, Target: -3}},                             // static bad target
+		{{Op: ic.Jmp, Target: -3}}, // static bad target
 		{{Op: ic.MovI, D: t0, Word: word.MakeInt(99)}, {Op: ic.JmpR, A: t0}}, // dynamic bad pc
 		{{Op: ic.MovI, D: t0, Word: word.MakeInt(0)},
 			{Op: ic.MovI, D: t1, Word: word.MakeInt(1)},

@@ -85,6 +85,11 @@ func (m *Machine) runFast(s *exec.Stream) (*Result, error) {
 	regs := m.regs
 	max := m.opts.MaxSteps
 	poll := m.pollEvery()
+	// disp is the whole per-run instrumentation cost when tracing is off:
+	// one bounds-check-free increment per dispatch (the array is 256 wide
+	// and the opcode is a uint8). Classes, choice points and trail undos
+	// are all expanded from it after the run (see statsFast).
+	disp := &m.ctr.disp
 	var steps int64
 	x := int(s.Entry)
 	for {
@@ -94,10 +99,11 @@ func (m *Machine) runFast(s *exec.Stream) (*Result, error) {
 			return nil, m.faultErr(fault.StepLimit)
 		}
 		steps++
+		disp[op.Code]++
 		next := x + 1
 		switch op.Code {
 		case exec.XNop:
-		case exec.XLd:
+		case exec.XLd, exec.XLdUndo:
 			addr := regs[op.A].Val() + uint64(op.Imm)
 			if addr >= uint64(len(mem)) {
 				m.pc = int(op.PC)
@@ -209,7 +215,7 @@ func (m *Machine) runFast(s *exec.Stream) (*Result, error) {
 			regs[op.D] = word.MakeInt(int64(regs[op.A].Tag()))
 		case exec.XLea:
 			regs[op.D] = word.Make(op.Tag, uint64(regs[op.A].Int()+op.Imm))
-		case exec.XMov:
+		case exec.XMov, exec.XMovCP:
 			regs[op.D] = regs[op.A]
 		case exec.XMovI:
 			regs[op.D] = op.W
@@ -264,7 +270,8 @@ func (m *Machine) runFast(s *exec.Stream) (*Result, error) {
 				m.pc = int(op.PC)
 				return nil, m.uncaught()
 			}
-			return &Result{Status: int(op.Imm), Output: m.out.String(), Steps: steps}, nil
+			return &Result{Status: int(op.Imm), Output: m.out.String(), Steps: steps,
+				Stats: m.statsFast(steps)}, nil
 
 		case exec.XSysWrite:
 			m.pc = int(op.PC)
@@ -391,6 +398,7 @@ func (m *Machine) runFast(s *exec.Stream) (*Result, error) {
 				}
 				if jump {
 					// The store faulted: unwind now, the bump never runs.
+					m.ctr.skipStAdd++
 					next = int(s.Throw)
 					break
 				}
@@ -425,6 +433,7 @@ func (m *Machine) runFast(s *exec.Stream) (*Result, error) {
 					return nil, m.faultErr(fault.StepLimit)
 				}
 				steps++
+				m.ctr.cmovMoves++
 				regs[op.D2] = regs[op.A2]
 			}
 		case exec.XFLdLd:
@@ -467,6 +476,7 @@ func (m *Machine) runFast(s *exec.Stream) (*Result, error) {
 					return nil, err
 				}
 				if jump {
+					m.ctr.skipStSt++
 					next = int(s.Throw)
 					break
 				}
@@ -509,6 +519,7 @@ func (m *Machine) runFast(s *exec.Stream) (*Result, error) {
 					return nil, err
 				}
 				if jump {
+					m.ctr.skipStMovI++
 					next = int(s.Throw)
 					break
 				}
@@ -615,6 +626,7 @@ func (m *Machine) runProfiled(s *exec.Stream) (*Result, error) {
 	poll := m.pollEvery()
 	expect := m.prof.Expect
 	taken := m.prof.Taken
+	disp := &m.ctr.disp
 	var steps int64
 	x := int(s.Entry)
 	for {
@@ -628,11 +640,12 @@ func (m *Machine) runProfiled(s *exec.Stream) (*Result, error) {
 			return nil, m.fail("pc out of range")
 		}
 		steps++
+		disp[op.Code]++
 		expect[op.PC]++
 		next := x + 1
 		switch op.Code {
 		case exec.XNop:
-		case exec.XLd:
+		case exec.XLd, exec.XLdUndo:
 			addr := regs[op.A].Val() + uint64(op.Imm)
 			if addr >= uint64(len(mem)) {
 				m.pc = int(op.PC)
@@ -744,7 +757,7 @@ func (m *Machine) runProfiled(s *exec.Stream) (*Result, error) {
 			regs[op.D] = word.MakeInt(int64(regs[op.A].Tag()))
 		case exec.XLea:
 			regs[op.D] = word.Make(op.Tag, uint64(regs[op.A].Int()+op.Imm))
-		case exec.XMov:
+		case exec.XMov, exec.XMovCP:
 			regs[op.D] = regs[op.A]
 		case exec.XMovI:
 			regs[op.D] = op.W
@@ -807,7 +820,8 @@ func (m *Machine) runProfiled(s *exec.Stream) (*Result, error) {
 				m.pc = int(op.PC)
 				return nil, m.uncaught()
 			}
-			return &Result{Status: int(op.Imm), Output: m.out.String(), Steps: steps, Profile: m.prof}, nil
+			return &Result{Status: int(op.Imm), Output: m.out.String(), Steps: steps,
+				Profile: m.prof, Stats: m.statsFast(steps)}, nil
 
 		case exec.XSysWrite:
 			m.pc = int(op.PC)
@@ -944,6 +958,7 @@ func (m *Machine) runProfiled(s *exec.Stream) (*Result, error) {
 				if jump {
 					// The store faulted: unwind now, the bump never runs
 					// (and is not counted).
+					m.ctr.skipStAdd++
 					next = int(s.Throw)
 					break
 				}
@@ -980,6 +995,7 @@ func (m *Machine) runProfiled(s *exec.Stream) (*Result, error) {
 					return nil, m.faultErr(fault.StepLimit)
 				}
 				steps++
+				m.ctr.cmovMoves++
 				expect[op.PC+1]++
 				regs[op.D2] = regs[op.A2]
 			}
@@ -1025,6 +1041,7 @@ func (m *Machine) runProfiled(s *exec.Stream) (*Result, error) {
 					return nil, err
 				}
 				if jump {
+					m.ctr.skipStSt++
 					next = int(s.Throw)
 					break
 				}
@@ -1068,6 +1085,7 @@ func (m *Machine) runProfiled(s *exec.Stream) (*Result, error) {
 					return nil, err
 				}
 				if jump {
+					m.ctr.skipStMovI++
 					next = int(s.Throw)
 					break
 				}

@@ -36,8 +36,8 @@ const (
 	// target was out of range at predecode time, or control falling off the
 	// end of the code. It is the zero Code so a zeroed op is a trap, never
 	// a silent nop.
-	XBadPC XCode = iota
-	XUnknown      // unknown ic.Op (matches the legacy "unknown opcode" error)
+	XBadPC   XCode = iota
+	XUnknown       // unknown ic.Op (matches the legacy "unknown opcode" error)
 	XNop
 
 	XLd // D = mem[val(A)+Imm]
@@ -113,14 +113,21 @@ const (
 	// Memory-shaped pairs: choice-point pushes and restores are runs of
 	// adjacent stores/loads, and argument setup is runs of moves, so these
 	// dominate the unfused dynamic mix once the branch shapes are handled.
-	XFLdLd      // D = mem[A+Imm]; D2 = mem[A2+Imm2]
-	XFLdMov     // D = mem[A+Imm]; D2 = regs[A2]
-	XFStSt      // mem[A+Imm] = B (Region); mem[A2+Imm2] = regs[D2] (Region2)
-	XFStMovI    // mem[A+Imm] = B (Region); D2 = W
-	XFMovISt    // D = W; mem[A2+Imm2] = regs[D2] (Region2)
-	XFMovMov    // D = regs[A]; D2 = regs[A2]
+	XFLdLd       // D = mem[A+Imm]; D2 = mem[A2+Imm2]
+	XFLdMov      // D = mem[A+Imm]; D2 = regs[A2]
+	XFStSt       // mem[A+Imm] = B (Region); mem[A2+Imm2] = regs[D2] (Region2)
+	XFStMovI     // mem[A+Imm] = B (Region); D2 = W
+	XFMovISt     // D = W; mem[A2+Imm2] = regs[D2] (Region2)
+	XFMovMov     // D = regs[A]; D2 = regs[A2]
 	XFMovBrTagEq // D = regs[A]; if tag(regs[D2]) == Tag goto Target
 	XFMovBrTagNe // D = regs[A]; if tag(regs[D2]) != Tag goto Target
+
+	// Marked singles (see ic.Mark): semantically identical to XMov/XLd, but
+	// split into their own opcodes so the per-opcode dispatch counters double
+	// as choice-point and trail-undo counters at zero hot-path cost. The
+	// fusion pass refuses to bury a marked ICI inside a superinstruction.
+	XMovCP  // XMov that commits a choice point (Mov B, nb)
+	XLdUndo // XLd that fetches a trail entry during backtrack unwinding
 
 	NumCodes
 )
@@ -140,6 +147,7 @@ var codeNames = [NumCodes]string{
 	"f.gettag+br.eq", "f.gettag+br.ne", "f.st+add", "f.mov+jmp", "f.cmov",
 	"f.ld+ld", "f.ld+mov", "f.st+st", "f.st+movi", "f.movi+st", "f.mov+mov",
 	"f.mov+brtag.eq", "f.mov+brtag.ne",
+	"mov.cp", "ld.undo",
 }
 
 func (c XCode) String() string {
@@ -150,7 +158,65 @@ func (c XCode) String() string {
 }
 
 // Fused reports whether the opcode is a superinstruction.
-func (c XCode) Fused() bool { return c >= XFLdBrTagEq && c < NumCodes }
+func (c XCode) Fused() bool { return c >= XFLdBrTagEq && c <= XFMovBrTagNe }
+
+// ClassOf maps each opcode to the paper's operation class of its (first)
+// constituent ICI, mirroring ic.Inst.Class. Class2Of gives the second
+// constituent's class for superinstructions, with ic.NumClasses as the
+// "no second constituent" sentinel. The executors expand their per-opcode
+// dispatch counters through these tables after a run, recovering the exact
+// architecture-level class mix (§3.2 of the paper) without classifying in
+// the hot loop.
+var (
+	ClassOf  [NumCodes]ic.Class
+	Class2Of [NumCodes]ic.Class
+)
+
+func init() {
+	for c := XCode(0); c < NumCodes; c++ {
+		ClassOf[c] = ic.ClassALU // default, like ic.Inst.Class
+		Class2Of[c] = ic.NumClasses
+	}
+	one := func(c XCode, k ic.Class) { ClassOf[c] = k }
+	two := func(c XCode, k1, k2 ic.Class) { ClassOf[c] = k1; Class2Of[c] = k2 }
+
+	one(XLd, ic.ClassMemory)
+	one(XSt, ic.ClassMemory)
+	one(XLdUndo, ic.ClassMemory)
+	one(XMov, ic.ClassMove)
+	one(XMovI, ic.ClassMove)
+	one(XMovCP, ic.ClassMove)
+	for _, c := range []XCode{
+		XBrTagEq, XBrTagNe, XBrCmpEqR, XBrCmpNeR, XBrCmpEqI, XBrCmpNeI,
+		XBrCmpOrdR, XBrCmpOrdI, XJmp, XJmpR, XJsr, XHalt, XBadPC,
+	} {
+		one(c, ic.ClassControl)
+	}
+	for _, c := range []XCode{
+		XSysWrite, XSysNl, XSysWriteCode, XSysCompare, XSysBallPut,
+		XSysFault, XSysBad,
+	} {
+		one(c, ic.ClassSys)
+	}
+
+	two(XFLdBrTagEq, ic.ClassMemory, ic.ClassControl)
+	two(XFLdBrTagNe, ic.ClassMemory, ic.ClassControl)
+	two(XFLdBrCmpEqR, ic.ClassMemory, ic.ClassControl)
+	two(XFLdBrCmpNeR, ic.ClassMemory, ic.ClassControl)
+	two(XFGetTagBrEqI, ic.ClassALU, ic.ClassControl)
+	two(XFGetTagBrNeI, ic.ClassALU, ic.ClassControl)
+	two(XFStAdd, ic.ClassMemory, ic.ClassALU)
+	two(XFMovJmp, ic.ClassMove, ic.ClassControl)
+	two(XFCMovR, ic.ClassControl, ic.ClassMove)
+	two(XFLdLd, ic.ClassMemory, ic.ClassMemory)
+	two(XFLdMov, ic.ClassMemory, ic.ClassMove)
+	two(XFStSt, ic.ClassMemory, ic.ClassMemory)
+	two(XFStMovI, ic.ClassMemory, ic.ClassMove)
+	two(XFMovISt, ic.ClassMove, ic.ClassMemory)
+	two(XFMovMov, ic.ClassMove, ic.ClassMove)
+	two(XFMovBrTagEq, ic.ClassMove, ic.ClassControl)
+	two(XFMovBrTagNe, ic.ClassMove, ic.ClassControl)
+}
 
 // hasTarget reports whether the op's Target field is a code address that
 // predecoding must remap to a stream index.
@@ -264,6 +330,9 @@ func Decode1(in *ic.Inst, pc int) Op {
 		op.Code = XNop
 	case ic.Ld:
 		op.Code = XLd
+		if in.Mark == ic.MarkTrailUndo {
+			op.Code = XLdUndo
+		}
 	case ic.St:
 		op.Code = XSt
 	case ic.Add:
@@ -294,6 +363,9 @@ func Decode1(in *ic.Inst, pc int) Op {
 		op.Code = XLea
 	case ic.Mov:
 		op.Code = XMov
+		if in.Mark == ic.MarkCPPush {
+			op.Code = XMovCP
+		}
 	case ic.MovI:
 		op.Code = XMovI
 	case ic.BrTag:

@@ -142,8 +142,8 @@ func TestFusionCatalog(t *testing.T) {
 func TestFusionBlockedByJumpTarget(t *testing.T) {
 	p := mkProg([]ic.Inst{
 		{Op: ic.Nop},
-		{Op: ic.Mov, D: t0, A: t1},     // pc 1: head of a would-be mov+jmp pair
-		{Op: ic.Jmp, Target: 1},        // pc 2: also a branch target (see pc 3)
+		{Op: ic.Mov, D: t0, A: t1}, // pc 1: head of a would-be mov+jmp pair
+		{Op: ic.Jmp, Target: 1},    // pc 2: also a branch target (see pc 3)
 		{Op: ic.BrCmp, A: t0, Cond: ic.CondEq, B: t1, Target: 2}, // marks pc 2
 		{Op: ic.Halt},
 	})

@@ -45,6 +45,16 @@ import (
 // fusePair attempts to fuse the adjacent ICIs a (at pc) and b (at pc+1)
 // into one superinstruction.
 func fusePair(a, b *ic.Inst, pc int) (Op, bool) {
+	// Decode-altering marks (choice-point push, trail-entry fetch) map to
+	// their own single opcodes in Decode1 so the dispatch counters can see
+	// them; burying one inside a superinstruction would lose the count.
+	// MarkCPPop fuses freely — Trust's Ld+Ld stays a superinstruction on the
+	// hot backtrack path; pops only matter to the event trace, which runs on
+	// the legacy loop and reads ic.Inst.Mark directly.
+	if a.Mark == ic.MarkCPPush || a.Mark == ic.MarkTrailUndo ||
+		b.Mark == ic.MarkCPPush || b.Mark == ic.MarkTrailUndo {
+		return Op{}, false
+	}
 	switch a.Op {
 	case ic.Ld:
 		switch b.Op {

@@ -46,13 +46,13 @@ func (a *asm) pushFrame(retryProc string, n int64) {
 	for i := int64(0); i < n; i++ {
 		a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpArgs + i, B: ic.ArgReg(int(i)), Reg: ic.RegionCP})
 	}
-	a.emit(ic.Inst{Op: ic.Mov, D: ic.RegB, A: nb})
+	a.emit(ic.Inst{Op: ic.Mov, D: ic.RegB, A: nb, Mark: ic.MarkCPPush})
 }
 
 // popFrame emits the Trust sequence: drop the top choice point, keeping
 // trail and heap as they are.
 func (a *asm) popFrame() {
-	a.emit(ic.Inst{Op: ic.Ld, D: ic.RegB, A: ic.RegB, Imm: cpPrevB, Reg: ic.RegionCP})
+	a.emit(ic.Inst{Op: ic.Ld, D: ic.RegB, A: ic.RegB, Imm: cpPrevB, Reg: ic.RegionCP, Mark: ic.MarkCPPop})
 	a.emit(ic.Inst{Op: ic.Ld, D: ic.RegEB, A: ic.RegB, Imm: cpEB, Reg: ic.RegionCP})
 }
 

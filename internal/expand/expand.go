@@ -279,7 +279,7 @@ func (a *asm) failRoutine() {
 	brDone := a.emit(ic.Inst{Op: ic.BrCmp, A: ic.RegTR, Cond: ic.CondLe, B: ttr})
 	a.emit(ic.Inst{Op: ic.Sub, D: ic.RegTR, A: ic.RegTR, HasImm: true, Imm: 1})
 	v := a.temp()
-	a.emit(ic.Inst{Op: ic.Ld, D: v, A: ic.RegTR, Imm: 0, Reg: ic.RegionTrail})
+	a.emit(ic.Inst{Op: ic.Ld, D: v, A: ic.RegTR, Imm: 0, Reg: ic.RegionTrail, Mark: ic.MarkTrailUndo})
 	a.emit(ic.Inst{Op: ic.St, A: v, Imm: 0, B: v, Reg: ic.RegionHeap})
 	a.emit(ic.Inst{Op: ic.Jmp, Target: loop})
 	a.code[brDone].Target = a.here()

@@ -76,7 +76,9 @@ func (a *asm) lower(in *bam.Instr) error {
 		for i := int64(0); i < in.N; i++ {
 			a.emit(ic.Inst{Op: ic.St, A: nb, Imm: cpArgs + i, B: ic.ArgReg(int(i)), Reg: ic.RegionCP})
 		}
-		a.emit(ic.Inst{Op: ic.Mov, D: ic.RegB, A: nb})
+		// The commit point: only once B advances is the (fully written)
+		// frame live, so this Mov carries the choice-point-push mark.
+		a.emit(ic.Inst{Op: ic.Mov, D: ic.RegB, A: nb, Mark: ic.MarkCPPush})
 		return nil
 
 	case bam.Retry:
@@ -86,7 +88,7 @@ func (a *asm) lower(in *bam.Instr) error {
 		return nil
 
 	case bam.Trust:
-		a.emit(ic.Inst{Op: ic.Ld, D: ic.RegB, A: ic.RegB, Imm: cpPrevB, Reg: ic.RegionCP})
+		a.emit(ic.Inst{Op: ic.Ld, D: ic.RegB, A: ic.RegB, Imm: cpPrevB, Reg: ic.RegionCP, Mark: ic.MarkCPPop})
 		// The popped frame no longer protects environments: the barrier
 		// drops to the one recorded by the new top choice point.
 		a.emit(ic.Inst{Op: ic.Ld, D: ic.RegEB, A: ic.RegB, Imm: cpEB, Reg: ic.RegionCP})

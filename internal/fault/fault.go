@@ -8,7 +8,10 @@
 // two execution paths instead of matching error strings.
 package fault
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Kind enumerates the machine fault classes.
 type Kind uint8
@@ -37,6 +40,9 @@ const (
 	// The embedding caller cancelled the run (context cancellation); like
 	// the budget faults it is deliberately not catchable.
 	Canceled
+
+	// NumKinds bounds the enumeration (for per-kind counter arrays).
+	NumKinds
 )
 
 var kindNames = [...]string{
@@ -123,6 +129,17 @@ func Of(k Kind) *Fault {
 		return ErrCanceled
 	}
 	return nil
+}
+
+// KindOf classifies an error: the Kind of the Fault in its chain, or None
+// for non-fault errors (including nil). Metrics aggregation uses it to
+// bucket failed runs by kind without string matching.
+func KindOf(err error) Kind {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f.Kind
+	}
+	return None
 }
 
 // Catchable reports whether a fault of kind k is converted into a Prolog

@@ -189,6 +189,24 @@ var regionNames = []string{"?", "heap", "env", "cp", "trail", "pdl", "ball"}
 
 func (r Region) String() string { return regionNames[r] }
 
+// Mark is an optional semantic annotation placed by the code generator on
+// the single ICI that commits a Prolog-level machine event the observability
+// layer wants to count: choice-point creation (the Mov that installs the new
+// frame pointer into B — it cannot fault, so a partially written frame is
+// never counted), choice-point disposal (the Ld that follows the B chain in
+// Trust), and trail unwinding (the Ld that fetches a trail entry in $fail).
+// Marks never change execution semantics; they only make the events cheap to
+// observe. Predecoding gives CPPush and TrailUndo their own opcodes, so the
+// hot loops count them through the ordinary per-opcode dispatch counters.
+type Mark uint8
+
+const (
+	MarkNone      Mark = iota
+	MarkCPPush         // Mov B, nb — a fully written choice point became live
+	MarkCPPop          // Ld B, [B+prevB] — the top choice point was discarded
+	MarkTrailUndo      // Ld v, [TR+0] — one trail entry is about to be unbound
+)
+
 // Inst is one Intermediate Code Instruction.
 type Inst struct {
 	Op     Op
@@ -202,6 +220,7 @@ type Inst struct {
 	Target int // branch target pc (instruction index)
 	Sys    SysID
 	Reg    Region // memory-region annotation for Ld/St
+	Mark   Mark   // observability annotation (see Mark)
 }
 
 // Class returns the paper's instruction class for the ICI.

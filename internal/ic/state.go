@@ -106,6 +106,30 @@ func (s *State) TouchRange(lo, hi uint64) {
 // Reset (observability for pool tuning and tests).
 func (s *State) DirtyPages() int { return len(s.dirty) }
 
+// MaxDirty returns the exclusive upper bound of the addresses dirtied in
+// [lo, hi) since the last Reset, rounded up to a page boundary (and clamped
+// to hi), or lo when no page in the range was written. The executors derive
+// the per-area high-water marks from it after a run: the dirty set is
+// page-granular, so the marks are too, but reading it costs one scan of the
+// (short) dirty list instead of a compare on every store.
+func (s *State) MaxDirty(lo, hi uint64) uint64 {
+	top := lo
+	for _, pg := range s.dirty {
+		base := uint64(pg) << PageShift
+		if base >= hi || base+PageWords <= lo {
+			continue
+		}
+		end := base + PageWords
+		if end > hi {
+			end = hi
+		}
+		if end > top {
+			top = end
+		}
+	}
+	return top
+}
+
 // Reset restores the all-zero state: it zeroes exactly the dirtied memory
 // pages, the register file and the ready array, then clears the dirty set.
 func (s *State) Reset() {

@@ -1,0 +1,213 @@
+// Package obs is the observability layer shared by the sequential emulator,
+// the VLIW simulator and the engine. It has three parts, layered by cost:
+//
+//   - Stats: a plain per-run record (op-class mix in original-ICI units,
+//     memory high-water marks, choice-point and trail activity, faults,
+//     wall time). The predecoded run loops collect it from per-opcode
+//     dispatch counters, so a run that nobody inspects pays one array
+//     increment per dispatch and a small post-run expansion.
+//   - Metrics: engine-wide aggregation over many runs — atomic counters
+//     and fixed-bucket histograms, written lock-free from concurrently
+//     completing runs, snapshotted on demand (see metrics.go).
+//   - Event/Trace: an opt-in bounded ring of executor milestones (call,
+//     fail, choice-point push/pop, catch/throw, fault, halt) stamped with
+//     the original ICI pc. Tracing routes a run onto the reference
+//     interpreter, so the fast loops carry no event hooks at all.
+//
+// The package deliberately depends only on the standard library and the
+// fault taxonomy: the executors translate their internal representations
+// (opcode tables, region layouts) into these neutral types at run exit.
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stats is the per-run execution record attached to every result. For a
+// sequential run Steps counts executed ICIs and Cycles is zero; for a VLIW
+// run Steps counts issued operations and Cycles counts instruction words
+// retired. The five *Ops fields are the paper's §3.2 operation classes and
+// always sum to Steps; they are exact dynamic counts in original-ICI units
+// regardless of superinstruction fusion.
+type Stats struct {
+	Steps  int64 `json:"steps"`
+	Cycles int64 `json:"cycles,omitempty"`
+
+	MemOps     int64 `json:"mem_ops"`
+	ALUOps     int64 `json:"alu_ops"`
+	MoveOps    int64 `json:"move_ops"`
+	ControlOps int64 `json:"control_ops"`
+	SysOps     int64 `json:"sys_ops"`
+
+	// High-water marks, in words used above each area's base. They are
+	// derived from the dirty-page set after the run, so they are rounded up
+	// to the 4096-word page (a run that never touches an area reports 0).
+	HeapHigh  int64 `json:"heap_high"`
+	EnvHigh   int64 `json:"env_high"`
+	CPHigh    int64 `json:"cp_high"`
+	TrailHigh int64 `json:"trail_high"`
+	PDLHigh   int64 `json:"pdl_high"`
+
+	ChoicePoints int64 `json:"choice_points"` // choice points created
+	TrailUndos   int64 `json:"trail_undos"`   // trail entries undone on backtrack
+
+	FaultsRaised int64 `json:"faults_raised"`
+	FaultsCaught int64 `json:"faults_caught"` // raised faults converted to catchable balls
+
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// Add accumulates o into s: counters and wall time sum, high-water marks
+// take the maximum. Engine metrics use the same rule, so summing per-run
+// Stats with Add reproduces the engine's Totals exactly.
+func (s *Stats) Add(o *Stats) {
+	s.Steps += o.Steps
+	s.Cycles += o.Cycles
+	s.MemOps += o.MemOps
+	s.ALUOps += o.ALUOps
+	s.MoveOps += o.MoveOps
+	s.ControlOps += o.ControlOps
+	s.SysOps += o.SysOps
+	s.HeapHigh = max(s.HeapHigh, o.HeapHigh)
+	s.EnvHigh = max(s.EnvHigh, o.EnvHigh)
+	s.CPHigh = max(s.CPHigh, o.CPHigh)
+	s.TrailHigh = max(s.TrailHigh, o.TrailHigh)
+	s.PDLHigh = max(s.PDLHigh, o.PDLHigh)
+	s.ChoicePoints += o.ChoicePoints
+	s.TrailUndos += o.TrailUndos
+	s.FaultsRaised += o.FaultsRaised
+	s.FaultsCaught += o.FaultsCaught
+	s.Wall += o.Wall
+}
+
+// MixTable renders the dynamic operation-class mix in the style of the
+// paper's Table 2: one row per class with count and percentage of Steps.
+func (s *Stats) MixTable() string {
+	var b strings.Builder
+	rows := []struct {
+		name string
+		n    int64
+	}{
+		{"memory", s.MemOps},
+		{"alu", s.ALUOps},
+		{"move", s.MoveOps},
+		{"control", s.ControlOps},
+		{"sys", s.SysOps},
+	}
+	total := s.Steps
+	if total == 0 {
+		total = 1
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8s %12d  %5.1f%%\n", r.name, r.n, 100*float64(r.n)/float64(total))
+	}
+	fmt.Fprintf(&b, "  %-8s %12d\n", "total", s.Steps)
+	return b.String()
+}
+
+// String summarizes the run: headline counters followed by the class mix.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "steps=%d", s.Steps)
+	if s.Cycles > 0 {
+		fmt.Fprintf(&b, " cycles=%d", s.Cycles)
+	}
+	fmt.Fprintf(&b, " choice_points=%d trail_undos=%d", s.ChoicePoints, s.TrailUndos)
+	if s.FaultsRaised > 0 {
+		fmt.Fprintf(&b, " faults=%d/%d", s.FaultsCaught, s.FaultsRaised)
+	}
+	fmt.Fprintf(&b, " wall=%v\n", s.Wall)
+	b.WriteString(s.MixTable())
+	return b.String()
+}
+
+// EventKind enumerates the executor milestones the trace records.
+type EventKind uint8
+
+const (
+	EvCall       EventKind = iota // Jsr: procedure call (Arg = callee pc)
+	EvExec                        // Jmp to a procedure entry: last-call transfer (Arg = callee pc)
+	EvReturn                      // JmpR: return (Arg = resumed pc)
+	EvFail                        // control entered $fail: backtracking begins
+	EvChoicePush                  // a choice point became live (Arg = new B)
+	EvChoicePop                   // the top choice point was discarded (Arg = new B)
+	EvCatch                       // a thrown ball reached a catch/3 handler
+	EvThrow                       // throw/1 (or a converted fault) armed a ball
+	EvFault                       // a machine fault was raised (Arg = fault.Kind)
+	EvHalt                        // the run halted (Arg = status)
+
+	NumEventKinds
+)
+
+var eventNames = [NumEventKinds]string{
+	"call", "exec", "return", "fail", "cp_push", "cp_pop",
+	"catch", "throw", "fault", "halt",
+}
+
+func (k EventKind) String() string {
+	if k < NumEventKinds {
+		return eventNames[k]
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one traced milestone. Step is the value of the executed-ICI
+// counter when the event fired and PC the original ICI pc of the
+// instruction that caused it, so events align with listings and profiles.
+type Event struct {
+	Step int64     `json:"step"`
+	PC   int32     `json:"pc"`
+	Kind EventKind `json:"kind"`
+	Arg  int64     `json:"arg,omitempty"`
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%8d  pc=%-5d %-8s %d", e.Step, e.PC, e.Kind, e.Arg)
+}
+
+// Trace is a bounded event ring: the last cap events are kept, older ones
+// are dropped (and counted). It is single-run, single-goroutine state —
+// the executor owning the run writes it, the caller reads it afterwards.
+type Trace struct {
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewTrace makes a trace keeping the most recent cap events (cap >= 1).
+func NewTrace(cap int) *Trace {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Trace{buf: make([]Event, 0, cap)}
+}
+
+// Add records one event, evicting the oldest when the ring is full.
+func (t *Trace) Add(e Event) {
+	t.total++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+		return
+	}
+	t.buf[t.next] = e
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+}
+
+// Events returns the retained events in chronological order (a copy).
+func (t *Trace) Events() []Event {
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Total is the number of events recorded, including dropped ones.
+func (t *Trace) Total() int64 { return t.total }
+
+// Dropped is the number of events evicted from the ring.
+func (t *Trace) Dropped() int64 { return t.total - int64(len(t.buf)) }

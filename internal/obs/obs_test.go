@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"symbol/internal/fault"
+)
+
+func TestTraceRing(t *testing.T) {
+	tr := NewTrace(3)
+	for i := 0; i < 5; i++ {
+		tr.Add(Event{Step: int64(i), Kind: EvCall})
+	}
+	if tr.Total() != 5 || tr.Dropped() != 2 {
+		t.Fatalf("total=%d dropped=%d, want 5/2", tr.Total(), tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len=%d, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if e.Step != int64(i+2) {
+			t.Errorf("event %d has step %d, want %d (chronological order)", i, e.Step, i+2)
+		}
+	}
+}
+
+func TestTraceMinCapacity(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Add(Event{Step: 1})
+	tr.Add(Event{Step: 2})
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Step != 2 {
+		t.Fatalf("events=%v, want just the newest", evs)
+	}
+}
+
+func TestStatsAddAndMix(t *testing.T) {
+	a := Stats{Steps: 10, MemOps: 4, ALUOps: 1, MoveOps: 2, ControlOps: 2, SysOps: 1,
+		HeapHigh: 100, ChoicePoints: 1, Wall: time.Millisecond}
+	b := Stats{Steps: 5, MemOps: 5, HeapHigh: 50, EnvHigh: 70, Wall: time.Millisecond}
+	a.Add(&b)
+	if a.Steps != 15 || a.MemOps != 9 {
+		t.Errorf("sum wrong: %+v", a)
+	}
+	if a.HeapHigh != 100 || a.EnvHigh != 70 {
+		t.Errorf("high-water marks must take max: %+v", a)
+	}
+	if a.Wall != 2*time.Millisecond {
+		t.Errorf("wall=%v", a.Wall)
+	}
+	table := a.MixTable()
+	for _, row := range []string{"memory", "alu", "move", "control", "sys", "total"} {
+		if !strings.Contains(table, row) {
+			t.Errorf("mix table missing %q:\n%s", row, table)
+		}
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {1024, 10}, {1 << 19, 19}, {1 << 20, latencyBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketPow2(c.v, latencyBuckets); got != c.want {
+			t.Errorf("bucketPow2(%d)=%d, want %d", c.v, got, c.want)
+		}
+	}
+	if got := bucketPow4(5, stepBuckets); got != 2 {
+		t.Errorf("bucketPow4(5)=%d, want 2 (bound 16)", got)
+	}
+	if got := bucketPow4(1<<40, stepBuckets); got != stepBuckets {
+		t.Errorf("bucketPow4(2^40)=%d, want overflow slot %d", got, stepBuckets)
+	}
+}
+
+func TestMetricsSnapshotHistograms(t *testing.T) {
+	var m Metrics
+	m.RecordStart()
+	m.RecordDone(&Stats{Steps: 100, Wall: 3 * time.Microsecond}, true)
+	m.RecordStart()
+	m.RecordFailed(fault.StepLimit)
+	s := m.Snapshot()
+	if s.Started != 2 || s.Succeeded != 1 || s.InFlight != 0 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.Faults[fault.StepLimit.String()] != 1 {
+		t.Errorf("faults=%v", s.Faults)
+	}
+	var n int64
+	for _, c := range s.LatencySeconds.Counts {
+		n += c
+	}
+	if n != 1 {
+		t.Errorf("latency histogram holds %d, want 1", n)
+	}
+	if len(s.LatencySeconds.Counts) != len(s.LatencySeconds.Bounds)+1 {
+		t.Errorf("counts/bounds shape: %d vs %d", len(s.LatencySeconds.Counts), len(s.LatencySeconds.Bounds))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"symbol/internal/fault"
 	"symbol/internal/ic"
 	"symbol/internal/mterm"
+	"symbol/internal/obs"
 	"symbol/internal/word"
 )
 
@@ -21,6 +22,11 @@ type SimResult struct {
 	Words  int64  // words issued
 	Ops    int64  // operations executed
 	Bubble int64  // cycles lost to taken branches
+	// Stats is the per-run observability record. Steps counts executed
+	// operations (the VLIW analogue of ICIs — compaction may duplicate or
+	// speculate ops, so it can differ from the sequential Steps) and Cycles
+	// mirrors the cycle count.
+	Stats obs.Stats
 }
 
 // SimOptions configure simulation.
@@ -42,6 +48,12 @@ type SimOptions struct {
 	State *ic.State
 	// Trace, if non-nil, receives one line per executed word (debug aid).
 	Trace io.Writer
+	// Events, if non-nil, receives executor milestone events. Unlike the
+	// sequential emulator the simulator has no separate reference loop, so
+	// the hooks run inline under a nil check; compaction can speculate or
+	// duplicate operations, so the VLIW event stream is approximate where
+	// the sequential one is exact.
+	Events *obs.Trace
 }
 
 // SimError is a simulation failure with cycle context. Err, when non-nil,
@@ -114,6 +126,12 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 	var out strings.Builder
 
 	res := &SimResult{}
+	start := time.Now()
+	events := opts.Events
+	// Per-opcode dispatch counts, expanded into the class mix at halt; the
+	// VLIW streams carry only plain (unfused) opcodes, so no fixups apply.
+	var disp [256]int64
+	var faultsRaised, faultsCaught int64
 	var cycle int64
 	pcW := p.Entry
 	var writes []pendingWrite
@@ -143,13 +161,22 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 			throwWord = tw
 		}
 	}
+	failWord := -1
+	if fw, ok := p.WordOf[p.IC.FailPC]; ok {
+		failWord = fw
+	}
 	// raise converts a catchable fault into a ball delivered to the unwind
 	// routine; other kinds (or programs without the routine) abort.
-	raise := func(w int, k fault.Kind) error {
+	raise := func(w int, pc int32, k fault.Kind) error {
+		faultsRaised++
+		if events != nil {
+			events.Add(obs.Event{Step: res.Ops, PC: pc, Kind: obs.EvFault, Arg: int64(k)})
+		}
 		if fault.Catchable(k) && throwWord >= 0 &&
 			mterm.BallFault(mem, p.IC.Atoms, fault.BallName(k)) {
 			st.TouchRange(ic.BallBase, ic.BallBase+ic.BallSize)
 			pendingFault = k
+			faultsCaught++
 			return nil
 		}
 		return faultErr(w, k)
@@ -201,9 +228,10 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 		for oi := range xw {
 			op := &xw[oi]
 			res.Ops++
+			disp[op.Code]++
 			switch op.Code {
 			case exec.XNop:
-			case exec.XLd:
+			case exec.XLd, exec.XLdUndo:
 				base, err := read(pcW, op.A)
 				if err != nil {
 					return nil, err
@@ -227,7 +255,7 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 				}
 				addr := base.Val() + uint64(op.Imm)
 				if addr >= limit[op.Region] {
-					if err := raise(pcW, overflowKind(op.Region)); err != nil {
+					if err := raise(pcW, op.PC, overflowKind(op.Region)); err != nil {
 						return nil, err
 					}
 					// Imprecise mid-word fault: the word's pending register
@@ -408,12 +436,15 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 					return nil, err
 				}
 				writes = append(writes, pendingWrite{op.D, word.MakeInt(int64(av.Tag())), 1})
-			case exec.XMov:
+			case exec.XMov, exec.XMovCP:
 				av, err := read(pcW, op.A)
 				if err != nil {
 					return nil, err
 				}
 				writes = append(writes, pendingWrite{op.D, av, 1})
+				if events != nil && op.Code == exec.XMovCP {
+					events.Add(obs.Event{Step: res.Ops, PC: op.PC, Kind: obs.EvChoicePush, Arg: int64(av.Val())})
+				}
 			case exec.XMovI:
 				writes = append(writes, pendingWrite{op.D, op.W, 1})
 
@@ -541,6 +572,9 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 				writes = append(writes, pendingWrite{op.D, word.Make(word.Code, uint64(op.PC+1)), 1})
 				branched = true
 				nextW = int(op.Target)
+				if events != nil {
+					events.Add(obs.Event{Step: res.Ops, PC: op.PC, Kind: obs.EvCall, Arg: int64(op.Target)})
+				}
 			case exec.XHalt:
 				if !branched {
 					halted = true
@@ -588,8 +622,11 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 					return nil, fail(pcW, "%v", err)
 				}
 				pendingFault = fault.None
+				if events != nil {
+					events.Add(obs.Event{Step: res.Ops, PC: op.PC, Kind: obs.EvThrow})
+				}
 			case exec.XSysFault:
-				if err := raise(pcW, fault.Kind(op.Imm)); err != nil {
+				if err := raise(pcW, op.PC, fault.Kind(op.Imm)); err != nil {
 					return nil, err
 				}
 				writes = writes[:0]
@@ -628,6 +665,10 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 			res.Status = status
 			res.Output = out.String()
 			res.Cycles = cycle
+			if events != nil {
+				events.Add(obs.Event{Step: res.Ops, PC: -1, Kind: obs.EvHalt, Arg: int64(status)})
+			}
+			res.Stats = buildStats(res, st, &disp, faultsRaised, faultsCaught, start)
 			return res, nil
 		}
 		if branched {
@@ -635,7 +676,42 @@ func Sim(p *Program, opts SimOptions) (*SimResult, error) {
 			cycle += bub
 			res.Bubble += bub
 		}
+		if events != nil && branched && nextW == failWord {
+			events.Add(obs.Event{Step: res.Ops, PC: -1, Kind: obs.EvFail})
+		}
 		pcW = nextW
+	}
+}
+
+// buildStats expands the per-opcode dispatch counts into the per-run
+// record. The marked opcodes (see ic.Mark) make the dispatch array itself
+// the choice-point and trail-undo counters; high-water marks come from the
+// page-granular dirty set.
+func buildStats(res *SimResult, st *ic.State, disp *[256]int64, raised, caught int64, start time.Time) obs.Stats {
+	var cls [int(ic.NumClasses) + 1]int64
+	for c := 0; c < int(exec.NumCodes); c++ {
+		if n := disp[c]; n != 0 {
+			cls[exec.ClassOf[c]] += n
+		}
+	}
+	return obs.Stats{
+		Steps:        res.Ops,
+		Cycles:       res.Cycles,
+		MemOps:       cls[ic.ClassMemory],
+		ALUOps:       cls[ic.ClassALU],
+		MoveOps:      cls[ic.ClassMove],
+		ControlOps:   cls[ic.ClassControl],
+		SysOps:       cls[ic.ClassSys],
+		HeapHigh:     int64(st.MaxDirty(ic.HeapBase, ic.HeapBase+ic.HeapSize) - ic.HeapBase),
+		EnvHigh:      int64(st.MaxDirty(ic.EnvBase, ic.EnvBase+ic.EnvSize) - ic.EnvBase),
+		CPHigh:       int64(st.MaxDirty(ic.CPBase, ic.CPBase+ic.CPSize) - ic.CPBase),
+		TrailHigh:    int64(st.MaxDirty(ic.TrailBase, ic.TrailBase+ic.TrailSize) - ic.TrailBase),
+		PDLHigh:      int64(st.MaxDirty(ic.PDLBase, ic.PDLBase+ic.PDLSize) - ic.PDLBase),
+		ChoicePoints: disp[exec.XMovCP],
+		TrailUndos:   disp[exec.XLdUndo],
+		FaultsRaised: raised,
+		FaultsCaught: caught,
+		Wall:         time.Since(start),
 	}
 }
 

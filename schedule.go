@@ -7,6 +7,7 @@ import (
 	"symbol/internal/emu"
 	"symbol/internal/ic"
 	"symbol/internal/machine"
+	"symbol/internal/obs"
 	"symbol/internal/vliw"
 )
 
@@ -24,6 +25,39 @@ func UnboundedMachine() MachineConfig { return machine.Unbounded() }
 // BAMMachine is the single-issue delayed-branch RISC stand-in for the BAM
 // processor (used with BasicBlocksOnly compaction).
 func BAMMachine() MachineConfig { return machine.BAM() }
+
+// ScheduleOption mutates ScheduleOptions; the With* constructors below are
+// the functional-option way to configure ScheduleWith.
+type ScheduleOption func(*ScheduleOptions)
+
+// WithBasicBlocksOnly restricts compaction to basic blocks (no trace
+// scheduling) — the Table 1 baseline.
+func WithBasicBlocksOnly() ScheduleOption {
+	return func(o *ScheduleOptions) { o.BasicBlocksOnly = true }
+}
+
+// WithMaxTraceBlocks bounds trace growth.
+func WithMaxTraceBlocks(n int) ScheduleOption {
+	return func(o *ScheduleOptions) { o.MaxTraceBlocks = n }
+}
+
+// WithNoTailDuplication disables growing traces through join points by
+// cloning.
+func WithNoTailDuplication() ScheduleOption {
+	return func(o *ScheduleOptions) { o.NoTailDuplication = true }
+}
+
+// WithTailDupOpsPercent overrides the duplication budget as a percentage of
+// the program size.
+func WithTailDupOpsPercent(pct int) ScheduleOption {
+	return func(o *ScheduleOptions) { o.TailDupOpsPercent = pct }
+}
+
+// WithScheduleOptions replaces the whole option struct; later options still
+// apply on top.
+func WithScheduleOptions(opts ScheduleOptions) ScheduleOption {
+	return func(o *ScheduleOptions) { *o = opts }
+}
 
 // ScheduleOptions control the global compaction.
 type ScheduleOptions struct {
@@ -48,7 +82,23 @@ type Scheduled struct {
 	stats *core.Stats
 }
 
+// ScheduleWith profiles the program (if needed) and compacts it for conf,
+// configured by functional options:
+//
+//	sched, err := prog.ScheduleWith(symbol.DefaultMachine(3),
+//	    symbol.WithMaxTraceBlocks(8))
+func (p *Program) ScheduleWith(conf MachineConfig, opts ...ScheduleOption) (*Scheduled, error) {
+	var o ScheduleOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	return p.Schedule(conf, o)
+}
+
 // Schedule profiles the program (if needed) and compacts it for conf.
+//
+// Deprecated: use ScheduleWith, which takes functional options instead of a
+// bare option struct. Schedule remains and behaves identically.
 func (p *Program) Schedule(conf MachineConfig, opts ScheduleOptions) (_ *Scheduled, err error) {
 	defer guard(&err)
 	prof, err := p.Profile()
@@ -99,6 +149,19 @@ type SimResult struct {
 	Words     int64
 	Ops       int64
 	Bubble    int64
+
+	// Stats is the run's embedded execution record. For a VLIW run
+	// Stats.Steps counts issued operations (which can differ from the
+	// sequential count under speculation and tail duplication) and
+	// Stats.Cycles equals Cycles.
+	Stats
+
+	// Events holds the traced executor milestones when the run asked for
+	// them (WithTrace / RunOptions.TraceEvents). The VLIW trace is an
+	// approximate stream: it records the milestones the simulator can see
+	// inline (calls, throws, choice-point pushes, fails, faults, halt).
+	Events        []Event
+	EventsDropped int64
 }
 
 // Simulate runs the compacted program on the cycle-level VLIW simulator.
@@ -113,22 +176,33 @@ func (s *Scheduled) SimulateWith(opts RunOptions) (_ *SimResult, err error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	var trace *obs.Trace
+	if opts.TraceEvents > 0 {
+		trace = obs.NewTrace(opts.TraceEvents)
+	}
 	r, err := vliw.Sim(s.vprog, vliw.SimOptions{
 		MaxCycles: opts.MaxCycles,
 		Layout:    opts.layout(),
 		Deadline:  opts.Deadline,
+		Events:    trace,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &SimResult{
+	sr := &SimResult{
 		Succeeded: r.Status == 0,
 		Output:    r.Output,
 		Cycles:    r.Cycles,
 		Words:     r.Words,
 		Ops:       r.Ops,
 		Bubble:    r.Bubble,
-	}, nil
+		Stats:     r.Stats,
+	}
+	if trace != nil {
+		sr.Events = trace.Events()
+		sr.EventsDropped = trace.Dropped()
+	}
+	return sr, nil
 }
 
 // SeqCycles computes the pure sequential machine's cycle count from the
@@ -162,8 +236,9 @@ func Speedup(seq, par int64) float64 {
 	return float64(seq) / float64(par)
 }
 
-// String renders a SimResult compactly.
+// String renders a SimResult: the headline cycle counts followed by the
+// paper-style operation-class mix table.
 func (r *SimResult) String() string {
-	return fmt.Sprintf("cycles=%d words=%d ops=%d bubbles=%d ok=%v",
-		r.Cycles, r.Words, r.Ops, r.Bubble, r.Succeeded)
+	return fmt.Sprintf("cycles=%d words=%d ops=%d bubbles=%d ok=%v\n%s",
+		r.Cycles, r.Words, r.Ops, r.Bubble, r.Succeeded, r.Stats.MixTable())
 }

@@ -12,13 +12,29 @@
 // Quick start:
 //
 //	prog, err := symbol.Compile(src)
-//	res, err := prog.Run()                        // sequential answers
+//	res, err := prog.RunContext(ctx)              // sequential answers
+//	fmt.Print(res.Stats)                          // paper-style op-class mix
 //	prof, err := prog.Profile()                   // Expect / Probability
-//	sched, err := prog.Schedule(symbol.MachineConfig{Units: 3})
-//	cycles, err := sched.Simulate()               // measured VLIW cycles
+//	sched, err := prog.ScheduleWith(symbol.DefaultMachine(3))
+//	sim, err := prog.SimulateContext(ctx)         // measured VLIW cycles
+//
+// Runs accept functional options:
+//
+//	res, err := prog.RunContext(ctx,
+//	    symbol.WithMaxSteps(1e6),
+//	    symbol.WithHeapWords(64<<10),
+//	    symbol.WithTrace(256))                    // keep last 256 events
+//
+// For serving many queries, build an Engine (pooled machine state,
+// engine-wide metrics):
+//
+//	eng := symbol.NewEngine(prog)
+//	res, err := eng.Run(ctx, symbol.RunOptions{})
+//	eng.WriteMetrics(os.Stdout)                   // Prometheus text format
 package symbol
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -29,9 +45,43 @@ import (
 	"symbol/internal/expand"
 	"symbol/internal/fault"
 	"symbol/internal/ic"
+	"symbol/internal/obs"
 	"symbol/internal/parse"
 	"symbol/internal/rename"
 )
+
+// Stats is the per-run execution record attached to every Result and
+// SimResult: dynamic operation-class mix in original-ICI units (comparable
+// to the paper's Table 2), memory high-water marks, choice-point and trail
+// activity, fault counts, and wall time. See the internal/obs package for
+// field semantics.
+type Stats = obs.Stats
+
+// Event is one traced executor milestone; EventKind enumerates the kinds.
+// Events are collected only when a run opts in via WithTrace /
+// RunOptions.TraceEvents.
+type (
+	Event     = obs.Event
+	EventKind = obs.EventKind
+)
+
+// Event kinds, re-exported from the observability layer.
+const (
+	EvCall       = obs.EvCall
+	EvExec       = obs.EvExec
+	EvReturn     = obs.EvReturn
+	EvFail       = obs.EvFail
+	EvChoicePush = obs.EvChoicePush
+	EvChoicePop  = obs.EvChoicePop
+	EvCatch      = obs.EvCatch
+	EvThrow      = obs.EvThrow
+	EvFault      = obs.EvFault
+	EvHalt       = obs.EvHalt
+)
+
+// MetricsSnapshot is a point-in-time copy of an Engine's aggregate metrics,
+// JSON-serializable and renderable as Prometheus text via WriteTo.
+type MetricsSnapshot = obs.Snapshot
 
 // Typed fault sentinels, re-exported so callers can classify failures with
 // errors.Is without importing internal packages. Both the sequential
@@ -78,6 +128,61 @@ type RunOptions struct {
 	// identical either way; the switch exists for benchmarking the fusion
 	// layer and for pinning down a miscompare to it.
 	NoFuse bool
+	// TraceEvents, when positive, records the run's last TraceEvents
+	// executor milestones (calls, fails, choice-point pushes/pops,
+	// catch/throw, faults) into Result.Events / SimResult.Events. Tracing a
+	// sequential run routes it onto the reference interpreter, so it is
+	// opt-in per run and costs the fast paths nothing when off.
+	TraceEvents int
+}
+
+// RunOption mutates RunOptions; the With* constructors below are the
+// context-first way to configure RunContext and SimulateContext.
+type RunOption func(*RunOptions)
+
+// WithMaxSteps bounds the sequential ICI budget.
+func WithMaxSteps(n int64) RunOption { return func(o *RunOptions) { o.MaxSteps = n } }
+
+// WithMaxCycles bounds the VLIW cycle budget.
+func WithMaxCycles(n int64) RunOption { return func(o *RunOptions) { o.MaxCycles = n } }
+
+// WithDeadline sets a wall-clock bound (contexts with deadlines tighten it
+// further).
+func WithDeadline(t time.Time) RunOption { return func(o *RunOptions) { o.Deadline = t } }
+
+// WithHeapWords sizes the heap area in words.
+func WithHeapWords(n int64) RunOption { return func(o *RunOptions) { o.HeapWords = n } }
+
+// WithEnvWords sizes the environment stack in words.
+func WithEnvWords(n int64) RunOption { return func(o *RunOptions) { o.EnvWords = n } }
+
+// WithCPWords sizes the choice-point stack in words.
+func WithCPWords(n int64) RunOption { return func(o *RunOptions) { o.CPWords = n } }
+
+// WithTrailWords sizes the trail in words.
+func WithTrailWords(n int64) RunOption { return func(o *RunOptions) { o.TrailWords = n } }
+
+// WithPDLWords sizes the unification push-down list in words.
+func WithPDLWords(n int64) RunOption { return func(o *RunOptions) { o.PDLWords = n } }
+
+// WithNoFuse disables superinstruction fusion for the run.
+func WithNoFuse() RunOption { return func(o *RunOptions) { o.NoFuse = true } }
+
+// WithTrace keeps the run's last n executor milestone events (see
+// RunOptions.TraceEvents).
+func WithTrace(n int) RunOption { return func(o *RunOptions) { o.TraceEvents = n } }
+
+// WithOptions replaces the whole option struct, for callers that already
+// hold a RunOptions value; later options still apply on top.
+func WithOptions(opts RunOptions) RunOption { return func(o *RunOptions) { *o = opts } }
+
+// buildRunOptions folds functional options into a RunOptions value.
+func buildRunOptions(opts []RunOption) RunOptions {
+	var o RunOptions
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
 }
 
 // OptionError reports a RunOptions field holding a nonsensical value (for
@@ -109,6 +214,7 @@ func (o RunOptions) Validate() error {
 		{"CPWords", o.CPWords},
 		{"TrailWords", o.TrailWords},
 		{"PDLWords", o.PDLWords},
+		{"TraceEvents", int64(o.TraceEvents)},
 	} {
 		if f.v < 0 {
 			return &OptionError{Field: f.name, Value: f.v}
@@ -211,7 +317,28 @@ func (p *Program) IC() *ic.Program { return p.icp }
 // CodeSize returns the number of static ICIs.
 func (p *Program) CodeSize() int { return len(p.icp.Code) }
 
+// RunContext executes the program sequentially under ctx and the given
+// options, on a throwaway single-use engine. Cancelling ctx aborts the run
+// with ErrCanceled; a ctx deadline tightens WithDeadline. This is the
+// preferred entry point for one-off runs; for serving many queries build an
+// Engine once and reuse it.
+func (p *Program) RunContext(ctx context.Context, opts ...RunOption) (*Result, error) {
+	return NewEngine(p).Run(ctx, buildRunOptions(opts))
+}
+
+// SimulateContext schedules the program for the paper's default 3-unit
+// machine (on first use of the throwaway engine) and runs it on the
+// cycle-level VLIW simulator under ctx and the given options. For repeated
+// simulation, build an Engine with NewEngineConfig and reuse it so the
+// schedule is computed once.
+func (p *Program) SimulateContext(ctx context.Context, opts ...RunOption) (*SimResult, error) {
+	return NewEngine(p).Simulate(ctx, buildRunOptions(opts))
+}
+
 // Run executes the program sequentially and returns its observable result.
+//
+// Deprecated: use RunContext, which adds cancellation and functional
+// options. Run remains as a thin wrapper and behaves identically.
 func (p *Program) Run() (*Result, error) {
 	return p.RunWith(RunOptions{})
 }
@@ -219,6 +346,9 @@ func (p *Program) Run() (*Result, error) {
 // RunWith executes the program sequentially under explicit resource bounds.
 // Resource faults surface as typed errors (errors.Is against ErrHeapOverflow
 // and friends) unless the program catches them with catch/3.
+//
+// Deprecated: use RunContext, which adds cancellation and functional
+// options. RunWith remains as a thin wrapper and behaves identically.
 func (p *Program) RunWith(opts RunOptions) (_ *Result, err error) {
 	defer guard(&err)
 	if err := opts.Validate(); err != nil {
@@ -228,16 +358,26 @@ func (p *Program) RunWith(opts RunOptions) (_ *Result, err error) {
 	if maxSteps == 0 {
 		maxSteps = p.opts.MaxSteps
 	}
+	var trace *obs.Trace
+	if opts.TraceEvents > 0 {
+		trace = obs.NewTrace(opts.TraceEvents)
+	}
 	res, err := emu.Run(p.icp, emu.Options{
 		MaxSteps: maxSteps,
 		Layout:   opts.layout(),
 		Deadline: opts.Deadline,
 		NoFuse:   opts.NoFuse,
+		Events:   trace,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Succeeded: res.Status == 0, Output: res.Output, Steps: res.Steps}, nil
+	r := &Result{Succeeded: res.Status == 0, Output: res.Output, Steps: res.Steps, Stats: res.Stats}
+	if trace != nil {
+		r.Events = trace.Events()
+		r.EventsDropped = trace.Dropped()
+	}
+	return r, nil
 }
 
 // Result is the observable outcome of a program run.
@@ -246,8 +386,25 @@ type Result struct {
 	Succeeded bool
 	// Output is the text written by write/1 and nl/0.
 	Output string
-	// Steps is the dynamic ICI count.
+	// Steps is the dynamic ICI count (also available as Stats.Steps).
 	Steps int64
+
+	// Stats is the run's embedded execution record: op-class mix, memory
+	// high-water marks, choice-point and trail activity, faults, wall time.
+	// Its non-shadowed fields promote (r.MemOps, r.Wall, ...).
+	Stats
+
+	// Events holds the traced executor milestones when the run asked for
+	// them (WithTrace / RunOptions.TraceEvents); EventsDropped counts older
+	// events evicted from the bounded ring.
+	Events        []Event
+	EventsDropped int64
+}
+
+// String summarizes the run: outcome and headline counters, followed by the
+// paper-style operation-class mix table.
+func (r *Result) String() string {
+	return fmt.Sprintf("ok=%v %s", r.Succeeded, r.Stats.String())
 }
 
 // Profile runs the sequential emulator with statistics collection and
