@@ -1,0 +1,329 @@
+// Command symbolload drives load at a symbolserve instance and reports a
+// latency/shed profile: queries per second, p50/p99/p999, status classes,
+// and the shed rate. It doubles as the CI smoke harness (-min-qps /
+// -max-5xx turn the report into assertions) and as a chaos generator
+// (-chaos mixes in slow queries, budget-exhausting queries, and client
+// disconnects to exercise the server's failure paths).
+//
+// Usage:
+//
+//	symbolload -self -d 5s -c 8                  # in-process server, embedded suite
+//	symbolload -url http://host:8080 -kb qsort   # remote server
+//	symbolload -self -chaos -json                # failure-path mix, JSON report
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"symbol/internal/benchprog"
+	"symbol/internal/serve"
+)
+
+// Report is the JSON shape of a load run (committed as BENCH_serve.json).
+type Report struct {
+	Target     string         `json:"target"`
+	KB         string         `json:"kb"`
+	Mode       string         `json:"mode"`
+	Chaos      bool           `json:"chaos"`
+	Workers    int            `json:"workers"`
+	DurationS  float64        `json:"duration_s"`
+	Requests   int            `json:"requests"`
+	QPS        float64        `json:"qps"`
+	P50MS      float64        `json:"p50_ms"`
+	P99MS      float64        `json:"p99_ms"`
+	P999MS     float64        `json:"p999_ms"`
+	Statuses   map[string]int `json:"statuses"`
+	Proven     int            `json:"proven"`      // 200s whose goal succeeded
+	NoSolution int            `json:"no_solution"` // 200s that answered a clean "no"
+	Sheds      int            `json:"sheds"`
+	ShedRate   float64        `json:"shed_rate"`
+	ShedReason map[string]int `json:"shed_reasons,omitempty"`
+	Faults     map[string]int `json:"faults,omitempty"`
+	Disconnect int            `json:"client_disconnects,omitempty"`
+	Errors     int            `json:"transport_errors"`
+	FiveXX     int            `json:"non_shed_5xx"`
+}
+
+type sample struct {
+	status     int
+	ok         bool // the goal was proven (200 with ok=true)
+	latency    time.Duration
+	shedReason string
+	faultName  string
+	transport  bool // transport-level failure (includes chaos disconnects)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "symbolload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url      = flag.String("url", "", "target symbolserve base URL")
+		self     = flag.Bool("self", false, "serve the embedded suite in-process and load that")
+		kb       = flag.String("kb", "", "knowledge base to query (default: first runnable)")
+		mode     = flag.String("mode", "run", "request mode: run (KB's main/0) or query (posted goal)")
+		goal     = flag.String("goal", "", "goal for -mode query (required with that mode)")
+		workers  = flag.Int("c", 8, "concurrent workers")
+		duration = flag.Duration("d", 5*time.Second, "load duration")
+		chaos    = flag.Bool("chaos", false, "mix in slow queries, budget bombs, and client disconnects")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		minQPS   = flag.Float64("min-qps", 0, "fail unless achieved QPS is at least this")
+		max5xx   = flag.Int("max-5xx", -1, "fail if non-shed 5xx responses exceed this (-1 = no assertion)")
+	)
+	flag.Parse()
+
+	base := *url
+	if *self {
+		var kbs []serve.KB
+		for _, b := range benchprog.All() {
+			kbs = append(kbs, serve.KB{Name: b.Name, Source: b.Source})
+		}
+		s, err := serve.New(serve.Config{}, kbs...)
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(s)
+		defer ts.Close()
+		defer s.Close()
+		base = ts.URL
+	}
+	if base == "" {
+		return fmt.Errorf("no target: pass -url or -self")
+	}
+	base = strings.TrimRight(base, "/")
+	if *kb == "" {
+		name, err := firstRunnableKB(base)
+		if err != nil {
+			return err
+		}
+		*kb = name
+	}
+	if *mode != "run" && *mode != "query" {
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if *mode == "query" && *goal == "" {
+		return fmt.Errorf("-mode query needs -goal (a goal against the kb's own predicates)")
+	}
+
+	samples := fire(base, *kb, *mode, *goal, *workers, *duration, *chaos)
+	rep := summarize(samples, base, *kb, *mode, *chaos, *workers, *duration)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		printReport(rep)
+	}
+
+	if *minQPS > 0 && rep.QPS < *minQPS {
+		return fmt.Errorf("assertion failed: qps %.1f < min-qps %.1f", rep.QPS, *minQPS)
+	}
+	if *max5xx >= 0 && rep.FiveXX > *max5xx {
+		return fmt.Errorf("assertion failed: %d non-shed 5xx responses > max-5xx %d", rep.FiveXX, *max5xx)
+	}
+	return nil
+}
+
+// firstRunnableKB asks the target's /kbs listing for a KB with a main/0.
+func firstRunnableKB(base string) (string, error) {
+	r, err := http.Get(base + "/kbs")
+	if err != nil {
+		return "", err
+	}
+	defer r.Body.Close()
+	var kbs []struct {
+		Name     string `json:"name"`
+		Runnable bool   `json:"runnable"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&kbs); err != nil {
+		return "", fmt.Errorf("decoding /kbs: %w", err)
+	}
+	for _, k := range kbs {
+		if k.Runnable {
+			return k.Name, nil
+		}
+	}
+	return "", fmt.Errorf("target serves no runnable kb")
+}
+
+// fire runs the worker pool for the configured duration and collects one
+// sample per request.
+func fire(base, kb, mode, goal string, workers int, duration time.Duration, chaos bool) []sample {
+	deadline := time.Now().Add(duration)
+	var mu sync.Mutex
+	var samples []sample
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var local []sample
+			for time.Now().Before(deadline) {
+				local = append(local, oneRequest(base, kb, mode, goal, chaos, rng))
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	return samples
+}
+
+// oneRequest issues a single load request. In chaos mode roughly a third
+// of the traffic exercises a failure path: a budget bomb (1-step budget,
+// typed 422), a slow query (1ms wall budget, typed 504), or a client
+// disconnect (context cancelled mid-flight, server records client_gone).
+func oneRequest(base, kb, mode, goal string, chaos bool, rng *rand.Rand) sample {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var req *http.Request
+	if mode == "query" {
+		req, _ = http.NewRequestWithContext(ctx, "POST", base+"/query/"+kb, strings.NewReader(goal))
+	} else {
+		req, _ = http.NewRequestWithContext(ctx, "GET", base+"/run/"+kb, nil)
+	}
+
+	disconnect := false
+	if chaos {
+		switch rng.Intn(9) {
+		case 0: // budget bomb: exhaust the step budget immediately
+			req.Header.Set(serve.HeaderMaxSteps, "1")
+		case 1: // slow query: a wall budget almost nothing finishes inside
+			req.Header.Set(serve.HeaderTimeout, "100us")
+		case 2: // client disconnect mid-flight
+			disconnect = true
+			go func() {
+				time.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+				cancel()
+			}()
+		}
+	}
+
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	lat := time.Since(start)
+	if err != nil {
+		return sample{latency: lat, transport: !disconnect}
+	}
+	defer resp.Body.Close()
+	var body struct {
+		OK    bool   `json:"ok"`
+		Fault string `json:"fault"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	json.Unmarshal(raw, &body)
+	return sample{
+		status:     resp.StatusCode,
+		ok:         body.OK,
+		latency:    lat,
+		shedReason: resp.Header.Get(serve.ShedReasonHeader),
+		faultName:  body.Fault,
+	}
+}
+
+func summarize(samples []sample, base, kb, mode string, chaos bool, workers int, duration time.Duration) Report {
+	rep := Report{
+		Target:     base,
+		KB:         kb,
+		Mode:       mode,
+		Chaos:      chaos,
+		Workers:    workers,
+		DurationS:  duration.Seconds(),
+		Requests:   len(samples),
+		Statuses:   map[string]int{},
+		ShedReason: map[string]int{},
+		Faults:     map[string]int{},
+	}
+	var lats []time.Duration
+	for _, s := range samples {
+		if s.transport {
+			rep.Errors++
+			continue
+		}
+		if s.status == 0 {
+			rep.Disconnect++
+			continue
+		}
+		rep.Statuses[fmt.Sprintf("%d", s.status)]++
+		lats = append(lats, s.latency)
+		if s.status == 200 {
+			if s.ok {
+				rep.Proven++
+			} else {
+				rep.NoSolution++
+			}
+		}
+		if s.shedReason != "" {
+			rep.Sheds++
+			rep.ShedReason[s.shedReason]++
+		} else if s.status >= 500 {
+			rep.FiveXX++
+		}
+		if s.faultName != "" {
+			rep.Faults[s.faultName]++
+		}
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		q := func(p float64) float64 {
+			i := int(p * float64(len(lats)-1))
+			return float64(lats[i]) / float64(time.Millisecond)
+		}
+		rep.P50MS, rep.P99MS, rep.P999MS = q(0.50), q(0.99), q(0.999)
+	}
+	if duration > 0 {
+		rep.QPS = float64(len(samples)) / duration.Seconds()
+	}
+	if answered := len(lats); answered > 0 {
+		rep.ShedRate = float64(rep.Sheds) / float64(answered)
+	}
+	return rep
+}
+
+func printReport(r Report) {
+	fmt.Printf("target     %s  kb=%s mode=%s chaos=%v\n", r.Target, r.KB, r.Mode, r.Chaos)
+	fmt.Printf("load       %d workers x %.1fs\n", r.Workers, r.DurationS)
+	fmt.Printf("requests   %d (%.1f q/s)\n", r.Requests, r.QPS)
+	fmt.Printf("latency    p50 %.2fms  p99 %.2fms  p999 %.2fms\n", r.P50MS, r.P99MS, r.P999MS)
+	var keys []string
+	for k := range r.Statuses {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("statuses  ")
+	for _, k := range keys {
+		fmt.Printf(" %s:%d", k, r.Statuses[k])
+	}
+	fmt.Println()
+	fmt.Printf("answers    %d proven, %d no-solution\n", r.Proven, r.NoSolution)
+	fmt.Printf("sheds      %d (rate %.3f) %v\n", r.Sheds, r.ShedRate, r.ShedReason)
+	if len(r.Faults) > 0 {
+		fmt.Printf("faults     %v\n", r.Faults)
+	}
+	if r.Disconnect > 0 || r.Errors > 0 {
+		fmt.Printf("aborted    %d client disconnects, %d transport errors\n", r.Disconnect, r.Errors)
+	}
+	fmt.Printf("non-shed 5xx %d\n", r.FiveXX)
+}

@@ -3,10 +3,12 @@ package symbol
 import (
 	"context"
 	"expvar"
+	"fmt"
 	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"symbol/internal/emu"
 	"symbol/internal/fault"
@@ -113,13 +115,14 @@ func (e *Engine) Run(ctx context.Context, opts RunOptions) (_ *Result, err error
 		maxSteps = e.prog.opts.MaxSteps
 	}
 	e.met.RecordStart()
+	start := time.Now()
 	// Every RecordStart must be balanced or the in-flight gauge drifts; the
 	// settled flag covers the guarded-panic exit, which reaches neither the
 	// RecordFailed nor the RecordDone call below.
 	settled := false
 	defer func() {
 		if !settled {
-			e.met.RecordFailed(fault.None)
+			e.met.RecordFailed(fault.None, time.Since(start))
 		}
 	}()
 	st := e.acquire()
@@ -148,7 +151,7 @@ func (e *Engine) Run(ctx context.Context, opts RunOptions) (_ *Result, err error
 	clean = true
 	if err != nil {
 		settled = true
-		e.met.RecordFailed(fault.KindOf(err))
+		e.met.RecordFailed(fault.KindOf(err), time.Since(start))
 		return nil, err
 	}
 	r := &Result{Succeeded: res.Status == 0, Output: res.Output, Steps: res.Steps, Stats: res.Stats}
@@ -191,10 +194,11 @@ func (e *Engine) Simulate(ctx context.Context, opts RunOptions) (_ *SimResult, e
 	}
 	opts = deadlineOf(ctx, opts)
 	e.met.RecordStart()
+	start := time.Now()
 	settled := false
 	defer func() {
 		if !settled {
-			e.met.RecordFailed(fault.None)
+			e.met.RecordFailed(fault.None, time.Since(start))
 		}
 	}()
 	st := e.acquire()
@@ -219,7 +223,7 @@ func (e *Engine) Simulate(ctx context.Context, opts RunOptions) (_ *SimResult, e
 	clean = true
 	if err != nil {
 		settled = true
-		e.met.RecordFailed(fault.KindOf(err))
+		e.met.RecordFailed(fault.KindOf(err), time.Since(start))
 		return nil, err
 	}
 	sr := &SimResult{
@@ -263,12 +267,75 @@ func (e *Engine) WriteMetrics(w io.Writer) error {
 	return err
 }
 
+// expvarOwners tracks which engine registered each expvar name, so
+// PublishExpvar can be idempotent (expvar itself has no unregister and
+// panics on re-registration).
+var (
+	expvarMu     sync.Mutex
+	expvarOwners = map[string]*Engine{}
+)
+
+// ErrExpvarTaken reports a PublishExpvar name conflict: the name is already
+// registered, either by a different engine or by something else in the
+// process (expvar has no unregister, so the conflict is permanent).
+type ErrExpvarTaken struct{ Name string }
+
+func (e *ErrExpvarTaken) Error() string {
+	return fmt.Sprintf("symbol: expvar name %q already registered", e.Name)
+}
+
 // PublishExpvar registers the engine's metrics snapshot as an expvar
 // variable under name, so it appears as JSON on the standard /debug/vars
-// endpoint. Like expvar.Publish, it panics if name is already registered —
-// call it once per engine with a unique name.
-func (e *Engine) PublishExpvar(name string) {
+// endpoint. It is idempotent: publishing the same engine under the same
+// name again is a no-op. A name already held by a different engine — or by
+// any other expvar in the process — returns *ErrExpvarTaken instead of
+// panicking, so a duplicate name can never take the process down.
+func (e *Engine) PublishExpvar(name string) error {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if owner, ok := expvarOwners[name]; ok {
+		if owner == e {
+			return nil
+		}
+		return &ErrExpvarTaken{Name: name}
+	}
+	if expvar.Get(name) != nil {
+		return &ErrExpvarTaken{Name: name}
+	}
 	expvar.Publish(name, expvar.Func(func() any { return e.met.Snapshot() }))
+	expvarOwners[name] = e
+	return nil
+}
+
+// Pressure reads a cheap point-in-time load signal (a few atomic loads, no
+// histogram copying): how many runs are executing right now, how many have
+// ever started, and how often the state pool had to allocate. Admission
+// controllers can poll it on every request without measurable cost.
+func (e *Engine) Pressure() Pressure { return e.met.Pressure() }
+
+// WaitIdle blocks until the engine has no runs in flight, polling the
+// in-flight gauge, or until ctx is done (returning its error). It is the
+// drain primitive: after the caller stops submitting work and cancels
+// outstanding run contexts, WaitIdle reports when the last executor has
+// actually exited, so metrics are final and the process can exit without
+// abandoning a run mid-flight.
+func (e *Engine) WaitIdle(ctx context.Context) error {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		if e.met.Pressure().InFlight == 0 {
+			return nil
+		}
+		if ctx == nil {
+			<-tick.C
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
 }
 
 // BatchResult is one outcome of Engine.RunAll: the run's Result, or the

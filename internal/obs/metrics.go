@@ -117,10 +117,16 @@ func (m *Metrics) RecordDone(s *Stats, succeeded bool) {
 }
 
 // RecordFailed notes a run that ended in an error, bucketed by fault kind
-// (fault.None for non-fault errors).
-func (m *Metrics) RecordFailed(k fault.Kind) {
+// (fault.None for non-fault errors). wall is how long the run took before
+// failing; a positive value lands in the latency histogram so that load
+// monitors still see the backend's pace when every query is faulting —
+// pass 0 when no run was attempted.
+func (m *Metrics) RecordFailed(k fault.Kind, wall time.Duration) {
 	m.inFlight.Add(-1)
 	m.faults[k].Add(1)
+	if wall > 0 {
+		m.latency[bucketPow2(int64(wall)/int64(time.Microsecond), latencyBuckets)].Add(1)
+	}
 }
 
 // RecordRejected notes a run refused before it started (invalid options).
@@ -233,6 +239,60 @@ func (m *Metrics) Snapshot() Snapshot {
 	return s
 }
 
+// Merge folds o into s: counters and histogram buckets add, Totals follows
+// the Stats.Add rule (sums, max for high-water marks). It lets a server
+// expose one combined symbol_* metric family across several engines (one
+// per knowledge base) without duplicate series.
+func (s *Snapshot) Merge(o Snapshot) {
+	s.Started += o.Started
+	s.Succeeded += o.Succeeded
+	s.NoSolution += o.NoSolution
+	s.Rejected += o.Rejected
+	s.InFlight += o.InFlight
+	for name, v := range o.Faults {
+		if s.Faults == nil {
+			s.Faults = map[string]int64{}
+		}
+		s.Faults[name] += v
+	}
+	s.PoolGets += o.PoolGets
+	s.PoolMisses += o.PoolMisses
+	s.DirtyPagesReset += o.DirtyPagesReset
+	s.Totals.Add(&o.Totals)
+	mergeHist := func(dst *Histogram, src Histogram) {
+		if len(dst.Counts) == 0 {
+			dst.Bounds = append([]float64(nil), src.Bounds...)
+			dst.Counts = append([]int64(nil), src.Counts...)
+			return
+		}
+		if len(dst.Counts) != len(src.Counts) {
+			return
+		}
+		for i := range src.Counts {
+			dst.Counts[i] += src.Counts[i]
+		}
+	}
+	mergeHist(&s.LatencySeconds, o.LatencySeconds)
+	mergeHist(&s.StepsPerRun, o.StepsPerRun)
+}
+
+// Pressure is a cheap point-in-time load signal for admission control: a
+// few atomic loads, no histogram copying, safe to read on every request.
+type Pressure struct {
+	InFlight   int64 `json:"in_flight"`   // runs currently executing
+	Started    int64 `json:"started"`     // runs ever admitted to an executor
+	PoolMisses int64 `json:"pool_misses"` // machine-state allocations (pool cold or over-subscribed)
+}
+
+// Pressure reads the current load signal.
+func (m *Metrics) Pressure() Pressure {
+	return Pressure{
+		InFlight:   m.inFlight.Load(),
+		Started:    m.started.Load(),
+		PoolMisses: m.poolMisses.Load(),
+	}
+}
+
 // promName sanitizes a label value-ish name fragment into a metric-name
 // safe token (fault kinds contain spaces and hyphens).
 func promName(s string) string {
@@ -300,7 +360,7 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		p("symbol_%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 		p("symbol_%s_count %d\n", name, cum)
 	}
-	hist("run_latency_seconds", "Wall-clock latency of completed runs.", s.LatencySeconds)
+	hist("run_latency_seconds", "Wall-clock latency of finished runs, faulted included.", s.LatencySeconds)
 	hist("run_steps", "Executed ICIs per completed run.", s.StepsPerRun)
 	return cw.n, cw.err
 }

@@ -84,7 +84,7 @@ func TestMetricsSnapshotHistograms(t *testing.T) {
 	m.RecordStart()
 	m.RecordDone(&Stats{Steps: 100, Wall: 3 * time.Microsecond}, true)
 	m.RecordStart()
-	m.RecordFailed(fault.StepLimit)
+	m.RecordFailed(fault.StepLimit, 5*time.Microsecond)
 	s := m.Snapshot()
 	if s.Started != 2 || s.Succeeded != 1 || s.InFlight != 0 {
 		t.Fatalf("snapshot %+v", s)
@@ -96,8 +96,9 @@ func TestMetricsSnapshotHistograms(t *testing.T) {
 	for _, c := range s.LatencySeconds.Counts {
 		n += c
 	}
-	if n != 1 {
-		t.Errorf("latency histogram holds %d, want 1", n)
+	// Both the completed and the faulted run contribute a latency sample.
+	if n != 2 {
+		t.Errorf("latency histogram holds %d, want 2", n)
 	}
 	if len(s.LatencySeconds.Counts) != len(s.LatencySeconds.Bounds)+1 {
 		t.Errorf("counts/bounds shape: %d vs %d", len(s.LatencySeconds.Counts), len(s.LatencySeconds.Bounds))

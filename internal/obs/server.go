@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// ShedReason enumerates why a serving front end refused a request before
+// running it. The serving layer records sheds here (rather than in ad-hoc
+// handler counters) so load tests, dashboards and the drain logic all read
+// one vocabulary.
+type ShedReason uint8
+
+const (
+	// ShedQueueFull: the admission queue was already at its configured
+	// bound when the request arrived.
+	ShedQueueFull ShedReason = iota
+	// ShedQueueTimeout: the request waited in the admission queue past its
+	// queue-wait budget without an execution slot freeing up.
+	ShedQueueTimeout
+	// ShedPressure: the pressure monitor judged the backend overloaded
+	// (windowed p99 latency over threshold) and the server is proactively
+	// rejecting work it could technically still enqueue.
+	ShedPressure
+	// ShedDraining: the server is shutting down and no longer admits work.
+	ShedDraining
+
+	NumShedReasons
+)
+
+var shedNames = [NumShedReasons]string{
+	"queue_full", "queue_timeout", "pressure", "draining",
+}
+
+func (r ShedReason) String() string {
+	if r < NumShedReasons {
+		return shedNames[r]
+	}
+	return "shed(?)"
+}
+
+// ServerMetrics aggregates a query-serving front end's counters: queue
+// depth and wait times, admissions, sheds by reason, handler panics, HTTP
+// response classes and the drain state. Like Metrics it is lock-free to
+// record and snapshot-on-demand to read; the zero value is ready to use.
+type ServerMetrics struct {
+	queueDepth  atomic.Int64
+	queuedTotal atomic.Int64
+	admitted    atomic.Int64
+	inFlight    atomic.Int64
+	shed        [NumShedReasons]atomic.Int64
+	panics      atomic.Int64
+	clientGone  atomic.Int64
+	draining    atomic.Int64
+
+	queueWait [latencyBuckets + 1]atomic.Int64
+	status    [6]atomic.Int64 // responses by status class (index 2..5 used)
+}
+
+// RecordEnqueue notes a request joining the admission queue and returns the
+// new depth, so the caller can bound it.
+func (m *ServerMetrics) RecordEnqueue() int64 {
+	m.queuedTotal.Add(1)
+	return m.queueDepth.Add(1)
+}
+
+// RecordDequeue notes a request leaving the admission queue (admitted, shed
+// on timeout, or abandoned by the client), with the time it waited.
+func (m *ServerMetrics) RecordDequeue(wait time.Duration) {
+	m.queueDepth.Add(-1)
+	m.queueWait[bucketPow2(int64(wait)/int64(time.Microsecond), latencyBuckets)].Add(1)
+}
+
+// RecordAdmitted notes a request acquiring an execution slot. Balanced by
+// exactly one RecordReleased.
+func (m *ServerMetrics) RecordAdmitted() {
+	m.admitted.Add(1)
+	m.inFlight.Add(1)
+}
+
+// RecordReleased notes an admitted request giving its execution slot back.
+func (m *ServerMetrics) RecordReleased() { m.inFlight.Add(-1) }
+
+// RecordShed notes a request refused before execution, by reason.
+func (m *ServerMetrics) RecordShed(r ShedReason) {
+	if r < NumShedReasons {
+		m.shed[r].Add(1)
+	}
+}
+
+// RecordPanic notes a handler panic contained by the isolation guard.
+func (m *ServerMetrics) RecordPanic() { m.panics.Add(1) }
+
+// RecordClientGone notes a request whose client disconnected before a
+// response could be delivered.
+func (m *ServerMetrics) RecordClientGone() { m.clientGone.Add(1) }
+
+// RecordStatus notes the HTTP status code of a completed response.
+func (m *ServerMetrics) RecordStatus(code int) {
+	if c := code / 100; c >= 2 && c <= 5 {
+		m.status[c].Add(1)
+	}
+}
+
+// SetDraining flips the drain gauge.
+func (m *ServerMetrics) SetDraining(on bool) {
+	if on {
+		m.draining.Store(1)
+	} else {
+		m.draining.Store(0)
+	}
+}
+
+// QueueDepth returns the current number of requests waiting for admission.
+func (m *ServerMetrics) QueueDepth() int64 { return m.queueDepth.Load() }
+
+// InFlight returns the current number of admitted, still-running requests.
+func (m *ServerMetrics) InFlight() int64 { return m.inFlight.Load() }
+
+// ServerSnapshot is a point-in-time copy of ServerMetrics,
+// JSON-serializable (for expvar) and renderable as Prometheus text.
+type ServerSnapshot struct {
+	QueueDepth  int64 `json:"queue_depth"`
+	QueuedTotal int64 `json:"queued_total"`
+	Admitted    int64 `json:"admitted"`
+	InFlight    int64 `json:"in_flight"`
+
+	Shed map[string]int64 `json:"shed,omitempty"` // by ShedReason name
+
+	Panics     int64 `json:"panics"`
+	ClientGone int64 `json:"client_gone"`
+	Draining   bool  `json:"draining"`
+
+	Responses map[string]int64 `json:"responses,omitempty"` // by status class ("2xx".."5xx")
+
+	QueueWaitSeconds Histogram `json:"queue_wait_seconds"`
+}
+
+// ShedTotal sums sheds across every reason.
+func (s ServerSnapshot) ShedTotal() int64 {
+	var n int64
+	for _, v := range s.Shed {
+		n += v
+	}
+	return n
+}
+
+// Snapshot copies the current counter values.
+func (m *ServerMetrics) Snapshot() ServerSnapshot {
+	s := ServerSnapshot{
+		QueueDepth:  m.queueDepth.Load(),
+		QueuedTotal: m.queuedTotal.Load(),
+		Admitted:    m.admitted.Load(),
+		InFlight:    m.inFlight.Load(),
+		Panics:      m.panics.Load(),
+		ClientGone:  m.clientGone.Load(),
+		Draining:    m.draining.Load() != 0,
+	}
+	for r := ShedReason(0); r < NumShedReasons; r++ {
+		if n := m.shed[r].Load(); n > 0 {
+			if s.Shed == nil {
+				s.Shed = map[string]int64{}
+			}
+			s.Shed[r.String()] = n
+		}
+	}
+	classes := [...]string{2: "2xx", 3: "3xx", 4: "4xx", 5: "5xx"}
+	for c := 2; c <= 5; c++ {
+		if n := m.status[c].Load(); n > 0 {
+			if s.Responses == nil {
+				s.Responses = map[string]int64{}
+			}
+			s.Responses[classes[c]] = n
+		}
+	}
+	s.QueueWaitSeconds.Bounds = make([]float64, latencyBuckets)
+	s.QueueWaitSeconds.Counts = make([]int64, latencyBuckets+1)
+	for i := 0; i < latencyBuckets; i++ {
+		s.QueueWaitSeconds.Bounds[i] = float64(int64(1)<<uint(i)) / 1e6
+	}
+	for i := range m.queueWait {
+		s.QueueWaitSeconds.Counts[i] = m.queueWait[i].Load()
+	}
+	return s
+}
+
+// WriteTo renders the snapshot in the Prometheus text exposition format
+// under the symbolserve_ prefix.
+func (s ServerSnapshot) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	p := func(format string, args ...any) {
+		if cw.err == nil {
+			fmt.Fprintf(cw, format, args...)
+		}
+	}
+	gauge := func(name, help string, v int64) {
+		p("# HELP symbolserve_%s %s\n# TYPE symbolserve_%s gauge\nsymbolserve_%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		p("# HELP symbolserve_%s %s\n# TYPE symbolserve_%s counter\nsymbolserve_%s %d\n", name, help, name, name, v)
+	}
+	gauge("queue_depth", "Requests waiting for admission.", s.QueueDepth)
+	counter("queued_total", "Requests that entered the admission queue.", s.QueuedTotal)
+	counter("admitted_total", "Requests granted an execution slot.", s.Admitted)
+	gauge("in_flight", "Admitted requests currently executing.", s.InFlight)
+	p("# HELP symbolserve_shed_total Requests refused before execution, by reason.\n# TYPE symbolserve_shed_total counter\n")
+	for r := ShedReason(0); r < NumShedReasons; r++ {
+		p("symbolserve_shed_total{reason=%q} %d\n", r.String(), s.Shed[r.String()])
+	}
+	counter("panics_total", "Handler panics contained by the isolation guard.", s.Panics)
+	counter("client_gone_total", "Requests whose client disconnected first.", s.ClientGone)
+	drain := int64(0)
+	if s.Draining {
+		drain = 1
+	}
+	gauge("draining", "1 while the server is draining.", drain)
+	p("# HELP symbolserve_responses_total Responses sent, by status class.\n# TYPE symbolserve_responses_total counter\n")
+	for _, c := range []string{"2xx", "3xx", "4xx", "5xx"} {
+		p("symbolserve_responses_total{class=%q} %d\n", c, s.Responses[c])
+	}
+	p("# HELP symbolserve_queue_wait_seconds Admission-queue wait of dequeued requests.\n# TYPE symbolserve_queue_wait_seconds histogram\n")
+	var cum int64
+	for i, b := range s.QueueWaitSeconds.Bounds {
+		cum += s.QueueWaitSeconds.Counts[i]
+		p("symbolserve_queue_wait_seconds_bucket{le=\"%g\"} %d\n", b, cum)
+	}
+	cum += s.QueueWaitSeconds.Counts[len(s.QueueWaitSeconds.Bounds)]
+	p("symbolserve_queue_wait_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	p("symbolserve_queue_wait_seconds_count %d\n", cum)
+	return cw.n, cw.err
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observations in h:
+// the upper bound of the bucket holding the rank-q observation, +Inf if it
+// falls past the last bound, 0 if the histogram is empty. The estimate is
+// conservative (an upper bound on the true quantile), which is the safe
+// direction for load-shedding decisions.
+func (h Histogram) Quantile(q float64) float64 {
+	var total int64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.Bounds) {
+				return h.Bounds[i]
+			}
+			break
+		}
+	}
+	return math.Inf(1)
+}
+
+// Sub sets h to the bucket-wise difference h - o, for turning two
+// cumulative snapshots of the same histogram into the histogram of the
+// interval between them. Mismatched layouts leave h unchanged.
+func (h Histogram) Sub(o Histogram) Histogram {
+	if len(h.Counts) != len(o.Counts) {
+		return h
+	}
+	out := Histogram{Bounds: h.Bounds, Counts: make([]int64, len(h.Counts))}
+	for i := range h.Counts {
+		if d := h.Counts[i] - o.Counts[i]; d > 0 {
+			out.Counts[i] = d
+		}
+	}
+	return out
+}
+
+// Total sums the histogram's counts.
+func (h Histogram) Total() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := Histogram{
+		Bounds: []float64{1, 2, 4, 8},
+		Counts: []int64{0, 0, 0, 0, 0},
+	}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// 10 observations <= 2, 1 observation <= 8.
+	h.Counts = []int64{0, 10, 0, 1, 0}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2", got)
+	}
+	if got := h.Quantile(0.99); got != 8 {
+		t.Errorf("p99 = %v, want 8", got)
+	}
+	// An observation past the last bound pushes the top quantile to +Inf.
+	h.Counts = []int64{0, 10, 0, 0, 1}
+	if got := h.Quantile(1.0); !math.IsInf(got, 1) {
+		t.Errorf("p100 = %v, want +Inf", got)
+	}
+}
+
+func TestHistogramSubTotal(t *testing.T) {
+	a := Histogram{Bounds: []float64{1, 2}, Counts: []int64{5, 7, 2}}
+	b := Histogram{Bounds: []float64{1, 2}, Counts: []int64{1, 7, 0}}
+	d := a.Sub(b)
+	if d.Counts[0] != 4 || d.Counts[1] != 0 || d.Counts[2] != 2 {
+		t.Errorf("Sub = %v", d.Counts)
+	}
+	if d.Total() != 6 {
+		t.Errorf("Total = %d, want 6", d.Total())
+	}
+	if got := a.Sub(Histogram{}); got.Total() != a.Total() {
+		t.Errorf("mismatched Sub should leave h unchanged, got %v", got.Counts)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var a, b Metrics
+	a.RecordStart()
+	s := Stats{Steps: 10, MemOps: 10, HeapHigh: 100, Wall: time.Millisecond}
+	a.RecordDone(&s, true)
+	b.RecordStart()
+	b.RecordFailed(0, 0) // fault.None bucket, no run attempted
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Started != 2 || sa.Succeeded != 1 {
+		t.Errorf("merged started=%d succeeded=%d", sa.Started, sa.Succeeded)
+	}
+	if sa.Totals.Steps != 10 || sa.Totals.HeapHigh != 100 {
+		t.Errorf("merged totals %+v", sa.Totals)
+	}
+	if sa.LatencySeconds.Total() != 1 {
+		t.Errorf("merged latency count = %d", sa.LatencySeconds.Total())
+	}
+}
+
+func TestServerMetricsSnapshot(t *testing.T) {
+	var m ServerMetrics
+	if d := m.RecordEnqueue(); d != 1 {
+		t.Fatalf("enqueue depth = %d", d)
+	}
+	m.RecordDequeue(3 * time.Millisecond)
+	m.RecordAdmitted()
+	m.RecordStatus(200)
+	m.RecordReleased()
+	m.RecordShed(ShedQueueFull)
+	m.RecordShed(ShedDraining)
+	m.RecordStatus(503)
+	m.RecordPanic()
+	m.SetDraining(true)
+	s := m.Snapshot()
+	if s.QueueDepth != 0 || s.QueuedTotal != 1 || s.Admitted != 1 || s.InFlight != 0 {
+		t.Errorf("queue accounting: %+v", s)
+	}
+	if s.Shed["queue_full"] != 1 || s.Shed["draining"] != 1 || s.ShedTotal() != 2 {
+		t.Errorf("shed accounting: %v", s.Shed)
+	}
+	if s.Responses["2xx"] != 1 || s.Responses["5xx"] != 1 {
+		t.Errorf("responses: %v", s.Responses)
+	}
+	if !s.Draining || s.Panics != 1 {
+		t.Errorf("draining=%v panics=%d", s.Draining, s.Panics)
+	}
+	if s.QueueWaitSeconds.Total() != 1 {
+		t.Errorf("queue wait count = %d", s.QueueWaitSeconds.Total())
+	}
+	var b strings.Builder
+	if _, err := s.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"symbolserve_queue_depth 0",
+		`symbolserve_shed_total{reason="queue_full"} 1`,
+		"symbolserve_draining 1",
+		`symbolserve_responses_total{class="5xx"} 1`,
+		"symbolserve_queue_wait_seconds_count 1",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestShedReasonStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for r := ShedReason(0); r < NumShedReasons; r++ {
+		name := r.String()
+		if name == "" || name == "shed(?)" || seen[name] {
+			t.Errorf("reason %d has bad or duplicate name %q", r, name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"symbol/internal/obs"
+)
+
+// Admission errors, surfaced by gate.acquire and mapped to shed responses
+// by the handlers.
+var (
+	errQueueFull    = errors.New("serve: admission queue full")
+	errQueueTimeout = errors.New("serve: admission queue wait timed out")
+)
+
+// gate is the admission controller: a bounded in-flight semaphore fronted
+// by a bounded wait queue. A request first tries the semaphore without
+// queueing (the uncontended fast path costs one channel send); if all
+// execution slots are busy it joins the queue, bounded in both depth
+// (errQueueFull) and wait time (errQueueTimeout, the earlier of the queue
+// budget and the caller's context). Either bound turns overload into a
+// fast, cheap rejection instead of an unbounded pile of blocked handlers.
+type gate struct {
+	sem      chan struct{}
+	maxQueue int64
+	met      *obs.ServerMetrics
+}
+
+func newGate(maxInFlight, maxQueue int, met *obs.ServerMetrics) *gate {
+	return &gate{
+		sem:      make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+		met:      met,
+	}
+}
+
+// acquire claims an execution slot, waiting in the queue up to timeout.
+// On success it returns a release function that must be called exactly
+// once. On failure it returns errQueueFull, errQueueTimeout, or the
+// context's error if the client gave up first.
+func (g *gate) acquire(ctx context.Context, timeout time.Duration) (func(), error) {
+	// Uncontended fast path: a free slot means no queue accounting at all.
+	select {
+	case g.sem <- struct{}{}:
+		return g.admit(), nil
+	default:
+	}
+	if g.met.RecordEnqueue() > g.maxQueue {
+		g.met.RecordDequeue(0)
+		return nil, errQueueFull
+	}
+	start := time.Now()
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	select {
+	case g.sem <- struct{}{}:
+		g.met.RecordDequeue(time.Since(start))
+		return g.admit(), nil
+	case <-timeoutC:
+		g.met.RecordDequeue(time.Since(start))
+		return nil, errQueueTimeout
+	case <-ctx.Done():
+		g.met.RecordDequeue(time.Since(start))
+		return nil, ctx.Err()
+	}
+}
+
+// admit records the admission and returns the matching release.
+func (g *gate) admit() func() {
+	g.met.RecordAdmitted()
+	return func() {
+		g.met.RecordReleased()
+		<-g.sem
+	}
+}
+
+// depth reports how many requests are currently waiting for admission.
+func (g *gate) depth() int64 { return g.met.QueueDepth() }
+
+// inflightTracker counts admitted requests and coordinates drain. A plain
+// WaitGroup cannot do this: Add racing Wait at counter zero is undefined,
+// and that race is exactly the drain scenario (a request admitted at the
+// instant draining begins). The tracker closes the race under one mutex —
+// enter refuses once draining has started, so after beginDrain returns, the
+// in-flight count can only fall, and the idle channel closes exactly when
+// it reaches zero.
+type inflightTracker struct {
+	mu       sync.Mutex
+	n        int
+	draining bool
+	idle     chan struct{}
+	closed   bool
+}
+
+func newInflightTracker() *inflightTracker {
+	return &inflightTracker{idle: make(chan struct{})}
+}
+
+// enter registers an admitted request. It reports false once draining has
+// begun: the caller must shed instead of running.
+func (t *inflightTracker) enter() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.draining {
+		return false
+	}
+	t.n++
+	return true
+}
+
+// exit unregisters a request registered by enter.
+func (t *inflightTracker) exit() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n--
+	if t.draining && t.n == 0 && !t.closed {
+		t.closed = true
+		close(t.idle)
+	}
+}
+
+// beginDrain stops future enters and returns a channel that closes when
+// the last in-flight request exits (immediately if none are in flight).
+// Idempotent; every caller gets the same channel.
+func (t *inflightTracker) beginDrain() <-chan struct{} {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.draining = true
+	if t.n == 0 && !t.closed {
+		t.closed = true
+		close(t.idle)
+	}
+	return t.idle
+}

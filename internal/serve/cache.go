@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"symbol"
+)
+
+// engineCache is a small LRU of compiled query engines keyed by
+// (knowledge base, goal). Serving traffic repeats queries — dashboards
+// refresh, load tests hammer one goal — so the common case skips the
+// Prolog → BAM → ICI compile entirely and lands on a warm Engine whose
+// machine-state pool is already populated. Each entry compiles at most
+// once, under a per-entry sync.Once, so a burst of identical cold queries
+// does one compile while the rest wait for its result.
+type engineCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     list.List // front = most recent; values are *cacheEntry
+}
+
+type cacheEntry struct {
+	key  string
+	once sync.Once
+	// eng is atomic because engines() enumerates entries concurrently with
+	// a first-use compile publishing the pointer.
+	eng atomic.Pointer[symbol.Engine]
+	err error
+}
+
+func newEngineCache(capacity int) *engineCache {
+	return &engineCache{cap: capacity, entries: map[string]*list.Element{}}
+}
+
+// get returns the engine for (kb, goal), compiling it on first use. A goal
+// that fails to compile is cached too (negative caching), so a client
+// retrying a bad query in a loop costs a map hit, not a recompile.
+func (c *engineCache) get(kbName, kbSrc, goal string) (*symbol.Engine, error) {
+	key := kbName + "\x00" + goal
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		el = c.lru.PushFront(&cacheEntry{key: key})
+		c.entries[key] = el
+		for c.lru.Len() > c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		}
+	} else {
+		c.lru.MoveToFront(el)
+	}
+	e := el.Value.(*cacheEntry)
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		prog, err := symbol.CompileQuery(kbSrc, goal)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.eng.Store(symbol.NewEngine(prog))
+	})
+	return e.eng.Load(), e.err
+}
+
+// engines lists every compiled engine currently cached, for metrics
+// merging and the pressure monitor.
+func (c *engineCache) engines() []*symbol.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*symbol.Engine
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*cacheEntry).eng.Load(); e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// len reports the number of cached entries (for tests).
+func (c *engineCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"symbol"
+	"symbol/internal/obs"
+)
+
+// pressureMinSamples is the fewest completed runs a measurement window must
+// hold before its p99 is trusted: a near-empty window would let one slow
+// run flip the server into shedding.
+const pressureMinSamples = 4
+
+// monitor turns the engines' cumulative latency histograms into a windowed
+// overload verdict. Every interval it snapshots and merges the histograms,
+// subtracts the previous cut, and estimates the p99 of just that window; if
+// the window's p99 crosses the configured threshold the server sheds new
+// work until a later window recovers. Using a window (rather than the
+// lifetime histogram) means the verdict tracks what the backend is doing
+// *now* — a long healthy history cannot mask a fresh collapse, and one bad
+// burst does not poison the server forever.
+//
+// Reads are wait-free: requests load a cached verdict; the request that
+// finds the verdict stale refreshes it under a TryLock, so a thundering
+// herd never queues behind the histogram copy.
+type monitor struct {
+	engines   func() []*symbol.Engine
+	threshold time.Duration // shed when windowed p99 exceeds this (0 = never)
+	interval  time.Duration // verdict refresh cadence
+
+	mu        sync.Mutex // guards last + nextCheck; TryLock on refresh
+	last      obs.Histogram
+	nextCheck time.Time
+
+	overloaded atomic.Bool
+	lastP99    atomic.Int64 // nanoseconds
+}
+
+func newMonitor(engines func() []*symbol.Engine, threshold, interval time.Duration) *monitor {
+	return &monitor{engines: engines, threshold: threshold, interval: interval}
+}
+
+// overloadedNow reports the cached verdict, refreshing it if stale.
+func (m *monitor) overloadedNow() bool {
+	if m.threshold <= 0 {
+		return false
+	}
+	m.refreshIfStale()
+	return m.overloaded.Load()
+}
+
+// p99 returns the last measured window's estimated p99 (0 before the first
+// window with enough samples).
+func (m *monitor) p99() time.Duration {
+	return time.Duration(m.lastP99.Load())
+}
+
+func (m *monitor) refreshIfStale() {
+	if !m.mu.TryLock() {
+		return // someone else is refreshing; use the cached verdict
+	}
+	defer m.mu.Unlock()
+	now := time.Now()
+	if now.Before(m.nextCheck) {
+		return
+	}
+	m.nextCheck = now.Add(m.interval)
+
+	var merged obs.Snapshot
+	for _, e := range m.engines() {
+		merged.Merge(e.Metrics())
+	}
+	window := merged.LatencySeconds.Sub(m.last)
+	m.last = merged.LatencySeconds
+	if window.Total() < pressureMinSamples {
+		// Too little traffic to judge; an idle backend is not overloaded.
+		m.overloaded.Store(false)
+		return
+	}
+	q := window.Quantile(0.99)
+	var p99 time.Duration
+	if math.IsInf(q, 1) {
+		// Past the top bucket bound (~0.5 s): saturate rather than overflow.
+		p99 = time.Hour
+	} else {
+		p99 = time.Duration(q * float64(time.Second))
+	}
+	m.lastP99.Store(int64(p99))
+	m.overloaded.Store(p99 > m.threshold)
+}

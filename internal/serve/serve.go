@@ -1,0 +1,546 @@
+// Package serve is the fault-tolerant query-serving front end over
+// symbol.Engine: the layer that stands between real traffic and the
+// engine's pooled executors. Its jobs, in request order:
+//
+//   - Admission control: a bounded in-flight semaphore fronted by a
+//     bounded, deadline-aware wait queue (admission.go). Overload turns
+//     into fast 429/503 + Retry-After responses instead of unbounded
+//     goroutine pileup.
+//   - Load shedding: a windowed p99 monitor over the engines' latency
+//     histograms (pressure.go) proactively rejects new work while the
+//     backend is slow *now*, keeping admitted requests' latency bounded.
+//   - Budget enforcement: every request runs under a tenant envelope
+//     (tenant.go) — step, memory and wall-clock ceilings that request
+//     headers can tighten but never raise.
+//   - Typed failure mapping: every fault.Kind has a deliberate HTTP
+//     status (status.go); handlers are panic-isolated, so no query can
+//     take the process down.
+//   - Graceful drain: BeginDrain stops admissions, Drain waits for
+//     in-flight runs and hard-cancels stragglers as typed fault.Canceled
+//     within the drain deadline — every accepted request still gets a
+//     response.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"symbol"
+	"symbol/internal/fault"
+	"symbol/internal/obs"
+)
+
+// Config tunes the front end. The zero value gets sensible defaults from
+// withDefaults; all durations are per-request unless noted.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries (default
+	// GOMAXPROCS: the engine's RunAll fan-out width).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot (default
+	// 4×MaxInFlight). Beyond it requests shed with 429 queue_full.
+	MaxQueue int
+	// QueueTimeout bounds how long a request may wait for admission
+	// (default 1s). Past it the request sheds with 429 queue_timeout.
+	QueueTimeout time.Duration
+	// RequestTimeout is the default wall-clock budget of one query
+	// (default 5s); tenants and the X-Symbol-Timeout header tighten it.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: how long Drain waits for
+	// in-flight queries before hard-cancelling them (default 10s).
+	DrainTimeout time.Duration
+	// ShedP99 sheds new work while the windowed p99 of completed runs
+	// exceeds it (0 = pressure shedding off).
+	ShedP99 time.Duration
+	// PressureInterval is the p99 window length (default 250ms).
+	PressureInterval time.Duration
+	// RetryAfter is the hint sent on shed responses (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds a query body (default 1 MiB).
+	MaxBodyBytes int64
+	// QueryCache is the LRU capacity of compiled (kb, goal) engines
+	// (default 64).
+	QueryCache int
+	// DefaultTenant is the budget envelope of requests without an
+	// X-Symbol-Tenant header; Tenants maps named envelopes.
+	DefaultTenant Tenant
+	Tenants       map[string]Tenant
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.PressureInterval <= 0 {
+		c.PressureInterval = 250 * time.Millisecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.QueryCache <= 0 {
+		c.QueryCache = 64
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// KB is one preloaded knowledge base: a named Prolog source served at
+// /run/{name} (its own main/0, pooled engine) and queryable at
+// /query/{name} (arbitrary goals, compiled-query LRU).
+type KB struct {
+	Name   string
+	Source string
+}
+
+type kbEntry struct {
+	name   string
+	source string
+	eng    *symbol.Engine // nil when the source has no runnable main/0
+	runErr error          // why eng is nil
+}
+
+// Server is the front end. It implements http.Handler; build one with New,
+// mount it, and call Drain on shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	kbs   map[string]*kbEntry
+	names []string
+
+	met   obs.ServerMetrics
+	gate  *gate
+	mon   *monitor
+	cache *engineCache
+
+	draining    atomic.Bool
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+	flight      *inflightTracker
+}
+
+// New builds a Server over the given knowledge bases. A KB whose source
+// cannot be compiled standalone (for example, it defines no main/0) is
+// still registered for /query; its /run endpoint reports the compile error.
+func New(cfg Config, kbs ...KB) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		kbs: map[string]*kbEntry{},
+	}
+	for _, kb := range kbs {
+		if kb.Name == "" {
+			return nil, fmt.Errorf("serve: knowledge base with empty name")
+		}
+		if _, dup := s.kbs[kb.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate knowledge base %q", kb.Name)
+		}
+		e := &kbEntry{name: kb.Name, source: kb.Source}
+		if prog, err := symbol.Compile(kb.Source); err != nil {
+			e.runErr = err
+		} else {
+			e.eng = symbol.NewEngine(prog)
+		}
+		s.kbs[kb.Name] = e
+		s.names = append(s.names, kb.Name)
+	}
+	sort.Strings(s.names)
+	s.gate = newGate(cfg.MaxInFlight, cfg.MaxQueue, &s.met)
+	s.cache = newEngineCache(cfg.QueryCache)
+	s.mon = newMonitor(s.engines, cfg.ShedP99, cfg.PressureInterval)
+	s.flight = newInflightTracker()
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.protect(s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.protect(s.handleReadyz))
+	s.mux.HandleFunc("GET /metrics", s.protect(s.handleMetrics))
+	s.mux.HandleFunc("GET /kbs", s.protect(s.handleKBs))
+	s.mux.HandleFunc("GET /run/{kb}", s.protect(s.handleRun))
+	s.mux.HandleFunc("POST /run/{kb}", s.protect(s.handleRun))
+	s.mux.HandleFunc("GET /query/{kb}", s.protect(s.handleQuery))
+	s.mux.HandleFunc("POST /query/{kb}", s.protect(s.handleQuery))
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// engines lists every live engine (preloaded KBs plus cached query
+// engines), for metrics merging and the pressure monitor.
+func (s *Server) engines() []*symbol.Engine {
+	var out []*symbol.Engine
+	for _, name := range s.names {
+		if e := s.kbs[name].eng; e != nil {
+			out = append(out, e)
+		}
+	}
+	return append(out, s.cache.engines()...)
+}
+
+// Metrics snapshots the server-side counters (queue, sheds, drain state).
+func (s *Server) Metrics() obs.ServerSnapshot { return s.met.Snapshot() }
+
+// EngineMetrics merges every live engine's snapshot into one.
+func (s *Server) EngineMetrics() obs.Snapshot {
+	var merged obs.Snapshot
+	for _, e := range s.engines() {
+		merged.Merge(e.Metrics())
+	}
+	return merged
+}
+
+// PublishExpvar registers each preloaded KB engine as <prefix>_<kb> and the
+// server counters as <prefix> on /debug/vars. Conflicts are logged, never
+// fatal (engine publication is idempotent per engine).
+func (s *Server) PublishExpvar(prefix string) {
+	if v := expvar.Get(prefix); v == nil {
+		expvar.Publish(prefix, expvar.Func(func() any { return s.met.Snapshot() }))
+	} else {
+		s.cfg.Logf("serve: expvar name %q already registered, skipping server vars", prefix)
+	}
+	for _, name := range s.names {
+		if e := s.kbs[name].eng; e != nil {
+			if err := e.PublishExpvar(prefix + "_" + name); err != nil {
+				s.cfg.Logf("serve: %v", err)
+			}
+		}
+	}
+}
+
+// Draining reports whether the server has stopped admitting work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// BeginDrain stops admitting new queries: every subsequent request sheds
+// with 503 + Retry-After. Idempotent; in-flight queries keep running.
+func (s *Server) BeginDrain() {
+	if !s.draining.Swap(true) {
+		s.met.SetDraining(true)
+		s.cfg.Logf("serve: draining — admissions stopped")
+	}
+}
+
+// Drain gracefully winds the server down: stop admissions, wait for
+// in-flight queries to finish, and when ctx expires first hard-cancel the
+// stragglers (they terminate as typed fault.Canceled and still get
+// responses). It returns once every admitted request has been answered and
+// the engines are idle; a non-nil error means stragglers survived even the
+// hard cancel.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := s.flight.beginDrain()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cfg.Logf("serve: drain deadline — hard-cancelling in-flight queries")
+		s.drainCancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			return errors.New("serve: drain: queries still in flight after hard cancel")
+		}
+	}
+	// Engines idle ⇒ final metrics are exact and no executor is mid-run.
+	idleCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, e := range s.engines() {
+		if err := e.WaitIdle(idleCtx); err != nil {
+			return fmt.Errorf("serve: drain: engine not idle: %w", err)
+		}
+	}
+	s.cfg.Logf("serve: drained")
+	return nil
+}
+
+// Close hard-cancels everything immediately (tests and last-resort paths).
+func (s *Server) Close() error {
+	s.BeginDrain()
+	s.drainCancel()
+	return nil
+}
+
+// Response is the JSON body of /run and /query answers. OK distinguishes a
+// proven goal from a clean "no" — both are 200s; errors carry the fault
+// kind (stable fault.Kind string) and a message.
+type Response struct {
+	OK     bool   `json:"ok"`
+	KB     string `json:"kb,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	Output string `json:"output,omitempty"`
+	Steps  int64  `json:"steps,omitempty"`
+	WallNS int64  `json:"wall_ns,omitempty"`
+	Fault  string `json:"fault,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// ShedReasonHeader carries the obs.ShedReason name on shed responses.
+const ShedReasonHeader = "X-Symbol-Shed-Reason"
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, resp Response) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+	s.met.RecordStatus(status)
+}
+
+// shed refuses the request before execution: Retry-After plus the reason,
+// as a typed header and in the body.
+func (s *Server) shed(w http.ResponseWriter, status int, reason obs.ShedReason) {
+	s.met.RecordShed(reason)
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.999)))
+	w.Header().Set(ShedReasonHeader, reason.String())
+	s.writeJSON(w, status, Response{Error: "overloaded: " + reason.String()})
+}
+
+// protect is the panic-isolation middleware: a panicking handler answers
+// 500 (best-effort) and the process keeps serving.
+func (s *Server) protect(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.RecordPanic()
+				s.cfg.Logf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				s.writeJSON(w, http.StatusInternalServerError, Response{Error: "internal error"})
+			}
+		}()
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case s.mon.overloadedNow():
+		http.Error(w, fmt.Sprintf("overloaded: window p99 %v", s.mon.p99()), http.StatusServiceUnavailable)
+	case s.gate.depth() >= int64(s.cfg.MaxQueue):
+		http.Error(w, "overloaded: admission queue full", http.StatusServiceUnavailable)
+	default:
+		io.WriteString(w, "ready\n")
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if name := r.URL.Query().Get("kb"); name != "" {
+		kb, ok := s.kbs[name]
+		if !ok || kb.eng == nil {
+			http.Error(w, "unknown or query-only kb", http.StatusNotFound)
+			return
+		}
+		kb.eng.Metrics().WriteTo(w)
+		return
+	}
+	s.EngineMetrics().WriteTo(w)
+	s.met.Snapshot().WriteTo(w)
+}
+
+func (s *Server) handleKBs(w http.ResponseWriter, r *http.Request) {
+	type kbInfo struct {
+		Name     string `json:"name"`
+		Runnable bool   `json:"runnable"` // has a compiled main/0 for /run
+		RunError string `json:"run_error,omitempty"`
+	}
+	out := make([]kbInfo, 0, len(s.names))
+	for _, name := range s.names {
+		kb := s.kbs[name]
+		info := kbInfo{Name: name, Runnable: kb.eng != nil}
+		if kb.runErr != nil {
+			info.RunError = kb.runErr.Error()
+		}
+		out = append(out, info)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+	s.met.RecordStatus(http.StatusOK)
+}
+
+// handleRun answers the KB's own main/0 on its preloaded, pooled engine —
+// the hot serving path.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	kb, ok := s.kbs[r.PathValue("kb")]
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, Response{Error: "unknown kb"})
+		return
+	}
+	if kb.eng == nil {
+		s.writeJSON(w, http.StatusBadRequest, Response{
+			KB: kb.name, Error: fmt.Sprintf("kb is not runnable: %v", kb.runErr),
+		})
+		return
+	}
+	s.serveQuery(w, r, kb.name, func() (*symbol.Engine, error) { return kb.eng, nil })
+}
+
+// handleQuery compiles an arbitrary goal against the KB (through the LRU of
+// compiled query engines) and answers its first solution.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	kb, ok := s.kbs[r.PathValue("kb")]
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, Response{Error: "unknown kb"})
+		return
+	}
+	goal := r.URL.Query().Get("q")
+	if r.Method == http.MethodPost {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			s.writeJSON(w, http.StatusRequestEntityTooLarge, Response{KB: kb.name, Error: "query body too large"})
+			return
+		}
+		if b := strings.TrimSpace(string(body)); b != "" {
+			goal = b
+		}
+	}
+	if strings.TrimSpace(goal) == "" {
+		s.writeJSON(w, http.StatusBadRequest, Response{KB: kb.name, Error: "empty query (POST a goal, or use ?q=)"})
+		return
+	}
+	s.serveQuery(w, r, kb.name, func() (*symbol.Engine, error) {
+		return s.cache.get(kb.name, kb.source, goal)
+	})
+}
+
+// serveQuery is the admission → budget → run → respond state machine shared
+// by /run and /query.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kbName string, getEngine func() (*symbol.Engine, error)) {
+	tenant, err := s.tenantOf(r)
+	if err != nil {
+		var bad *badRequestError
+		errors.As(err, &bad)
+		s.writeJSON(w, bad.status, Response{KB: kbName, Error: bad.msg})
+		return
+	}
+	opts, timeout, err := s.budget(r, tenant)
+	if err != nil {
+		var bad *badRequestError
+		errors.As(err, &bad)
+		s.writeJSON(w, bad.status, Response{KB: kbName, Tenant: tenant.Name, Error: bad.msg})
+		return
+	}
+
+	// Admission: drain gate, pressure gate, then the bounded queue.
+	if s.draining.Load() {
+		s.shed(w, http.StatusServiceUnavailable, obs.ShedDraining)
+		return
+	}
+	if s.mon.overloadedNow() {
+		s.shed(w, http.StatusServiceUnavailable, obs.ShedPressure)
+		return
+	}
+	release, err := s.gate.acquire(r.Context(), s.cfg.QueueTimeout)
+	if err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.shed(w, http.StatusTooManyRequests, obs.ShedQueueFull)
+		case errors.Is(err, errQueueTimeout):
+			s.shed(w, http.StatusTooManyRequests, obs.ShedQueueTimeout)
+		default: // client gave up while queued
+			s.met.RecordClientGone()
+			s.writeJSON(w, StatusClientClosed, Response{KB: kbName, Error: "client closed request"})
+		}
+		return
+	}
+	// Registering with the in-flight tracker re-checks drain under its
+	// lock: a request admitted at the instant draining begins sheds here
+	// instead of slipping past the drain wait.
+	if !s.flight.enter() {
+		release()
+		s.shed(w, http.StatusServiceUnavailable, obs.ShedDraining)
+		return
+	}
+	defer func() {
+		release()
+		s.flight.exit()
+	}()
+
+	eng, err := getEngine()
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, Response{KB: kbName, Tenant: tenant.Name, Error: err.Error()})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	// Hard drain cancels this run (it terminates as typed fault.Canceled).
+	stop := context.AfterFunc(s.drainCtx, cancel)
+	defer stop()
+
+	res, err := eng.Run(ctx, opts)
+	if err != nil {
+		s.writeRunError(w, r, ctx, kbName, tenant.Name, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, Response{
+		OK:     res.Succeeded,
+		KB:     kbName,
+		Tenant: tenant.Name,
+		Output: res.Output,
+		Steps:  res.Steps,
+		WallNS: int64(res.Stats.Wall),
+	})
+}
+
+// writeRunError maps a run error onto its typed HTTP response. Canceled is
+// refined by cause: a drain cancellation answers 503 + Retry-After (retry
+// another replica), a request timeout is the deadline fault's 504, a client
+// disconnect is recorded as 499.
+func (s *Server) writeRunError(w http.ResponseWriter, r *http.Request, runCtx context.Context, kbName, tenant string, err error) {
+	k := fault.KindOf(err)
+	status := StatusOf(k)
+	if k == fault.Canceled {
+		switch {
+		case s.drainCtx.Err() != nil:
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.999)))
+		case r.Context().Err() != nil:
+			s.met.RecordClientGone()
+			status = StatusClientClosed
+		case errors.Is(runCtx.Err(), context.DeadlineExceeded):
+			// The timeout timer cancelled the context before the executor's
+			// own deadline poll noticed: same budget, same answer.
+			k = fault.Deadline
+			status = StatusOf(fault.Deadline)
+		}
+	}
+	resp := Response{KB: kbName, Tenant: tenant, Error: err.Error()}
+	if k != fault.None {
+		resp.Fault = k.String()
+	}
+	s.writeJSON(w, status, resp)
+}

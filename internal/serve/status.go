@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"net/http"
+
+	"symbol/internal/fault"
+)
+
+// StatusClientClosed is the non-standard status (nginx's 499) recorded for
+// requests whose client went away before the answer existed. Nothing is
+// actually delivered; the code keeps the metrics and access-log story
+// honest about why the run was cancelled.
+const StatusClientClosed = 499
+
+// statusOf maps every fault.Kind to the HTTP status a query-serving front
+// end answers with. The table is total over the enumeration — a fault kind
+// without an explicit, deliberate mapping is a bug, enforced by
+// TestFaultStatusExhaustive — so adding a kind to the taxonomy forces a
+// serving decision instead of silently becoming a 500.
+var statusOf = [fault.NumKinds]int{
+	// A non-fault error after admission is an internal failure.
+	fault.None: http.StatusInternalServerError,
+
+	// The query blew a per-tenant memory budget: the request as posed is
+	// too expensive, retrying unchanged cannot succeed.
+	fault.HeapOverflow:  http.StatusUnprocessableEntity,
+	fault.EnvOverflow:   http.StatusUnprocessableEntity,
+	fault.CPOverflow:    http.StatusUnprocessableEntity,
+	fault.TrailOverflow: http.StatusUnprocessableEntity,
+	fault.PDLOverflow:   http.StatusUnprocessableEntity,
+
+	// Step/cycle budgets are the compute analogue of the memory areas.
+	fault.StepLimit:  http.StatusUnprocessableEntity,
+	fault.CycleLimit: http.StatusUnprocessableEntity,
+
+	// The run hit its wall-clock bound while the server was healthy.
+	fault.Deadline: http.StatusGatewayTimeout,
+
+	// Errors raised by the program itself.
+	fault.ZeroDivide:    http.StatusUnprocessableEntity,
+	fault.UncaughtThrow: http.StatusUnprocessableEntity,
+
+	// A wild pointer or codegen bug inside the engine: genuinely ours.
+	fault.InvalidMemory: http.StatusInternalServerError,
+
+	// Cancelled from outside the run. The handler refines this: a drain
+	// cancellation answers 503 + Retry-After, a client disconnect is
+	// recorded as StatusClientClosed.
+	fault.Canceled: StatusClientClosed,
+}
+
+// StatusOf returns the HTTP status for a fault kind. Kinds outside the
+// enumeration (which cannot arise from the executors) report 500.
+func StatusOf(k fault.Kind) int {
+	if k < fault.NumKinds {
+		return statusOf[k]
+	}
+	return http.StatusInternalServerError
+}

@@ -1,0 +1,90 @@
+package symbol
+
+import (
+	"fmt"
+	"strings"
+
+	"symbol/internal/parse"
+	"symbol/internal/term"
+)
+
+// CompileQuery compiles a knowledge base together with one goal into a
+// runnable Program: the goal becomes the body of a synthetic main/0 clause
+// that, on success, writes one "Var = value" line per named goal variable
+// (or "yes" when the goal has none). It is the serving-layer counterpart of
+// typing the goal at the cmd/prolog top level: the returned Program answers
+// the first solution of the goal against the knowledge base, and Prolog
+// failure surfaces as Result.Succeeded == false, not as an error.
+//
+// The goal may be written with or without the "?-" prefix and the final
+// ".". Any main/0 clauses the knowledge base itself defines are dropped
+// first — the posed goal is the query, and must not be shadowed by the
+// program's own entry point (run that directly via Compile instead).
+func CompileQuery(kbSrc, goal string) (_ *Program, err error) {
+	defer guard(&err)
+	parsed, err := parse.All(kbSrc)
+	if err != nil {
+		return nil, fmt.Errorf("symbol: knowledge base: %w", err)
+	}
+	clauses := parsed[:0]
+	for _, cl := range parsed {
+		if !definesMain(cl) {
+			clauses = append(clauses, cl)
+		}
+	}
+	goal = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(goal), "?-"))
+	if goal == "" {
+		return nil, fmt.Errorf("symbol: empty query")
+	}
+	if !strings.HasSuffix(goal, ".") {
+		goal += "."
+	}
+	goals, err := parse.All(goal)
+	if err != nil {
+		return nil, fmt.Errorf("symbol: query: %w", err)
+	}
+	if len(goals) != 1 {
+		return nil, fmt.Errorf("symbol: expected exactly one query, got %d", len(goals))
+	}
+
+	// Named query variables, in first-occurrence order.
+	var named []*term.Var
+	for _, v := range term.Vars(goals[0], nil) {
+		if v.Name != "" && !strings.HasPrefix(v.Name, "_") {
+			named = append(named, v)
+		}
+	}
+
+	// main :- Goal, write('X = '), write(X), nl, ...  (or write(yes), nl).
+	body := goals[0]
+	if len(named) == 0 {
+		body = term.Comma(body, term.Comma(
+			&term.Compound{Functor: "write", Args: []term.Term{term.Atom("yes")}},
+			term.Atom("nl")))
+	} else {
+		for _, v := range named {
+			body = term.Comma(body, term.Comma(
+				&term.Compound{Functor: "write", Args: []term.Term{term.Atom(v.Name + " = ")}},
+				term.Comma(
+					&term.Compound{Functor: "write", Args: []term.Term{v}},
+					term.Atom("nl"))))
+		}
+	}
+	clauses = append(clauses, &term.Compound{
+		Functor: ":-",
+		Args:    []term.Term{term.Atom("main"), body},
+	})
+	return compileClauses(clauses, DefaultOptions())
+}
+
+// definesMain reports whether a clause defines main/0 (as a fact or a
+// rule), so CompileQuery can replace the knowledge base's entry point with
+// the posed goal.
+func definesMain(cl term.Term) bool {
+	head := cl
+	if c, ok := cl.(*term.Compound); ok && c.Functor == ":-" && len(c.Args) == 2 {
+		head = c.Args[0]
+	}
+	a, ok := head.(term.Atom)
+	return ok && a == "main"
+}

@@ -48,6 +48,7 @@ import (
 	"symbol/internal/obs"
 	"symbol/internal/parse"
 	"symbol/internal/rename"
+	"symbol/internal/term"
 )
 
 // Stats is the per-run execution record attached to every Result and
@@ -82,6 +83,10 @@ const (
 // MetricsSnapshot is a point-in-time copy of an Engine's aggregate metrics,
 // JSON-serializable and renderable as Prometheus text via WriteTo.
 type MetricsSnapshot = obs.Snapshot
+
+// Pressure is the cheap load signal returned by Engine.Pressure, for
+// admission-control decisions on every request.
+type Pressure = obs.Pressure
 
 // Typed fault sentinels, re-exported so callers can classify failures with
 // errors.Is without importing internal packages. Both the sequential
@@ -282,6 +287,12 @@ func CompileWith(src string, opts Options) (_ *Program, err error) {
 	if err != nil {
 		return nil, fmt.Errorf("symbol: %w", err)
 	}
+	return compileClauses(clauses, opts)
+}
+
+// compileClauses is the shared back half of compilation: parsed clauses →
+// BAM → ICI → Program. CompileWith and CompileQuery both end here.
+func compileClauses(clauses []term.Term, opts Options) (*Program, error) {
 	c := compile.New(compile.Options{ArithChecks: opts.ArithChecks})
 	if err := c.AddProgram(clauses); err != nil {
 		return nil, fmt.Errorf("symbol: %w", err)
