@@ -10,6 +10,7 @@
 package symbol_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -232,6 +233,96 @@ func BenchmarkSimulateQsort(b *testing.B) {
 		cycles = sim.Cycles
 	}
 	b.ReportMetric(float64(cycles), "cycles")
+}
+
+// streamEngine compiles goal against a named benchmark's knowledge base
+// into a pooled engine for the streaming benchmarks.
+func streamEngine(b *testing.B, bench, goal string) *symbol.Engine {
+	b.Helper()
+	prog, err := symbol.CompileQuery(mustSource(b, bench), goal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return symbol.NewEngine(prog)
+}
+
+// BenchmarkStreamQueensAll streams every solution of 8-queens through the
+// suspendable engine — 92 suspend/resume cycles per iteration, the
+// all-answers counterpart of the one-shot emulation benchmarks.
+func BenchmarkStreamQueensAll(b *testing.B) {
+	eng := streamEngine(b, "queens_8", "queens(8, Qs)")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		sols, err := eng.QueryContext(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for sols.Next() {
+			steps = sols.Result().Steps
+			n++
+		}
+		if err := sols.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if n != 92 {
+			b.Fatalf("%d solutions, want 92", n)
+		}
+	}
+	b.ReportMetric(92, "solutions")
+	b.ReportMetric(float64(steps), "icis")
+}
+
+// BenchmarkStreamQueensFirst takes one solution and abandons the stream:
+// the cost of a page-1-only paginated query, dominated by the O(dirty
+// pages) state reset rather than the full 92-solution search.
+func BenchmarkStreamQueensFirst(b *testing.B) {
+	eng := streamEngine(b, "queens_8", "queens(8, Qs)")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sols, err := eng.QueryContext(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sols.Next() {
+			b.Fatalf("no solution: %v", sols.Err())
+		}
+		if err := sols.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamBoyerRuleJoin streams the full self-join of the boyer
+// rule base (16x16 = 256 answers), each solution rendering four sizable
+// rewrite-rule terms — a write-heavy all-answers workload.
+func BenchmarkStreamBoyerRuleJoin(b *testing.B) {
+	eng := streamEngine(b, "boyer", "rule(L1, R1), rule(L2, R2)")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sols, err := eng.QueryContext(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for sols.Next() {
+			n++
+		}
+		if err := sols.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if n != 256 {
+			b.Fatalf("%d join answers, want 256", n)
+		}
+	}
+	b.ReportMetric(256, "solutions")
 }
 
 func mustSource(b *testing.B, name string) string {

@@ -9,7 +9,11 @@
 //	prolog -all -q 'app(X,Y,[1,2]).' program.pl
 //
 // Queries may be written with or without the '?-' prefix. The first
-// solution is printed by default; -all prints every solution.
+// solution is printed by default; -all prints every solution via a
+// failure-driven loop inside the program; -solutions N streams up to N
+// solutions (N < 0 for all) by suspending the machine at each one and
+// resuming it on demand — no failure-driven loop, so the machine stops
+// as soon as enough solutions are printed.
 package main
 
 import (
@@ -36,6 +40,7 @@ var (
 	noFuse   = flag.Bool("nofuse", false, "disable superinstruction fusion (plain predecoded stream)")
 	stats    = flag.Bool("stats", false, "print per-query execution stats (op-class mix, memory high-water marks)")
 	events   = flag.Int("events", 0, "trace the query's last N executor milestone events to stderr")
+	nsol     = flag.Int("solutions", 0, "stream up to N solutions via suspend/resume (negative = all, 0 = off)")
 )
 
 func main() {
@@ -111,6 +116,13 @@ func ask(program []term.Term, query string, all bool) error {
 		}
 	}
 
+	// Streaming overrides the failure-driven loop: the emulator suspends
+	// at each solution instead, so the program needs no loop of its own.
+	stream := *nsol != 0
+	if stream {
+		all = false
+	}
+
 	// Body: goal, then for each variable  write('X = '), write(X), nl.
 	body := goal
 	if len(named) == 0 {
@@ -158,12 +170,16 @@ func ask(program []term.Term, query string, all bool) error {
 	if *events > 0 {
 		trace = obs.NewTrace(*events)
 	}
-	res, err := emu.Run(prog, emu.Options{
+	opts := emu.Options{
 		MaxSteps: *maxSteps,
 		Deadline: deadline,
 		NoFuse:   *noFuse,
 		Events:   trace,
-	})
+	}
+	if stream {
+		return askStream(prog, opts, trace, *nsol)
+	}
+	res, err := emu.Run(prog, opts)
 	if trace != nil {
 		// The trace survives faulting runs, so dump it before bailing.
 		printEvents(trace, prog)
@@ -183,6 +199,48 @@ func ask(program []term.Term, query string, all bool) error {
 		return nil
 	}
 	fmt.Print(out)
+	return nil
+}
+
+// askStream runs the query on a suspendable machine, printing each
+// solution as the machine reaches it and resuming — backtracking into the
+// program — until limit solutions have been printed (limit < 0 for all)
+// or the solution space is exhausted. The step budget and deadline span
+// the whole stream, and the final stats are cumulative across segments.
+func askStream(prog *ic.Program, opts emu.Options, trace *obs.Trace, limit int) error {
+	m := emu.New(prog, opts)
+	n := 0
+	res, err := m.Run()
+	for {
+		if trace != nil {
+			printEvents(trace, prog)
+		}
+		if err != nil {
+			return err
+		}
+		if res.Status != 0 {
+			break
+		}
+		if n > 0 {
+			fmt.Println(";")
+		}
+		n++
+		fmt.Print(res.Output)
+		if limit > 0 && n >= limit {
+			break
+		}
+		if !m.More() {
+			break
+		}
+		res, err = m.Resume()
+	}
+	if *stats {
+		st := m.Stats()
+		fmt.Fprint(os.Stderr, st.String())
+	}
+	if n == 0 {
+		fmt.Println("no")
+	}
 	return nil
 }
 

@@ -19,6 +19,10 @@
 //	GET  /run/{kb}          run the KB's own main/0
 //	GET  /query/{kb}?q=...  answer an arbitrary goal (or POST the goal)
 //	GET  /debug/vars        expvar JSON
+//
+// Adding limit=N to /query streams up to N solutions per page; a response
+// with more solutions left carries an opaque cursor, and
+// /query/{kb}?cursor=... resumes the suspended stream where it left off.
 package main
 
 import (
@@ -59,6 +63,8 @@ func run() error {
 		shedP99     = flag.Duration("shed-p99", 0, "shed while windowed p99 exceeds this (0 = off)")
 		maxSteps    = flag.Int64("max-steps", 0, "default per-query step budget (0 = engine default)")
 		tenantsPath = flag.String("tenants", "", "JSON file of named tenant budget envelopes")
+		cursorTTL   = flag.Duration("cursor-ttl", 0, "idle lifetime of a paginated query's resume cursor (0 = 30s)")
+		negTTL      = flag.Duration("neg-cache-ttl", 0, "how long a failed query compile stays cached (0 = 5s)")
 	)
 	flag.Parse()
 
@@ -69,6 +75,8 @@ func run() error {
 		RequestTimeout: *reqTimeout,
 		DrainTimeout:   *drain,
 		ShedP99:        *shedP99,
+		CursorTTL:      *cursorTTL,
+		NegCacheTTL:    *negTTL,
 		DefaultTenant:  serve.Tenant{MaxSteps: *maxSteps},
 		Logf:           log.Printf,
 	}

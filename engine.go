@@ -170,6 +170,58 @@ func (e *Engine) RunContext(ctx context.Context, opts ...RunOption) (*Result, er
 	return e.Run(ctx, buildRunOptions(opts))
 }
 
+// Query starts the query on the sequential emulator and returns a
+// Solutions stream over all of its answers instead of just the first: the
+// machine suspends at each solution and backtracks on demand when the
+// caller asks for the next one. The stream holds one pooled state and one
+// in-flight metrics slot until it finishes or is Closed; budgets
+// (MaxSteps, Deadline, ctx cancellation) span the whole stream. Query
+// itself does not execute anything — the first Next does — so a returned
+// stream must always be Closed, even if never iterated.
+func (e *Engine) Query(ctx context.Context, opts RunOptions) (_ *Solutions, err error) {
+	defer guard(&err)
+	if err := opts.Validate(); err != nil {
+		e.met.RecordRejected()
+		return nil, err
+	}
+	opts = deadlineOf(ctx, opts)
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = e.prog.opts.MaxSteps
+	}
+	e.met.RecordStart()
+	// Balance RecordStart if anything below panics (guard converts it to an
+	// error return); the acquired state is dropped, not recycled.
+	ok := false
+	defer func() {
+		if !ok {
+			e.met.RecordFailed(fault.None, 0)
+		}
+	}()
+	st := e.acquire()
+	var trace *obs.Trace
+	if opts.TraceEvents > 0 {
+		trace = obs.NewTrace(opts.TraceEvents)
+	}
+	m := emu.New(e.prog.icp, emu.Options{
+		MaxSteps:  maxSteps,
+		Layout:    opts.layout(),
+		Deadline:  opts.Deadline,
+		Interrupt: interruptOf(ctx),
+		State:     st,
+		NoFuse:    opts.NoFuse,
+		Events:    trace,
+	})
+	ok = true
+	return &Solutions{eng: e, m: m, st: st, trace: trace, baseDeadline: opts.Deadline}, nil
+}
+
+// QueryContext starts a solution stream configured by functional options —
+// the variadic companion to Query.
+func (e *Engine) QueryContext(ctx context.Context, opts ...RunOption) (*Solutions, error) {
+	return e.Query(ctx, buildRunOptions(opts))
+}
+
 // Scheduled returns the engine's lazily compacted program (scheduling it on
 // first use), so callers can inspect the code the Simulate path runs.
 func (e *Engine) Scheduled() (*Scheduled, error) {

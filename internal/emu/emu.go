@@ -38,15 +38,20 @@ func (p *Profile) Probability(pc int) (float64, bool) {
 	return float64(p.Taken[pc]) / float64(p.Expect[pc]), true
 }
 
-// Result summarizes one emulation run.
+// Result summarizes one emulation segment: the stretch of execution from
+// Run or Resume up to the next Halt. Status 0 means a solution was reached
+// (the machine is suspended and Resume will backtrack into the next one);
+// status 1 means the choice-point stack is exhausted.
 type Result struct {
-	Status  int    // 0: success, 1: fail (no solution)
-	Output  string // text produced by write/1 and nl/0
-	Steps   int64  // dynamic ICI count
+	Status  int    // 0: success (solution), 1: fail (no more solutions)
+	Output  string // text produced by write/1 and nl/0 during this segment
+	Steps   int64  // dynamic ICI count, cumulative across resumed segments
 	Profile *Profile
-	// Stats is the per-run observability record (op-class mix, memory
-	// high-water marks, choice-point/trail activity, faults, wall time),
-	// populated on every completed run in every interpreter mode.
+	// Stats is the observability record (op-class mix, memory high-water
+	// marks, choice-point/trail activity, faults, wall time), populated on
+	// every completed segment in every interpreter mode. All fields are
+	// cumulative across resumed segments; Wall counts only time spent
+	// executing, not time suspended between solutions.
 	Stats obs.Stats
 }
 
@@ -138,14 +143,35 @@ type Machine struct {
 
 	// Observability state. ctr is written by the run loops (the fast loops
 	// only touch disp and the skip fixups; the legacy loop fills cls and
-	// the mark counters instead); start stamps Run entry for wall time.
+	// the mark counters instead); start stamps segment entry for wall time.
 	ctr     counters
 	start   time.Time
 	events  *obs.Trace
 	evStep  int64        // step counter mirror for events emitted inside raise
 	catchPC int          // pc of the $catchh handler entry, -1 when absent
 	procPC  map[int]bool // procedure entry pcs, built only when tracing events
+
+	// Suspend/resume continuation. A Halt 0 leaves the whole machine state
+	// (choice-point stack, trail, heap, dirty-page set) intact, so "the
+	// continuation" is just: re-enter the interpreter at the shared $fail
+	// routine, which pops the top choice point and backtracks into the next
+	// untried alternative. stepsDone carries the cumulative step count into
+	// the next segment (the MaxSteps budget spans resumes); wallAcc
+	// accumulates active execution time across segments so suspension time
+	// is never billed.
+	phase      uint8
+	legacyMode bool // which loop family ran (selects the Stats expansion)
+	running    bool // inside a segment right now (selects the Wall formula)
+	stepsDone  int64
+	wallAcc    time.Duration
 }
+
+// Machine run phases.
+const (
+	phaseReady     uint8 = iota // never run
+	phaseSuspended              // halted at a solution; Resume continues
+	phaseDone                   // terminal: exhausted, errored, or no $fail routine
+)
 
 // counters is the cheap per-run instrumentation the loops write. disp is
 // sized 256 (not exec.NumCodes) and indexed by the uint8 opcode so the
@@ -290,21 +316,117 @@ func (m *Machine) load(addr uint64) (word.W, error) {
 // Run interprets until Halt, an error, or the step limit. The hot path runs
 // over the program's predecoded stream (internal/exec), fused unless
 // opts.NoFuse; tracing (or opts.Legacy) selects the original reference
-// interpreter, which executes ic.Inst directly.
+// interpreter, which executes ic.Inst directly. When the result has Status 0
+// the machine is left suspended at the solution: Resume backtracks into the
+// next alternative.
 func (m *Machine) Run() (*Result, error) {
+	if m.phase != phaseReady {
+		return nil, fmt.Errorf("emu: Run on a machine that already ran (use Resume)")
+	}
+	return m.segment(false)
+}
+
+// Resume re-enters a machine suspended at a solution (More reports true)
+// and backtracks for the next one. The segment ends at the next Halt:
+// Status 0 with the next solution (suspended again), or Status 1 when the
+// choice-point stack is exhausted. Output is reset per segment, so each
+// result carries only its own solution's text; Steps, Stats and the
+// MaxSteps budget are cumulative across segments. Errors (faults, budget
+// exhaustion, cancellation) are terminal: the machine cannot be resumed
+// after one.
+func (m *Machine) Resume() (*Result, error) {
+	if m.phase != phaseSuspended {
+		return nil, fmt.Errorf("emu: Resume on a machine that is not suspended")
+	}
+	m.out.Reset()
+	return m.segment(true)
+}
+
+// More reports whether the machine is suspended at a solution, i.e. Resume
+// can backtrack into the next alternative.
+func (m *Machine) More() bool { return m.phase == phaseSuspended }
+
+// SetDeadline replaces the abort deadline for subsequent segments (zero
+// clears it). Only legal between segments, never while Run/Resume executes.
+func (m *Machine) SetDeadline(t time.Time) { m.opts.Deadline = t }
+
+// SetInterrupt replaces the cancellation channel for subsequent segments
+// (nil clears it). Only legal between segments.
+func (m *Machine) SetInterrupt(ch <-chan struct{}) { m.opts.Interrupt = ch }
+
+// Stats snapshots the cumulative observability record covering every
+// segment so far. Only legal between segments; it lets an embedder that
+// abandons a suspended machine settle its accounting without running to
+// exhaustion.
+func (m *Machine) Stats() obs.Stats {
+	if m.legacyMode {
+		return m.statsLegacy(m.stepsDone)
+	}
+	return m.statsFast(m.stepsDone)
+}
+
+// Elapsed is the cumulative active execution time across segments,
+// excluding time spent suspended.
+func (m *Machine) Elapsed() time.Duration { return m.wallNow() }
+
+// segment runs one Run/Resume stretch to its Halt (or error). Resuming
+// means entering at the $fail routine instead of the program entry: $fail
+// restores the top choice-point frame and dispatches its retry address, or
+// executes Halt 1 when the stack is empty. FailPC is a static branch
+// target, so the fusion pass never buries it and the stream lookup is
+// always exact.
+func (m *Machine) segment(resume bool) (*Result, error) {
 	m.start = time.Now()
+	m.running = true
+	m.phase = phaseDone // provisional; a Halt 0 below re-suspends
+	var (
+		res *Result
+		err error
+	)
 	if m.opts.Trace != nil || m.opts.Legacy || m.events != nil {
-		return m.runLegacy()
+		m.legacyMode = true
+		if resume {
+			// The predecoded loops poll on entry every segment; mirror that
+			// here so a deadline that expired while suspended aborts a
+			// legacy-mode resume at step 0 too.
+			m.pc = m.prog.FailPC
+			err = m.pollCheck(m.pc)
+		}
+		if err == nil {
+			res, err = m.runLegacy()
+		}
+	} else {
+		xp := exec.Of(m.prog)
+		s := &xp.Fused
+		if m.opts.NoFuse {
+			s = &xp.Plain
+		}
+		x := int(s.Entry)
+		if resume {
+			x = int(s.Fail)
+		}
+		if m.prof != nil {
+			res, err = m.runProfiled(s, x)
+		} else {
+			res, err = m.runFast(s, x)
+		}
 	}
-	xp := exec.Of(m.prog)
-	s := &xp.Fused
-	if m.opts.NoFuse {
-		s = &xp.Plain
+	m.wallAcc += time.Since(m.start)
+	m.running = false
+	if err == nil && res.Status == 0 && m.prog.FailPC > 0 {
+		m.phase = phaseSuspended
 	}
-	if m.prof != nil {
-		return m.runProfiled(s)
+	return res, err
+}
+
+// wallNow is the cumulative active wall time: time actually spent inside
+// run segments, excluding any time the machine sat suspended between
+// solutions.
+func (m *Machine) wallNow() time.Duration {
+	if m.running {
+		return m.wallAcc + time.Since(m.start)
 	}
-	return m.runFast(s)
+	return m.wallAcc
 }
 
 // stats assembles the per-run record shared by every loop: the caller
@@ -328,7 +450,7 @@ func (m *Machine) stats(steps int64, cls *[int(ic.NumClasses)]int64, cp, undo in
 		TrailUndos:   undo,
 		FaultsRaised: m.ctr.faultsRaised,
 		FaultsCaught: m.ctr.faultsCaught,
-		Wall:         time.Since(m.start),
+		Wall:         m.wallNow(),
 	}
 }
 
@@ -369,7 +491,7 @@ func (m *Machine) statsLegacy(steps int64) obs.Stats {
 // that supports Trace.
 func (m *Machine) runLegacy() (*Result, error) {
 	code := m.prog.Code
-	var steps int64
+	steps := m.stepsDone
 	for {
 		if m.pc < 0 || m.pc >= len(code) {
 			return nil, m.fail("pc out of range")
@@ -530,6 +652,7 @@ func (m *Machine) runLegacy() (*Result, error) {
 			if m.events != nil {
 				m.events.Add(obs.Event{Step: steps, PC: int32(m.pc), Kind: obs.EvHalt, Arg: in.Imm})
 			}
+			m.stepsDone = steps
 			res := &Result{
 				Status:  int(in.Imm),
 				Output:  m.out.String(),

@@ -75,9 +75,11 @@ func (m *Machine) pollEvery() int64 {
 	return fault.CheckInterval
 }
 
-// runFast is the unprofiled predecoded interpreter loop.
-func (m *Machine) runFast(s *exec.Stream) (*Result, error) {
-	if err := m.pollCheck(m.prog.Entry); err != nil {
+// runFast is the unprofiled predecoded interpreter loop. x0 is the stream
+// index to enter at: s.Entry for a fresh run, s.Fail to resume a suspended
+// machine by backtracking.
+func (m *Machine) runFast(s *exec.Stream, x0 int) (*Result, error) {
+	if err := m.pollCheck(int(s.Ops[x0].PC)); err != nil {
 		return nil, err
 	}
 	ops := s.Ops
@@ -90,8 +92,8 @@ func (m *Machine) runFast(s *exec.Stream) (*Result, error) {
 	// and the opcode is a uint8). Classes, choice points and trail undos
 	// are all expanded from it after the run (see statsFast).
 	disp := &m.ctr.disp
-	var steps int64
-	x := int(s.Entry)
+	steps := m.stepsDone
+	x := x0
 	for {
 		op := &ops[x]
 		if steps >= max {
@@ -270,6 +272,7 @@ func (m *Machine) runFast(s *exec.Stream) (*Result, error) {
 				m.pc = int(op.PC)
 				return nil, m.uncaught()
 			}
+			m.stepsDone = steps
 			return &Result{Status: int(op.Imm), Output: m.out.String(), Steps: steps,
 				Stats: m.statsFast(steps)}, nil
 
@@ -615,8 +618,8 @@ func (m *Machine) runFast(s *exec.Stream) (*Result, error) {
 // flag inside it, so the unprofiled path carries no per-step profile test;
 // fused ops account every constituent pc, keeping the profile in
 // original-ICI units regardless of fusion.
-func (m *Machine) runProfiled(s *exec.Stream) (*Result, error) {
-	if err := m.pollCheck(m.prog.Entry); err != nil {
+func (m *Machine) runProfiled(s *exec.Stream, x0 int) (*Result, error) {
+	if err := m.pollCheck(int(s.Ops[x0].PC)); err != nil {
 		return nil, err
 	}
 	ops := s.Ops
@@ -627,8 +630,8 @@ func (m *Machine) runProfiled(s *exec.Stream) (*Result, error) {
 	expect := m.prof.Expect
 	taken := m.prof.Taken
 	disp := &m.ctr.disp
-	var steps int64
-	x := int(s.Entry)
+	steps := m.stepsDone
+	x := x0
 	for {
 		op := &ops[x]
 		if steps >= max {
@@ -820,6 +823,7 @@ func (m *Machine) runProfiled(s *exec.Stream) (*Result, error) {
 				m.pc = int(op.PC)
 				return nil, m.uncaught()
 			}
+			m.stepsDone = steps
 			return &Result{Status: int(op.Imm), Output: m.out.String(), Steps: steps,
 				Profile: m.prof, Stats: m.statsFast(steps)}, nil
 

@@ -271,6 +271,13 @@ type Stream struct {
 	// the $throwunwind routine (Throw = -1 for programs without it).
 	Entry int32
 	Throw int32
+	// Fail is the stream index of the shared $fail routine, the resume
+	// point for suspended machines: entering here backtracks into the next
+	// untried alternative. FailPC is a static branch target (every failure
+	// branch in the program jumps to it), so fusion never buries it and the
+	// lookup is exact. -1 for programs without a fail routine; those cannot
+	// suspend.
+	Fail int32
 
 	bad int32 // index of the fall-off-the-end trap
 }
@@ -510,6 +517,10 @@ func finish(s *Stream, p *ic.Program) {
 	s.Throw = -1
 	if p.ThrowPC > 0 {
 		s.Throw = s.Lookup(p.ThrowPC)
+	}
+	s.Fail = -1
+	if p.FailPC > 0 {
+		s.Fail = s.Lookup(p.FailPC)
 	}
 }
 

@@ -56,6 +56,12 @@ type ServerMetrics struct {
 	clientGone  atomic.Int64
 	draining    atomic.Int64
 
+	cursorsOpen    atomic.Int64
+	cursorsOpened  atomic.Int64
+	cursorsExpired atomic.Int64
+
+	histRegress atomic.Int64
+
 	queueWait [latencyBuckets + 1]atomic.Int64
 	status    [6]atomic.Int64 // responses by status class (index 2..5 used)
 }
@@ -114,6 +120,31 @@ func (m *ServerMetrics) SetDraining(on bool) {
 	}
 }
 
+// RecordCursorOpened notes a paginated query parking a suspended stream
+// behind a resume cursor. Balanced by exactly one RecordCursorClosed.
+func (m *ServerMetrics) RecordCursorOpened() {
+	m.cursorsOpened.Add(1)
+	m.cursorsOpen.Add(1)
+}
+
+// RecordCursorClosed notes a parked cursor going away; expired
+// distinguishes a TTL sweep from a client resuming or a drain closing it.
+func (m *ServerMetrics) RecordCursorClosed(expired bool) {
+	m.cursorsOpen.Add(-1)
+	if expired {
+		m.cursorsExpired.Add(1)
+	}
+}
+
+// RecordHistRegression notes n observations of histogram mass clamped by a
+// non-monotone snapshot subtraction (see Histogram.SubCount). Persistent
+// growth here means a metrics source is being dropped between windows.
+func (m *ServerMetrics) RecordHistRegression(n int64) {
+	if n > 0 {
+		m.histRegress.Add(n)
+	}
+}
+
 // QueueDepth returns the current number of requests waiting for admission.
 func (m *ServerMetrics) QueueDepth() int64 { return m.queueDepth.Load() }
 
@@ -133,6 +164,15 @@ type ServerSnapshot struct {
 	Panics     int64 `json:"panics"`
 	ClientGone int64 `json:"client_gone"`
 	Draining   bool  `json:"draining"`
+
+	CursorsOpen    int64 `json:"cursors_open"`
+	CursorsOpened  int64 `json:"cursors_opened"`
+	CursorsExpired int64 `json:"cursors_expired"`
+
+	// HistogramRegressions counts observations clamped by non-monotone
+	// histogram-window subtractions in the pressure monitor (should stay 0;
+	// see Histogram.SubCount).
+	HistogramRegressions int64 `json:"histogram_regressions"`
 
 	Responses map[string]int64 `json:"responses,omitempty"` // by status class ("2xx".."5xx")
 
@@ -158,6 +198,11 @@ func (m *ServerMetrics) Snapshot() ServerSnapshot {
 		Panics:      m.panics.Load(),
 		ClientGone:  m.clientGone.Load(),
 		Draining:    m.draining.Load() != 0,
+
+		CursorsOpen:          m.cursorsOpen.Load(),
+		CursorsOpened:        m.cursorsOpened.Load(),
+		CursorsExpired:       m.cursorsExpired.Load(),
+		HistogramRegressions: m.histRegress.Load(),
 	}
 	for r := ShedReason(0); r < NumShedReasons; r++ {
 		if n := m.shed[r].Load(); n > 0 {
@@ -217,6 +262,10 @@ func (s ServerSnapshot) WriteTo(w io.Writer) (int64, error) {
 		drain = 1
 	}
 	gauge("draining", "1 while the server is draining.", drain)
+	gauge("cursors_open", "Suspended solution streams parked behind resume cursors.", s.CursorsOpen)
+	counter("cursors_opened_total", "Resume cursors ever issued.", s.CursorsOpened)
+	counter("cursors_expired_total", "Resume cursors reclaimed by TTL expiry.", s.CursorsExpired)
+	counter("pressure_histogram_regressions_total", "Observations clamped by non-monotone pressure-window subtraction.", s.HistogramRegressions)
 	p("# HELP symbolserve_responses_total Responses sent, by status class.\n# TYPE symbolserve_responses_total counter\n")
 	for _, c := range []string{"2xx", "3xx", "4xx", "5xx"} {
 		p("symbolserve_responses_total{class=%q} %d\n", c, s.Responses[c])
@@ -265,18 +314,34 @@ func (h Histogram) Quantile(q float64) float64 {
 
 // Sub sets h to the bucket-wise difference h - o, for turning two
 // cumulative snapshots of the same histogram into the histogram of the
-// interval between them. Mismatched layouts leave h unchanged.
+// interval between them. Buckets where o exceeds h clamp to zero instead
+// of going negative; SubCount additionally reports how much mass was
+// clamped, which callers should surface — a regression means the two
+// snapshots were not really cumulative views of the same population (e.g.
+// a contributing source vanished between them) and the window is suspect.
+// Mismatched layouts leave h unchanged.
 func (h Histogram) Sub(o Histogram) Histogram {
+	out, _ := h.SubCount(o)
+	return out
+}
+
+// SubCount is Sub plus the total count clamped to zero: the sum over all
+// buckets of max(0, o[i]-h[i]). A non-zero second result flags a
+// non-monotone snapshot pair.
+func (h Histogram) SubCount(o Histogram) (Histogram, int64) {
 	if len(h.Counts) != len(o.Counts) {
-		return h
+		return h, 0
 	}
 	out := Histogram{Bounds: h.Bounds, Counts: make([]int64, len(h.Counts))}
+	var clamped int64
 	for i := range h.Counts {
 		if d := h.Counts[i] - o.Counts[i]; d > 0 {
 			out.Counts[i] = d
+		} else {
+			clamped -= d
 		}
 	}
-	return out
+	return out, clamped
 }
 
 // Total sums the histogram's counts.

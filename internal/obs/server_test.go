@@ -45,6 +45,32 @@ func TestHistogramSubTotal(t *testing.T) {
 	}
 }
 
+// TestHistogramSubCountClamps: a regressing bucket (later snapshot below
+// the earlier one, as when a metrics source vanishes between cuts) must be
+// clamped to zero in the window AND reported as clamped mass, never
+// produce a negative count.
+func TestHistogramSubCountClamps(t *testing.T) {
+	a := Histogram{Bounds: []float64{1, 2}, Counts: []int64{3, 0, 5}}
+	b := Histogram{Bounds: []float64{1, 2}, Counts: []int64{1, 4, 9}}
+	d, clamped := a.SubCount(b)
+	if d.Counts[0] != 2 || d.Counts[1] != 0 || d.Counts[2] != 0 {
+		t.Errorf("SubCount window = %v, want [2 0 0]", d.Counts)
+	}
+	if clamped != 8 { // 4 from bucket 1, 4 from bucket 2
+		t.Errorf("clamped mass = %d, want 8", clamped)
+	}
+	if _, c := b.SubCount(a); c != 2 { // only bucket 0 regresses this way
+		t.Errorf("reverse clamp = %d, want 2", c)
+	}
+	if _, c := a.SubCount(a); c != 0 {
+		t.Errorf("self SubCount clamped %d", c)
+	}
+	// Length mismatch is a no-op with zero clamp (first window after boot).
+	if d, c := a.SubCount(Histogram{}); c != 0 || d.Total() != a.Total() {
+		t.Errorf("mismatched SubCount: clamp %d window %v", c, d.Counts)
+	}
+}
+
 func TestSnapshotMerge(t *testing.T) {
 	var a, b Metrics
 	a.RecordStart()

@@ -4,8 +4,10 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"symbol"
+	"symbol/internal/obs"
 )
 
 // engineCache is a small LRU of compiled query engines keyed by
@@ -15,11 +17,27 @@ import (
 // machine-state pool is already populated. Each entry compiles at most
 // once, under a per-entry sync.Once, so a burst of identical cold queries
 // does one compile while the rest wait for its result.
+//
+// Evicting an entry must not make the server's merged metrics go
+// backwards: the pressure monitor subtracts consecutive merged snapshots,
+// and a vanished engine would subtract its whole history from the next
+// window, producing garbage quantiles. So eviction retires the engine's
+// final snapshot into an accumulator that stays merged into every future
+// read (see retired).
 type engineCache struct {
 	mu      sync.Mutex
 	cap     int
+	negTTL  time.Duration
 	entries map[string]*list.Element
 	lru     list.List // front = most recent; values are *cacheEntry
+
+	// retired accumulates the final Metrics snapshot of every evicted
+	// engine, so the merged view (live engines + retired) is monotone even
+	// as the LRU churns. InFlight is zeroed on retirement: a run still
+	// executing on an evicted engine finishes invisibly, and a permanent
+	// phantom in-flight count would be worse than the small undercount.
+	retired      obs.Snapshot
+	retiredCount int64
 }
 
 type cacheEntry struct {
@@ -29,29 +47,51 @@ type cacheEntry struct {
 	// a first-use compile publishing the pointer.
 	eng atomic.Pointer[symbol.Engine]
 	err error
+	// failedAt is the unix-nano time the compile failed, published (after
+	// err, release via the Store) for the TTL check in get. 0 while the
+	// compile is running or after it succeeded.
+	failedAt atomic.Int64
 }
 
-func newEngineCache(capacity int) *engineCache {
-	return &engineCache{cap: capacity, entries: map[string]*list.Element{}}
+func newEngineCache(capacity int, negTTL time.Duration) *engineCache {
+	return &engineCache{cap: capacity, negTTL: negTTL, entries: map[string]*list.Element{}}
 }
 
 // get returns the engine for (kb, goal), compiling it on first use. A goal
 // that fails to compile is cached too (negative caching), so a client
-// retrying a bad query in a loop costs a map hit, not a recompile.
+// retrying a bad query in a loop costs a map hit, not a recompile — but
+// only for negTTL: compile errors can be transient (a KB hot-reloaded
+// mid-edit, a resource-shaped fault), so after the TTL the entry is
+// replaced with a fresh one and the next request retries the compile. The
+// replacement carries a fresh sync.Once, so the retry keeps the
+// one-compile-per-burst guarantee.
 func (c *engineCache) get(kbName, kbSrc, goal string) (*symbol.Engine, error) {
 	key := kbName + "\x00" + goal
 	c.mu.Lock()
 	el, ok := c.entries[key]
-	if !ok {
+	if ok {
+		e := el.Value.(*cacheEntry)
+		if fa := e.failedAt.Load(); fa > 0 && c.negTTL > 0 && time.Since(time.Unix(0, fa)) >= c.negTTL {
+			// Expired negative entry: swap in a fresh entry in place (same
+			// LRU position) and let this request redo the compile.
+			el.Value = &cacheEntry{key: key}
+		}
+		c.lru.MoveToFront(el)
+	} else {
 		el = c.lru.PushFront(&cacheEntry{key: key})
 		c.entries[key] = el
 		for c.lru.Len() > c.cap {
 			oldest := c.lru.Back()
 			c.lru.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			old := oldest.Value.(*cacheEntry)
+			delete(c.entries, old.key)
+			if e := old.eng.Load(); e != nil {
+				snap := e.Metrics()
+				snap.InFlight = 0
+				c.retired.Merge(snap)
+				c.retiredCount++
+			}
 		}
-	} else {
-		c.lru.MoveToFront(el)
 	}
 	e := el.Value.(*cacheEntry)
 	c.mu.Unlock()
@@ -60,6 +100,7 @@ func (c *engineCache) get(kbName, kbSrc, goal string) (*symbol.Engine, error) {
 		prog, err := symbol.CompileQuery(kbSrc, goal)
 		if err != nil {
 			e.err = err
+			e.failedAt.Store(time.Now().UnixNano())
 			return
 		}
 		e.eng.Store(symbol.NewEngine(prog))
@@ -76,6 +117,35 @@ func (c *engineCache) engines() []*symbol.Engine {
 	for el := c.lru.Front(); el != nil; el = el.Next() {
 		if e := el.Value.(*cacheEntry).eng.Load(); e != nil {
 			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// retiredSnapshot deep-copies the accumulated metrics of evicted engines.
+func (c *engineCache) retiredSnapshot() obs.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out obs.Snapshot
+	out.Merge(c.retired)
+	return out
+}
+
+// mergedMetrics returns retired history + every live cached engine in one
+// snapshot, read under the same lock eviction retires under. The single
+// critical section is what makes consecutive reads monotone: an engine is
+// observed either live or via its final retired snapshot, never in the gap
+// between the two (reading them in separate locked sections lets an
+// eviction slip between the reads and an engine's whole history vanish
+// from — or be double-counted in — one merged view).
+func (c *engineCache) mergedMetrics() obs.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out obs.Snapshot
+	out.Merge(c.retired)
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*cacheEntry).eng.Load(); e != nil {
+			out.Merge(e.Metrics())
 		}
 	}
 	return out

@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"symbol"
 	"symbol/internal/obs"
 )
 
@@ -28,9 +27,10 @@ const pressureMinSamples = 4
 // finds the verdict stale refreshes it under a TryLock, so a thundering
 // herd never queues behind the histogram copy.
 type monitor struct {
-	engines   func() []*symbol.Engine
-	threshold time.Duration // shed when windowed p99 exceeds this (0 = never)
-	interval  time.Duration // verdict refresh cadence
+	merged    func() obs.Snapshot // one consistent merged view of every engine, live and retired
+	met       *obs.ServerMetrics  // regression counter sink (nil = drop)
+	threshold time.Duration       // shed when windowed p99 exceeds this (0 = never)
+	interval  time.Duration       // verdict refresh cadence
 
 	mu        sync.Mutex // guards last + nextCheck; TryLock on refresh
 	last      obs.Histogram
@@ -40,8 +40,17 @@ type monitor struct {
 	lastP99    atomic.Int64 // nanoseconds
 }
 
-func newMonitor(engines func() []*symbol.Engine, threshold, interval time.Duration) *monitor {
-	return &monitor{engines: engines, threshold: threshold, interval: interval}
+// newMonitor builds a monitor over merged(), which must return one
+// consistent all-time snapshot of every engine — live ones plus the
+// retained final snapshots of evicted ones, read atomically with respect
+// to eviction (engineCache.mergedMetrics). That consistency is what keeps
+// consecutive snapshots monotone while the engine set churns; without it,
+// an eviction subtracts the evicted engine's whole history from the next
+// window. met, when non-nil, receives a count of any clamped regression
+// still observed — that counter staying at zero is the monotonicity proof,
+// and growth means a source is vanishing without being retired.
+func newMonitor(merged func() obs.Snapshot, met *obs.ServerMetrics, threshold, interval time.Duration) *monitor {
+	return &monitor{merged: merged, met: met, threshold: threshold, interval: interval}
 }
 
 // overloadedNow reports the cached verdict, refreshing it if stale.
@@ -70,11 +79,11 @@ func (m *monitor) refreshIfStale() {
 	}
 	m.nextCheck = now.Add(m.interval)
 
-	var merged obs.Snapshot
-	for _, e := range m.engines() {
-		merged.Merge(e.Metrics())
+	merged := m.merged()
+	window, clamped := merged.LatencySeconds.SubCount(m.last)
+	if clamped > 0 && m.met != nil {
+		m.met.RecordHistRegression(clamped)
 	}
-	window := merged.LatencySeconds.Sub(m.last)
 	m.last = merged.LatencySeconds
 	if window.Total() < pressureMinSamples {
 		// Too little traffic to judge; an idle backend is not overloaded.

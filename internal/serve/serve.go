@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -71,6 +72,16 @@ type Config struct {
 	// QueryCache is the LRU capacity of compiled (kb, goal) engines
 	// (default 64).
 	QueryCache int
+	// NegCacheTTL bounds how long a (kb, goal) compile error stays
+	// negatively cached (default 5s). After it a retry recompiles, so a
+	// fixed KB reload or a transient resource-shaped failure cannot poison
+	// the key forever.
+	NegCacheTTL time.Duration
+	// CursorTTL bounds how long a paginated query's suspended stream stays
+	// parked waiting for the next page (default 30s). A parked stream holds
+	// its admission slot and a pooled machine state, so expiry is the
+	// backstop against clients that never fetch the rest.
+	CursorTTL time.Duration
 	// DefaultTenant is the budget envelope of requests without an
 	// X-Symbol-Tenant header; Tenants maps named envelopes.
 	DefaultTenant Tenant
@@ -107,6 +118,12 @@ func (c Config) withDefaults() Config {
 	if c.QueryCache <= 0 {
 		c.QueryCache = 64
 	}
+	if c.NegCacheTTL <= 0 {
+		c.NegCacheTTL = 5 * time.Second
+	}
+	if c.CursorTTL <= 0 {
+		c.CursorTTL = 30 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -136,10 +153,11 @@ type Server struct {
 	kbs   map[string]*kbEntry
 	names []string
 
-	met   obs.ServerMetrics
-	gate  *gate
-	mon   *monitor
-	cache *engineCache
+	met     obs.ServerMetrics
+	gate    *gate
+	mon     *monitor
+	cache   *engineCache
+	cursors *cursorTable
 
 	draining    atomic.Bool
 	drainCtx    context.Context
@@ -174,8 +192,9 @@ func New(cfg Config, kbs ...KB) (*Server, error) {
 	}
 	sort.Strings(s.names)
 	s.gate = newGate(cfg.MaxInFlight, cfg.MaxQueue, &s.met)
-	s.cache = newEngineCache(cfg.QueryCache)
-	s.mon = newMonitor(s.engines, cfg.ShedP99, cfg.PressureInterval)
+	s.cache = newEngineCache(cfg.QueryCache, cfg.NegCacheTTL)
+	s.mon = newMonitor(s.EngineMetrics, &s.met, cfg.ShedP99, cfg.PressureInterval)
+	s.cursors = newCursorTable(cfg.CursorTTL, &s.met)
 	s.flight = newInflightTracker()
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 
@@ -209,11 +228,20 @@ func (s *Server) engines() []*symbol.Engine {
 // Metrics snapshots the server-side counters (queue, sheds, drain state).
 func (s *Server) Metrics() obs.ServerSnapshot { return s.met.Snapshot() }
 
-// EngineMetrics merges every live engine's snapshot into one.
+// EngineMetrics merges every live engine's snapshot into one, plus the
+// retained final snapshots of engines the query cache has evicted — so the
+// merged view is monotone over the server's lifetime even as the LRU
+// churns.
 func (s *Server) EngineMetrics() obs.Snapshot {
-	var merged obs.Snapshot
-	for _, e := range s.engines() {
-		merged.Merge(e.Metrics())
+	// The cache view is read under one lock so eviction cannot move an
+	// engine's history between the retired accumulator and the live list
+	// mid-read; the per-KB engines are never evicted, so merging them
+	// afterwards stays monotone.
+	merged := s.cache.mergedMetrics()
+	for _, name := range s.names {
+		if e := s.kbs[name].eng; e != nil {
+			merged.Merge(e.Metrics())
+		}
 	}
 	return merged
 }
@@ -268,6 +296,11 @@ func (s *Server) Drain(ctx context.Context) error {
 			return errors.New("serve: drain: queries still in flight after hard cancel")
 		}
 	}
+	// Parked cursors hold engine in-flight slots and pooled states; close
+	// them now that no request is mid-page, or WaitIdle below never
+	// returns. (Resumes in progress were either counted by the flight
+	// tracker and have settled, or shed at the draining gate.)
+	s.cursors.closeAll()
 	// Engines idle ⇒ final metrics are exact and no executor is mid-run.
 	idleCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
@@ -284,12 +317,20 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) Close() error {
 	s.BeginDrain()
 	s.drainCancel()
+	s.cursors.closeAll()
 	return nil
 }
 
 // Response is the JSON body of /run and /query answers. OK distinguishes a
 // proven goal from a clean "no" — both are 200s; errors carry the fault
 // kind (stable fault.Kind string) and a message.
+//
+// Paginated queries (?limit=N) answer with Solutions instead of Output:
+// one entry per solution in this page, More reporting whether backtracking
+// may yield further answers, and (when More) an opaque single-use Cursor
+// for the next page. A More response without a Cursor means the stream
+// could not be parked (the server began draining); re-issue the query
+// against another replica.
 type Response struct {
 	OK     bool   `json:"ok"`
 	KB     string `json:"kb,omitempty"`
@@ -299,6 +340,18 @@ type Response struct {
 	WallNS int64  `json:"wall_ns,omitempty"`
 	Fault  string `json:"fault,omitempty"`
 	Error  string `json:"error,omitempty"`
+
+	Solutions []Solution `json:"solutions,omitempty"`
+	More      bool       `json:"more,omitempty"`
+	Cursor    string     `json:"cursor,omitempty"`
+}
+
+// Solution is one streamed answer of a paginated query. Steps is the
+// stream's cumulative step count when this solution was produced (budgets
+// span the whole stream, so the last entry is the total so far).
+type Solution struct {
+	Output string `json:"output"`
+	Steps  int64  `json:"steps"`
 }
 
 // ShedReasonHeader carries the obs.ShedReason name on shed responses.
@@ -409,11 +462,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleQuery compiles an arbitrary goal against the KB (through the LRU of
-// compiled query engines) and answers its first solution.
+// compiled query engines) and answers it: the first solution by default, a
+// page of solutions with ?limit=N (plus a resume cursor while more remain),
+// and the next page of a parked stream with ?cursor=....
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	kb, ok := s.kbs[r.PathValue("kb")]
 	if !ok {
 		s.writeJSON(w, http.StatusNotFound, Response{Error: "unknown kb"})
+		return
+	}
+	if cursor := r.URL.Query().Get("cursor"); cursor != "" {
+		s.resumeQuery(w, r, kb.name, cursor)
 		return
 	}
 	goal := r.URL.Query().Get("q")
@@ -431,14 +490,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, Response{KB: kb.name, Error: "empty query (POST a goal, or use ?q=)"})
 		return
 	}
-	s.serveQuery(w, r, kb.name, func() (*symbol.Engine, error) {
+	getEngine := func() (*symbol.Engine, error) {
 		return s.cache.get(kb.name, kb.source, goal)
-	})
+	}
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		limit, err := strconv.Atoi(ls)
+		if err != nil || limit <= 0 {
+			s.writeJSON(w, http.StatusBadRequest, Response{KB: kb.name, Error: "limit must be a positive integer"})
+			return
+		}
+		s.servePaged(w, r, kb.name, limit, getEngine)
+		return
+	}
+	s.serveQuery(w, r, kb.name, getEngine)
 }
 
-// serveQuery is the admission → budget → run → respond state machine shared
-// by /run and /query.
-func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kbName string, getEngine func() (*symbol.Engine, error)) {
+// admission is what admit hands a handler that made it past every gate:
+// the request's budget envelope and the admission-slot release, which the
+// handler must arrange to be called exactly once (immediately for
+// single-shot queries; when the session closes for paginated ones).
+type admission struct {
+	tenant  Tenant
+	opts    symbol.RunOptions
+	timeout time.Duration
+	release func()
+}
+
+// admit runs the shared request preamble — tenant resolution, budget, the
+// drain/pressure/queue gates, and in-flight registration — writing the
+// refusal response itself when a gate rejects. On true the caller holds an
+// execution slot (adm.release) and a flight-tracker registration (balance
+// with s.flight.exit()).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, kbName string) (adm admission, ok bool) {
 	tenant, err := s.tenantOf(r)
 	if err != nil {
 		var bad *badRequestError
@@ -484,36 +567,196 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kbName strin
 		s.shed(w, http.StatusServiceUnavailable, obs.ShedDraining)
 		return
 	}
+	return admission{tenant: tenant, opts: opts, timeout: timeout, release: release}, true
+}
+
+// serveQuery is the admission → budget → run → respond state machine shared
+// by /run and single-solution /query.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kbName string, getEngine func() (*symbol.Engine, error)) {
+	adm, ok := s.admit(w, r, kbName)
+	if !ok {
+		return
+	}
 	defer func() {
-		release()
+		adm.release()
 		s.flight.exit()
 	}()
 
 	eng, err := getEngine()
 	if err != nil {
-		s.writeJSON(w, http.StatusBadRequest, Response{KB: kbName, Tenant: tenant.Name, Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, Response{KB: kbName, Tenant: adm.tenant.Name, Error: err.Error()})
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), adm.timeout)
 	defer cancel()
 	// Hard drain cancels this run (it terminates as typed fault.Canceled).
 	stop := context.AfterFunc(s.drainCtx, cancel)
 	defer stop()
 
-	res, err := eng.Run(ctx, opts)
+	res, err := eng.Run(ctx, adm.opts)
 	if err != nil {
-		s.writeRunError(w, r, ctx, kbName, tenant.Name, err)
+		s.writeRunError(w, r, ctx, kbName, adm.tenant.Name, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, Response{
 		OK:     res.Succeeded,
 		KB:     kbName,
-		Tenant: tenant.Name,
+		Tenant: adm.tenant.Name,
 		Output: res.Output,
 		Steps:  res.Steps,
 		WallNS: int64(res.Stats.Wall),
 	})
+}
+
+// servePaged answers the first page of a paginated query: admit, start a
+// Solutions stream, collect up to limit solutions within the request's
+// wall budget, and either finish the stream or park it behind a cursor.
+// The admission slot is not released on return — a parked stream keeps
+// holding it (suspended runs count against in-flight admission) until the
+// stream finishes, its cursor expires, or drain sweeps it.
+func (s *Server) servePaged(w http.ResponseWriter, r *http.Request, kbName string, limit int, getEngine func() (*symbol.Engine, error)) {
+	adm, ok := s.admit(w, r, kbName)
+	if !ok {
+		return
+	}
+	defer s.flight.exit()
+
+	eng, err := getEngine()
+	if err != nil {
+		adm.release()
+		s.writeJSON(w, http.StatusBadRequest, Response{KB: kbName, Tenant: adm.tenant.Name, Error: err.Error()})
+		return
+	}
+
+	// The stream outlives this request, so it runs under a session-lifetime
+	// context rather than r.Context() (which dies with this response):
+	// cancelled when the session closes and, via AfterFunc, by hard drain —
+	// which aborts any in-progress page as typed fault.Canceled.
+	sctx, scancel := context.WithCancel(context.Background())
+	stopDrain := context.AfterFunc(s.drainCtx, scancel)
+	sols, err := eng.Query(sctx, adm.opts)
+	if err != nil {
+		scancel()
+		stopDrain()
+		adm.release()
+		s.writeJSON(w, http.StatusBadRequest, Response{KB: kbName, Tenant: adm.tenant.Name, Error: err.Error()})
+		return
+	}
+	sess := &cursorSession{
+		kb:        kbName,
+		tenant:    adm.tenant.Name,
+		timeout:   adm.timeout,
+		limit:     limit,
+		ctx:       sctx,
+		cancel:    scancel,
+		stopDrain: stopDrain,
+		sols:      sols,
+		release:   adm.release,
+	}
+	s.servePage(w, r, sess, limit)
+}
+
+// resumeQuery continues a parked paginated stream. The cursor is
+// single-use: claiming it removes the session from the table (so two
+// clients can never drive the same suspended machine), and a page that
+// leaves more solutions parks the session again under a fresh cursor.
+// Resumes skip the pressure and queue gates — the session has held its
+// execution slot since its first page — but respect the drain gate.
+func (s *Server) resumeQuery(w http.ResponseWriter, r *http.Request, kbName, cursor string) {
+	if s.draining.Load() {
+		s.shed(w, http.StatusServiceUnavailable, obs.ShedDraining)
+		return
+	}
+	sess, ok := s.cursors.take(cursor)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, Response{KB: kbName, Error: "unknown, expired, or already-claimed cursor"})
+		return
+	}
+	if sess.kb != kbName {
+		// Wrong kb in the path. Repark under the same cursor so the typo
+		// does not burn the stream.
+		if !s.cursors.putBack(sess) {
+			sess.close()
+		}
+		s.writeJSON(w, http.StatusNotFound, Response{KB: kbName, Error: "cursor does not belong to this kb"})
+		return
+	}
+	limit := sess.limit
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n <= 0 {
+			if !s.cursors.putBack(sess) {
+				sess.close()
+			}
+			s.writeJSON(w, http.StatusBadRequest, Response{KB: kbName, Error: "limit must be a positive integer"})
+			return
+		}
+		limit = n
+	}
+	if !s.flight.enter() {
+		// Draining began after the gate check above; the drain sweep cannot
+		// see a claimed session, so close it here and shed.
+		sess.close()
+		s.shed(w, http.StatusServiceUnavailable, obs.ShedDraining)
+		return
+	}
+	defer s.flight.exit()
+	s.servePage(w, r, sess, limit)
+}
+
+// servePage drives one page of sess's stream within the request's wall
+// budget, then parks the session (issuing the next cursor) or finishes it,
+// and writes the page response. The caller holds a flight-tracker
+// registration; sess is claimed (not in the cursor table).
+func (s *Server) servePage(w http.ResponseWriter, r *http.Request, sess *cursorSession, limit int) {
+	// Page-scoped abort conditions: the request's wall budget and the
+	// client connection, plus the session context so a hard drain
+	// cancels a page in progress. Any of them firing mid-page kills the
+	// stream (a machine cancelled mid-backtrack cannot be resumed), which
+	// is the safe reading of "the budget ran out".
+	pageCtx, pageCancel := context.WithTimeout(r.Context(), sess.timeout)
+	defer pageCancel()
+	stop := context.AfterFunc(sess.ctx, pageCancel)
+	defer stop()
+	sess.sols.Attach(pageCtx)
+
+	var page []Solution
+	var wall int64
+	for len(page) < limit && sess.sols.Next() {
+		res := sess.sols.Result()
+		page = append(page, Solution{Output: res.Output, Steps: res.Steps})
+		wall = int64(res.Stats.Wall)
+	}
+	if err := sess.sols.Err(); err != nil {
+		sess.close()
+		s.writeRunError(w, r, pageCtx, sess.kb, sess.tenant, err)
+		return
+	}
+	resp := Response{
+		OK:        len(page) > 0,
+		KB:        sess.kb,
+		Tenant:    sess.tenant,
+		Solutions: page,
+		WallNS:    wall,
+	}
+	if n := len(page); n > 0 {
+		resp.Steps = page[n-1].Steps
+	}
+	if sess.sols.More() {
+		resp.More = true
+		if id, parked := s.cursors.park(sess); parked {
+			resp.Cursor = id
+		} else {
+			// Drain closed the cursor table while this page ran: the stream
+			// cannot be parked. Deliver the page without a cursor; the
+			// client re-issues the query against another replica.
+			sess.close()
+		}
+	} else {
+		sess.close()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // writeRunError maps a run error onto its typed HTTP response. Canceled is

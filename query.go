@@ -13,8 +13,11 @@ import (
 // that, on success, writes one "Var = value" line per named goal variable
 // (or "yes" when the goal has none). It is the serving-layer counterpart of
 // typing the goal at the cmd/prolog top level: the returned Program answers
-// the first solution of the goal against the knowledge base, and Prolog
-// failure surfaces as Result.Succeeded == false, not as an error.
+// the goal against the knowledge base, and Prolog failure surfaces as
+// Result.Succeeded == false, not as an error. Run gives the first solution;
+// Engine.Query streams them all — the binding write-out sits after the goal
+// in the synthetic clause body, so every backtracked solution re-renders
+// its own bindings into that segment's Output.
 //
 // The goal may be written with or without the "?-" prefix and the final
 // ".". Any main/0 clauses the knowledge base itself defines are dropped
@@ -36,12 +39,22 @@ func CompileQuery(kbSrc, goal string) (_ *Program, err error) {
 	if goal == "" {
 		return nil, fmt.Errorf("symbol: empty query")
 	}
-	if !strings.HasSuffix(goal, ".") {
-		goal += "."
+	// Normalize the terminating "." through the parser, not by looking at
+	// the final byte: a goal can end in a quoted atom ('it ends here.') or a
+	// trailing % comment whose "." is not a terminator, and a terminated
+	// goal can be followed by a comment. Parse as written first; if that
+	// fails, retry with a terminator appended on its own line (the newline
+	// closes any open % comment). Only if both fail is the goal malformed,
+	// and the as-written error is the one that describes what the user
+	// typed.
+	goals, perr := parse.All(goal)
+	if perr != nil {
+		if g2, err2 := parse.All(goal + "\n."); err2 == nil {
+			goals, perr = g2, nil
+		}
 	}
-	goals, err := parse.All(goal)
-	if err != nil {
-		return nil, fmt.Errorf("symbol: query: %w", err)
+	if perr != nil {
+		return nil, fmt.Errorf("symbol: query: %w", perr)
 	}
 	if len(goals) != 1 {
 		return nil, fmt.Errorf("symbol: expected exactly one query, got %d", len(goals))
