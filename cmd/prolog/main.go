@@ -14,6 +14,12 @@
 // solutions (N < 0 for all) by suspending the machine at each one and
 // resuming it on demand — no failure-driven loop, so the machine stops
 // as soon as enough solutions are printed.
+//
+// -dispatch selects the execution core (legacy interpreter, plain
+// predecoded stream, fused superinstruction stream, or the
+// closure-threaded core); all four produce identical answers, steps, and
+// faults. The old -nofuse boolean remains as a deprecated alias for
+// -dispatch nofuse and may not contradict an explicit -dispatch.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"symbol"
 	"symbol/internal/compile"
 	"symbol/internal/emu"
 	"symbol/internal/expand"
@@ -37,16 +44,49 @@ import (
 var (
 	maxSteps = flag.Int64("maxsteps", 0, "abort a query after this many ICI steps (0 = default limit)")
 	timeout  = flag.Duration("timeout", 0, "abort a query after this wall-clock duration (0 = none)")
-	noFuse   = flag.Bool("nofuse", false, "disable superinstruction fusion (plain predecoded stream)")
+	dispatch = flag.String("dispatch", "", "execution core: legacy, nofuse, fused or threaded (default fused)")
+	noFuse   = flag.Bool("nofuse", false, "deprecated alias for -dispatch nofuse")
 	stats    = flag.Bool("stats", false, "print per-query execution stats (op-class mix, memory high-water marks)")
 	events   = flag.Int("events", 0, "trace the query's last N executor milestone events to stderr")
 	nsol     = flag.Int("solutions", 0, "stream up to N solutions via suspend/resume (negative = all, 0 = off)")
+
+	// Resolved from -dispatch/-nofuse once at startup.
+	runLegacy, runNoFuse, runThreaded bool
 )
+
+// resolveDispatch maps the -dispatch enum and the deprecated -nofuse alias
+// to the emulator's mode booleans, rejecting contradictory spellings the
+// same way symbol.RunOptions.Validate does.
+func resolveDispatch() error {
+	d, err := symbol.ParseDispatch(*dispatch)
+	if err != nil {
+		return err
+	}
+	if *noFuse {
+		if d != symbol.DispatchAuto && d != symbol.DispatchNoFuse {
+			return fmt.Errorf("conflicting flags: -nofuse with -dispatch %s (drop the deprecated -nofuse)", d)
+		}
+		d = symbol.DispatchNoFuse
+	}
+	switch d {
+	case symbol.DispatchLegacy:
+		runLegacy = true
+	case symbol.DispatchNoFuse:
+		runNoFuse = true
+	case symbol.DispatchThreaded:
+		runThreaded = true
+	}
+	return nil
+}
 
 func main() {
 	query := flag.String("q", "", "run one query and exit")
 	all := flag.Bool("all", false, "print all solutions instead of the first")
 	flag.Parse()
+	if err := resolveDispatch(); err != nil {
+		fmt.Fprintln(os.Stderr, "prolog:", err)
+		os.Exit(1)
+	}
 
 	var program []term.Term
 	for _, f := range flag.Args() {
@@ -173,7 +213,9 @@ func ask(program []term.Term, query string, all bool) error {
 	opts := emu.Options{
 		MaxSteps: *maxSteps,
 		Deadline: deadline,
-		NoFuse:   *noFuse,
+		Legacy:   runLegacy,
+		NoFuse:   runNoFuse,
+		Threaded: runThreaded,
 		Events:   trace,
 	}
 	if stream {

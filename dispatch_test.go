@@ -1,0 +1,91 @@
+package symbol
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestParseDispatch pins the flag-facing surface: every mode name round-trips
+// through ParseDispatch/String, "" and "auto" both mean Auto, and an unknown
+// name is a descriptive error.
+func TestParseDispatch(t *testing.T) {
+	for _, want := range []Dispatch{
+		DispatchLegacy, DispatchNoFuse, DispatchFused, DispatchThreaded,
+	} {
+		got, err := ParseDispatch(want.String())
+		if err != nil || got != want {
+			t.Errorf("ParseDispatch(%q) = %v, %v", want.String(), got, err)
+		}
+	}
+	for _, s := range []string{"", "auto"} {
+		got, err := ParseDispatch(s)
+		if err != nil || got != DispatchAuto {
+			t.Errorf("ParseDispatch(%q) = %v, %v, want Auto", s, got, err)
+		}
+	}
+	if _, err := ParseDispatch("warp"); err == nil {
+		t.Error("ParseDispatch of unknown mode succeeded")
+	}
+}
+
+// TestDispatchConflict: combining the deprecated NoFuse boolean with a
+// contradicting Dispatch is rejected with the typed conflict error, while
+// the redundant (NoFuse + DispatchNoFuse) and alias (NoFuse alone) spellings
+// stay valid.
+func TestDispatchConflict(t *testing.T) {
+	err := (RunOptions{NoFuse: true, Dispatch: DispatchThreaded}).Validate()
+	var ce *DispatchConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Validate = %v, want DispatchConflictError", err)
+	}
+	if ce.Dispatch != DispatchThreaded {
+		t.Errorf("conflict names %v, want threaded", ce.Dispatch)
+	}
+	if err := (RunOptions{NoFuse: true, Dispatch: DispatchNoFuse}).Validate(); err != nil {
+		t.Errorf("redundant NoFuse+DispatchNoFuse rejected: %v", err)
+	}
+	if err := (RunOptions{NoFuse: true}).Validate(); err != nil {
+		t.Errorf("deprecated NoFuse alias rejected: %v", err)
+	}
+	// The conflict is surfaced through the run entry points too, not just
+	// explicit Validate calls.
+	prog, cerr := CompileQuery(streamKB, "app(X, Y, [1])")
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if _, err := prog.RunWith(RunOptions{NoFuse: true, Dispatch: DispatchFused}); !errors.As(err, &ce) {
+		t.Fatalf("RunWith = %v, want DispatchConflictError", err)
+	}
+}
+
+// TestWithDispatchRuns: each functional-option mode actually executes and
+// agrees on the answer, and the deprecated WithNoFuse still resolves to the
+// unfused core.
+func TestWithDispatchRuns(t *testing.T) {
+	prog, err := CompileQuery(streamKB, "app(X, Y, [1,2])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := prog.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []Dispatch{
+		DispatchAuto, DispatchLegacy, DispatchNoFuse, DispatchFused, DispatchThreaded,
+	} {
+		res, err := prog.RunContext(context.Background(), WithDispatch(d))
+		if err != nil {
+			t.Errorf("%v: %v", d, err)
+			continue
+		}
+		if res.Output != ref.Output || res.Steps != ref.Steps {
+			t.Errorf("%v: output %q steps %d, want %q / %d",
+				d, res.Output, res.Steps, ref.Output, ref.Steps)
+		}
+	}
+	res, err := prog.RunContext(context.Background(), WithNoFuse())
+	if err != nil || res.Output != ref.Output {
+		t.Errorf("WithNoFuse: %v, %+v", err, res)
+	}
+}

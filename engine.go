@@ -139,13 +139,16 @@ func (e *Engine) Run(ctx context.Context, opts RunOptions) (_ *Result, err error
 	if opts.TraceEvents > 0 {
 		trace = obs.NewTrace(opts.TraceEvents)
 	}
+	legacy, noFuse, threaded := opts.emuMode()
 	res, err := emu.Run(e.prog.icp, emu.Options{
 		MaxSteps:  maxSteps,
 		Layout:    opts.layout(),
 		Deadline:  opts.Deadline,
 		Interrupt: interruptOf(ctx),
 		State:     st,
-		NoFuse:    opts.NoFuse,
+		Legacy:    legacy,
+		NoFuse:    noFuse,
+		Threaded:  threaded,
 		Events:    trace,
 	})
 	clean = true
@@ -203,13 +206,16 @@ func (e *Engine) Query(ctx context.Context, opts RunOptions) (_ *Solutions, err 
 	if opts.TraceEvents > 0 {
 		trace = obs.NewTrace(opts.TraceEvents)
 	}
+	legacy, noFuse, threaded := opts.emuMode()
 	m := emu.New(e.prog.icp, emu.Options{
 		MaxSteps:  maxSteps,
 		Layout:    opts.layout(),
 		Deadline:  opts.Deadline,
 		Interrupt: interruptOf(ctx),
 		State:     st,
-		NoFuse:    opts.NoFuse,
+		Legacy:    legacy,
+		NoFuse:    noFuse,
+		Threaded:  threaded,
 		Events:    trace,
 	})
 	ok = true

@@ -277,6 +277,16 @@ func TestFaultDifferential(t *testing.T) {
 // step budget could otherwise race a tiny area on one path only).
 func randomOpts(rng *rand.Rand) faultsim.Opts {
 	var o faultsim.Opts
+	// The sequential dispatch mode is orthogonal to the injected resources;
+	// rotating it here runs the injection matrix over all four cores.
+	switch rng.Intn(4) {
+	case 0:
+		o.Legacy = true
+	case 1:
+		o.NoFuse = true
+	case 2:
+		o.Threaded = true
+	}
 	if rng.Intn(4) == 0 {
 		// Budget injection: far below any corpus program's cost on either
 		// executor, so both must trip their meter.

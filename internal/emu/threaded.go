@@ -1,0 +1,1459 @@
+package emu
+
+import (
+	"symbol/internal/exec"
+	"symbol/internal/fault"
+	"symbol/internal/word"
+)
+
+// This file holds the closure-threaded run loop, the third execution core
+// after the legacy interpreter and the predecoded switch loops (run.go).
+// It eliminates the two costs every switch dispatch still pays:
+//
+//   - the central switch itself (one indirect branch through a jump table
+//     whose target distribution is the whole opcode mix), replaced by one
+//     closure call per op; and
+//   - per-dispatch operand decoding: every operand is pre-resolved at build
+//     time into values captured by the op's closure — register numbers as
+//     ready-to-index ints, immediates as pre-widened uint64 address offsets
+//     or tagged words, Jsr return addresses as fully-built code words,
+//     store region limits as a pre-selected fault kind, and control-flow
+//     successors as direct *top pointers into the threaded program, so the
+//     hot loop does no stream-index arithmetic at all.
+//
+// The threaded program is built from the *fused* stream, so everything the
+// superinstruction pass won (PR 3) is kept; the speedup over the fused
+// switch loop comes purely from dispatch + pre-resolution. Two properties
+// are load-bearing for parity with runFast (differentially enforced by the
+// fusion, fault, stats and streaming suites):
+//
+//  1. Step accounting is per-constituent in original-ICI units. Pairs batch
+//     the two step-limit tests into one `steps+2 > max` fast-path test, with
+//     a slow path that replays runFast's one-at-a-time accounting when the
+//     budget is nearly exhausted — except on paths where a catchable store
+//     fault makes the intermediate count observable (the store-first pairs
+//     redirect to $throwunwind with exactly one constituent counted).
+//  2. Deadline/cancel polling keeps the runFast shape: one poll on segment
+//     entry (so pre-expired deadlines abort at step 0), then a countdown
+//     decremented on backward control transfers only. Whether an edge is
+//     backward is resolved at build time; JmpR compares dynamically.
+//
+// Suspend/resume needs nothing special: all machine state lives in
+// Machine/ic.State, so resuming is just entering the closure chain at the
+// $fail routine's top, exactly like runFast entering at s.Fail.
+//
+// The closures are built once per program (exec.Program.ThreadCache, a
+// sync.Once mirroring ic.Program.ExecCache one level up) and shared by
+// every machine: they capture only static operands and receive the mutable
+// state as arguments. The signature threads regs, mem, steps and the step
+// budget through the call chain so the register-based Go ABI keeps all of
+// them in machine registers across dispatches (none is reloaded from the
+// Machine on the hot path); the rarely-touched poll countdown and terminal
+// result ride on the Machine instead of widening it.
+//
+// On top of the per-op closures, three combining passes grow each hot slot
+// into a closure covering as many constituents as the code shape allows,
+// so one dispatch retires whole dynamic runs where the switch loop pays a
+// dispatch per op — that is where the throughput win comes from:
+//
+//   - the pair pass (threaded_pairs.go) installs two-op closures for the
+//     hottest static digraphs, including pairs that follow an unconditional
+//     jump to its landing op (the back-edge poll runs in place between the
+//     two);
+//   - the triple pass (threaded_triples.go) widens recognized three- and
+//     four-op runs;
+//   - the superblock pass (threaded_super.go) collapses the recurring
+//     multi-op compiler templates (dereference ladders, continuation tails,
+//     the structure-copy store chain, the first-argument indexing head)
+//     into closures of up to fifteen constituents, following at most one
+//     taken branch and unrolling at most one loop iteration per dispatch.
+//
+// Installation overlaps (a later pass overrides a slot the earlier pass
+// filled) but execution never does: inner slots of a combined run keep
+// their own closures, so a branch that enters mid-run lands on an exact
+// continuation. Parity survives because every constituent body inside a
+// combined closure is the same code as its generic closure's fast path
+// (fault exits, catchable-store redirects, and per-op disp/step counting
+// are identical), and because a combined closure whose worst-case step
+// count no longer fits the remaining budget delegates to the generic
+// per-op chain, which replays runFast's one-at-a-time accounting so a
+// StepLimit fault lands on the exact constituent. Forward transfers inside
+// a combined closure need no poll; inlined backward edges run the poll
+// countdown in place, exactly where the per-op chain would.
+
+// tregCap is the threaded core's register-file view: closures index a
+// fixed-size array through uint8 register numbers resolved at build time,
+// so the compiler proves every access in bounds and emits no checks — one
+// of the pre-resolution wins over the switch loops, whose register numbers
+// are dynamic data. Programs naming a register past the view fall back to
+// the fused loop (buildThreaded returns an image with no closure chain).
+const tregCap = 256
+
+type tregs = [tregCap]word.W
+
+// tfn is one threaded operation: execute, then chain to or return the
+// successor (nil to stop the driver, with the outcome in m.tres/m.terr)
+// and the updated step count.
+type tfn func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64)
+
+// top is one slot of the threaded program. It is a one-field struct (not a
+// bare func value) so successors can be wired as &tops[j] pointers before
+// the closures they will eventually hold are built — phase 1 allocates the
+// slots, phase 2 fills them, and forward, backward and cyclic references
+// all resolve without fixup lists.
+type top struct{ fn tfn }
+
+// tprog is the threaded execution image of one program: the closure chain
+// plus the fused stream it was built from (for entry/resume/trap lookups).
+type tprog struct {
+	s    *exec.Stream
+	tops []top
+}
+
+// threadedOf returns the cached threaded image of xp, building it on first
+// use.
+func threadedOf(xp *exec.Program) *tprog {
+	return xp.ThreadCache(func() any { return buildThreaded(&xp.Fused) }).(*tprog)
+}
+
+// Skip-counter selectors for tRaise: which fused second constituent was
+// skipped because the first store faulted catchably (statsFast subtracts
+// these from the dispatch-expanded class counts).
+const (
+	tSkipNone uint8 = iota
+	tSkipStAdd
+	tSkipStSt
+	tSkipStMovI
+)
+
+// The t* helpers below are the cold exits shared by every closure; keeping
+// them as methods keeps the closures small enough to stay in the
+// instruction cache.
+
+// tFault records a typed machine fault at pc and stops the driver.
+func (m *Machine) tFault(pc int, k fault.Kind) *top {
+	m.pc = pc
+	m.terr = m.faultErr(k)
+	return nil
+}
+
+// tFail records an untyped machine failure at pc and stops the driver.
+func (m *Machine) tFail(pc int, reason string) *top {
+	m.pc = pc
+	m.terr = m.fail(reason)
+	return nil
+}
+
+// tLoadErr records an out-of-range load at pc.
+func (m *Machine) tLoadErr(pc int, addr uint64) *top {
+	m.pc = pc
+	m.terr = m.loadErr(addr)
+	return nil
+}
+
+// tStoreErr records an out-of-range store at pc.
+func (m *Machine) tStoreErr(pc int, addr uint64) *top {
+	m.pc = pc
+	m.terr = m.storeErr(addr)
+	return nil
+}
+
+// tEdge is a taken backward control transfer: decrement the poll countdown
+// and poll the deadline/interrupt when it expires, mirroring runFast's
+// `next <= x` path. Returns tgt, or nil with the abort recorded.
+func (m *Machine) tEdge(pc int, tgt *top) *top {
+	m.tpoll--
+	if m.tpoll <= 0 {
+		m.tpoll = m.pollEvery()
+		if err := m.pollCheck(pc); err != nil {
+			m.terr = err
+			return nil
+		}
+	}
+	return tgt
+}
+
+// tRaise handles a raised fault at pc: a catchable kind redirects to the
+// $throwunwind routine (bumping the requested skip counter, with back-edge
+// poll accounting when the throw target sits behind the raising op);
+// anything else stops the driver with the typed hard error. raise either
+// redirects or errors, so a nil return always carries m.terr.
+func (m *Machine) tRaise(pc int, k fault.Kind, throw *top, back bool, skip uint8) *top {
+	m.pc = pc
+	if _, err := m.raise(k); err != nil {
+		m.terr = err
+		return nil
+	}
+	switch skip {
+	case tSkipStAdd:
+		m.ctr.skipStAdd++
+	case tSkipStSt:
+		m.ctr.skipStSt++
+	case tSkipStMovI:
+		m.ctr.skipStMovI++
+	}
+	if back {
+		return m.tEdge(pc, throw)
+	}
+	return throw
+}
+
+// runThreaded is the closure-threaded interpreter loop. x0 is the stream
+// index to enter at: s.Entry for a fresh run, s.Fail to resume a suspended
+// machine by backtracking. The driver only regains control on backward
+// control transfers and terminal states — forward progress stays inside
+// the chained closure calls.
+func (m *Machine) runThreaded(tp *tprog, x0 int) (*Result, error) {
+	if err := m.pollCheck(int(tp.s.Ops[x0].PC)); err != nil {
+		return nil, err
+	}
+	tmax := m.opts.MaxSteps
+	m.tpoll = m.pollEvery()
+	m.tres, m.terr = nil, nil
+	regs, mem := (*tregs)(m.regs), m.mem
+	steps := m.stepsDone
+	t := &tp.tops[x0]
+	for t != nil {
+		t, steps = t.fn(m, regs, mem, steps, tmax)
+	}
+	res, err := m.tres, m.terr
+	m.tres, m.terr = nil, nil
+	return res, err
+}
+
+// buildThreaded compiles the fused stream into a closure chain. Phase 1 is
+// the tops allocation itself; the loop is phase 2, free to wire successor
+// pointers in any direction.
+func buildThreaded(s *exec.Stream) *tprog {
+	n := len(s.Ops)
+	for i := range s.Ops {
+		op := &s.Ops[i]
+		if op.D >= tregCap || op.A >= tregCap || op.B >= tregCap ||
+			op.D2 >= tregCap || op.A2 >= tregCap {
+			// A register number past the fixed view: unthreadable, signalled
+			// by the nil closure chain. The caller runs the fused loop.
+			return &tprog{s: s}
+		}
+	}
+	tp := &tprog{s: s, tops: make([]top, n)}
+	tops := tp.tops
+	xof := s.XOf
+
+	// gens holds the per-op generic closures; every control-flow successor
+	// captured below points into tops. The pair pass after this loop may
+	// install combined two-op closures in tops, and gens stays reachable as
+	// the exact per-op chain those delegate to when the step budget is
+	// nearly exhausted.
+	gens := make([]top, n)
+
+	// stop is the successor of choice wherever the stream has none (the op
+	// after the last slot, or a malformed target): entering it hands control
+	// back to the driver with no step consumed and no result recorded,
+	// exactly what returning a nil successor used to do — but it keeps every
+	// captured successor non-nil, so the hot paths can chain into fn
+	// unconditionally.
+	stop := &top{fn: func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+		return nil, steps
+	}}
+
+	for i := range s.Ops {
+		op := &s.Ops[i]
+		// Pre-resolved operands, captured by the closures below. Each
+		// closure captures only the names it mentions.
+		pc := int(op.PC)
+		kc := op.Code
+		d, a, b := uint8(op.D), uint8(op.A), uint8(op.B)
+		d2, a2 := uint8(op.D2), uint8(op.A2)
+		imm, imm2 := op.Imm, op.Imm2
+		uimm, uimm2 := uint64(op.Imm), uint64(op.Imm2)
+		w := op.W
+		tag := op.Tag
+		cond := op.Cond
+		fall := stop
+		if i+1 < n {
+			fall = &tops[i+1]
+		}
+		tgt := stop
+		tback := false
+		if op.Target >= 0 && int(op.Target) < n {
+			tgt = &tops[op.Target]
+			tback = int(op.Target) <= i
+		}
+		var throw *top
+		throwBack := false
+		if s.Throw >= 0 {
+			throw = &tops[s.Throw]
+			throwBack = int(s.Throw) <= i
+		}
+
+		switch op.Code {
+		case exec.XNop:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				return fall, steps
+			}
+
+		case exec.XLd, exec.XLdUndo:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				addr := regs[a].Val() + uimm
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc, addr), steps
+				}
+				regs[d] = mem[addr]
+				return fall, steps
+			}
+
+		case exec.XSt:
+			ri := op.Region
+			kOver := overflowKind(ri)
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				addr := regs[a].Val() + uimm
+				if addr >= m.limit[ri] {
+					return m.tRaise(pc, kOver, throw, throwBack, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc, addr), steps
+				}
+				mem[addr] = regs[b]
+				m.st.Touch(addr)
+				return fall, steps
+			}
+
+		case exec.XAddR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()+regs[b].Int()))
+				return fall, steps
+			}
+		case exec.XAddI:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()+imm))
+				return fall, steps
+			}
+		case exec.XSubR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()-regs[b].Int()))
+				return fall, steps
+			}
+		case exec.XSubI:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()-imm))
+				return fall, steps
+			}
+		case exec.XMulR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()*regs[b].Int()))
+				return fall, steps
+			}
+		case exec.XMulI:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()*imm))
+				return fall, steps
+			}
+		case exec.XDivR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				bv := regs[b].Int()
+				if bv == 0 {
+					return m.tFault(pc, fault.ZeroDivide), steps
+				}
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()/bv))
+				return fall, steps
+			}
+		case exec.XDivI:
+			if imm == 0 {
+				// Division by a zero immediate is decided at build time:
+				// the closure is the fault itself.
+				gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					return m.tFault(pc, fault.ZeroDivide), steps
+				}
+				break
+			}
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()/imm))
+				return fall, steps
+			}
+		case exec.XModR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				bv := regs[b].Int()
+				if bv == 0 {
+					return m.tFault(pc, fault.ZeroDivide), steps
+				}
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()%bv))
+				return fall, steps
+			}
+		case exec.XModI:
+			if imm == 0 {
+				gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					return m.tFault(pc, fault.ZeroDivide), steps
+				}
+				break
+			}
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()%imm))
+				return fall, steps
+			}
+		case exec.XAndR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()&regs[b].Int()))
+				return fall, steps
+			}
+		case exec.XAndI:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()&imm))
+				return fall, steps
+			}
+		case exec.XOrR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()|regs[b].Int()))
+				return fall, steps
+			}
+		case exec.XOrI:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()|imm))
+				return fall, steps
+			}
+		case exec.XXorR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()^regs[b].Int()))
+				return fall, steps
+			}
+		case exec.XXorI:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()^imm))
+				return fall, steps
+			}
+		case exec.XShlR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()<<uint(regs[b].Int()&63)))
+				return fall, steps
+			}
+		case exec.XShlI:
+			sh := uint(imm & 63)
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()<<sh))
+				return fall, steps
+			}
+		case exec.XShrR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()>>uint(regs[b].Int()&63)))
+				return fall, steps
+			}
+		case exec.XShrI:
+			sh := uint(imm & 63)
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				av := regs[a]
+				regs[d] = word.Make(av.Tag(), uint64(av.Int()>>sh))
+				return fall, steps
+			}
+
+		case exec.XMkTag:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				regs[d] = regs[a].WithTag(tag)
+				return fall, steps
+			}
+		case exec.XGetTag:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				regs[d] = word.MakeInt(int64(regs[a].Tag()))
+				return fall, steps
+			}
+		case exec.XLea:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				regs[d] = word.Make(tag, uint64(regs[a].Int()+imm))
+				return fall, steps
+			}
+		case exec.XMov, exec.XMovCP:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				regs[d] = regs[a]
+				return fall, steps
+			}
+		case exec.XMovI:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				regs[d] = w
+				return fall, steps
+			}
+
+		case exec.XBrTagEq:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				if regs[a].Tag() == tag {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+		case exec.XBrTagNe:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				if regs[a].Tag() != tag {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+		case exec.XBrCmpEqR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				if regs[a] == regs[b] {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+		case exec.XBrCmpNeR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				if regs[a] != regs[b] {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+		case exec.XBrCmpEqI:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				if regs[a] == w {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+		case exec.XBrCmpNeI:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				if regs[a] != w {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+		case exec.XBrCmpOrdR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				if exec.OrdCmp(regs[a].Int(), regs[b].Int(), cond) {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+		case exec.XBrCmpOrdI:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				if exec.OrdCmp(regs[a].Int(), imm, cond) {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+
+		case exec.XJmp:
+			if tback {
+				gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					return m.tEdge(pc, tgt), steps
+				}
+				break
+			}
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				return tgt, steps
+			}
+		case exec.XJmpR:
+			selfx := i
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				tv := int(regs[a].Val())
+				if tv < 0 || tv >= len(xof) || xof[tv] < 0 {
+					return m.tFail(tv, "pc out of range"), steps
+				}
+				nx := int(xof[tv])
+				if nx <= selfx {
+					return m.tEdge(pc, &tops[nx]), steps
+				}
+				return &tops[nx], steps
+			}
+		case exec.XJsr:
+			retw := word.Make(word.Code, uint64(pc+1))
+			if tback {
+				gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					regs[d] = retw
+					return m.tEdge(pc, tgt), steps
+				}
+				break
+			}
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				regs[d] = retw
+				return tgt, steps
+			}
+		case exec.XHalt:
+			if imm == 2 {
+				gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					m.pc = pc
+					m.terr = m.uncaught()
+					return nil, steps
+				}
+				break
+			}
+			status := int(imm)
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				m.stepsDone = steps
+				m.tres = &Result{Status: status, Output: m.out.String(), Steps: steps,
+					Stats: m.statsFast(steps)}
+				return nil, steps
+			}
+
+		case exec.XSysWrite:
+			ra := op.A
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				m.pc = pc
+				if err := m.sysWrite(ra); err != nil {
+					m.terr = err
+					return nil, steps
+				}
+				return fall, steps
+			}
+		case exec.XSysNl:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				m.out.WriteByte('\n')
+				return fall, steps
+			}
+		case exec.XSysWriteCode:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				m.out.WriteByte(byte(regs[a].Int()))
+				return fall, steps
+			}
+		case exec.XSysCompare:
+			ra, rb := op.A, op.B
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				m.pc = pc
+				if err := m.sysCompare(ra, rb); err != nil {
+					m.terr = err
+					return nil, steps
+				}
+				return fall, steps
+			}
+		case exec.XSysBallPut:
+			ra := op.A
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				m.pc = pc
+				if err := m.sysBallPut(ra); err != nil {
+					m.terr = err
+					return nil, steps
+				}
+				return fall, steps
+			}
+		case exec.XSysFault:
+			kf := fault.Kind(imm)
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				return m.tRaise(pc, kf, throw, throwBack, tSkipNone), steps
+			}
+		case exec.XSysBad:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				return m.tFail(pc, "unknown sys op"), steps
+			}
+
+		// Superinstructions. The fast path tests the step budget once for
+		// both constituents; the slow path (fewer than two steps left)
+		// replays runFast's per-constituent accounting so the StepLimit
+		// fault point and the constituents that still execute are exact.
+		// Store-first pairs keep per-constituent accounting on the redirect
+		// path too: a catchable store fault reaches $throwunwind with only
+		// the first constituent counted.
+		case exec.XFLdBrTagEq:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					addr := regs[a].Val() + uimm
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc, addr), steps
+					}
+					regs[d] = mem[addr]
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				addr := regs[a].Val() + uimm
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc, addr), steps
+				}
+				regs[d] = mem[addr]
+				steps += 2
+				if regs[d2].Tag() == tag {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+		case exec.XFLdBrTagNe:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					addr := regs[a].Val() + uimm
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc, addr), steps
+					}
+					regs[d] = mem[addr]
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				addr := regs[a].Val() + uimm
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc, addr), steps
+				}
+				regs[d] = mem[addr]
+				steps += 2
+				if regs[d2].Tag() != tag {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+		case exec.XFLdBrCmpEqR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					addr := regs[a].Val() + uimm
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc, addr), steps
+					}
+					regs[d] = mem[addr]
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				addr := regs[a].Val() + uimm
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc, addr), steps
+				}
+				regs[d] = mem[addr]
+				steps += 2
+				if regs[d2] == regs[a2] {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+		case exec.XFLdBrCmpNeR:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					addr := regs[a].Val() + uimm
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc, addr), steps
+					}
+					regs[d] = mem[addr]
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				addr := regs[a].Val() + uimm
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc, addr), steps
+				}
+				regs[d] = mem[addr]
+				steps += 2
+				if regs[d2] != regs[a2] {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+		case exec.XFGetTagBrEqI:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					regs[d] = word.MakeInt(int64(regs[a].Tag()))
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				regs[d] = word.MakeInt(int64(regs[a].Tag()))
+				steps += 2
+				if regs[d2] == w {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+		case exec.XFGetTagBrNeI:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					regs[d] = word.MakeInt(int64(regs[a].Tag()))
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				regs[d] = word.MakeInt(int64(regs[a].Tag()))
+				steps += 2
+				if regs[d2] != w {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+		case exec.XFStAdd:
+			ri := op.Region
+			kOver := overflowKind(ri)
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					addr := regs[a].Val() + uimm
+					if addr >= m.limit[ri] {
+						return m.tRaise(pc, kOver, throw, throwBack, tSkipStAdd), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc, addr), steps
+					}
+					mem[addr] = regs[b]
+					m.st.Touch(addr)
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				addr := regs[a].Val() + uimm
+				if addr >= m.limit[ri] {
+					// Redirect with one constituent counted: the bump never
+					// ran, and Steps stays exact through the unwind.
+					return m.tRaise(pc, kOver, throw, throwBack, tSkipStAdd), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc, addr), steps
+				}
+				mem[addr] = regs[b]
+				m.st.Touch(addr)
+				steps += 2
+				dv := regs[d2]
+				regs[d2] = word.Make(dv.Tag(), uint64(dv.Int()+imm2))
+				return fall, steps
+			}
+		case exec.XFMovJmp:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					regs[d] = regs[a]
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				regs[d] = regs[a]
+				steps += 2
+				if tback {
+					return m.tEdge(pc, tgt), steps
+				}
+				return tgt, steps
+			}
+		case exec.XFCMovR:
+			// Condition taken skips the move and consumes one step; not
+			// taken executes the move as the second constituent. The
+			// asymmetric accounting rules out batching.
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				if !exec.CmpW(regs[a], regs[b], cond) {
+					if steps >= tmax {
+						return m.tFault(pc+1, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.cmovMoves++
+					regs[d2] = regs[a2]
+				}
+				return fall, steps
+			}
+		case exec.XFLdLd:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					addr := regs[a].Val() + uimm
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc, addr), steps
+					}
+					regs[d] = mem[addr]
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				addr := regs[a].Val() + uimm
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc, addr), steps
+				}
+				regs[d] = mem[addr]
+				steps += 2
+				addr = regs[a2].Val() + uimm2
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc+1, addr), steps
+				}
+				regs[d2] = mem[addr]
+				return fall, steps
+			}
+		case exec.XFLdMov:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					addr := regs[a].Val() + uimm
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc, addr), steps
+					}
+					regs[d] = mem[addr]
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				addr := regs[a].Val() + uimm
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc, addr), steps
+				}
+				regs[d] = mem[addr]
+				steps += 2
+				regs[d2] = regs[a2]
+				return fall, steps
+			}
+		case exec.XFStSt:
+			ri, ri2 := op.Region, op.Region2
+			kOver, kOver2 := overflowKind(ri), overflowKind(ri2)
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					addr := regs[a].Val() + uimm
+					if addr >= m.limit[ri] {
+						return m.tRaise(pc, kOver, throw, throwBack, tSkipStSt), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc, addr), steps
+					}
+					mem[addr] = regs[b]
+					m.st.Touch(addr)
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				addr := regs[a].Val() + uimm
+				if addr >= m.limit[ri] {
+					return m.tRaise(pc, kOver, throw, throwBack, tSkipStSt), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc, addr), steps
+				}
+				mem[addr] = regs[b]
+				m.st.Touch(addr)
+				steps += 2
+				addr = regs[a2].Val() + uimm2
+				if addr >= m.limit[ri2] {
+					return m.tRaise(pc+1, kOver2, throw, throwBack, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc+1, addr), steps
+				}
+				mem[addr] = regs[d2]
+				m.st.Touch(addr)
+				return fall, steps
+			}
+		case exec.XFStMovI:
+			ri := op.Region
+			kOver := overflowKind(ri)
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					addr := regs[a].Val() + uimm
+					if addr >= m.limit[ri] {
+						return m.tRaise(pc, kOver, throw, throwBack, tSkipStMovI), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc, addr), steps
+					}
+					mem[addr] = regs[b]
+					m.st.Touch(addr)
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				addr := regs[a].Val() + uimm
+				if addr >= m.limit[ri] {
+					return m.tRaise(pc, kOver, throw, throwBack, tSkipStMovI), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc, addr), steps
+				}
+				mem[addr] = regs[b]
+				m.st.Touch(addr)
+				steps += 2
+				regs[d2] = w
+				return fall, steps
+			}
+		case exec.XFMovISt:
+			ri2 := op.Region2
+			kOver2 := overflowKind(ri2)
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					regs[d] = w
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				regs[d] = w
+				steps += 2
+				addr := regs[a2].Val() + uimm2
+				if addr >= m.limit[ri2] {
+					return m.tRaise(pc+1, kOver2, throw, throwBack, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc+1, addr), steps
+				}
+				mem[addr] = regs[d2]
+				m.st.Touch(addr)
+				return fall, steps
+			}
+		case exec.XFMovMov:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					regs[d] = regs[a]
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				regs[d] = regs[a]
+				steps += 2
+				regs[d2] = regs[a2]
+				return fall, steps
+			}
+		case exec.XFMovBrTagEq:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					regs[d] = regs[a]
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				regs[d] = regs[a]
+				steps += 2
+				if regs[d2].Tag() == tag {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+		case exec.XFMovBrTagNe:
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					if steps >= tmax {
+						return m.tFault(pc, fault.StepLimit), steps
+					}
+					steps++
+					m.ctr.disp[kc]++
+					regs[d] = regs[a]
+					return m.tFault(pc+1, fault.StepLimit), steps
+				}
+				m.ctr.disp[kc]++
+				regs[d] = regs[a]
+				steps += 2
+				if regs[d2].Tag() != tag {
+					if tback {
+						return m.tEdge(pc, tgt), steps
+					}
+					return tgt, steps
+				}
+				return fall, steps
+			}
+
+		case exec.XBadPC:
+			badpc := int(op.Imm)
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				return m.tFail(badpc, "pc out of range"), steps
+			}
+		default: // exec.XUnknown
+			gens[i].fn = func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps >= tmax {
+					return m.tFault(pc, fault.StepLimit), steps
+				}
+				steps++
+				m.ctr.disp[kc]++
+				return m.tFail(pc, "unknown opcode"), steps
+			}
+		}
+	}
+
+	// Every slot starts as its generic per-op closure; the pair pass then
+	// upgrades slots whose adjacent (op, op) category has a combined
+	// closure (threaded_pairs.go). Installation overlaps — a slot inside
+	// one pair can start another — but execution never does: whichever
+	// slot control enters runs that slot's view of the next two ops.
+	for i := range tops {
+		tops[i].fn = gens[i].fn
+	}
+	for i := 0; i < n; i++ {
+		if fn := pairFn(s, tops, gens, stop, i); fn != nil {
+			tops[i].fn = fn
+		}
+	}
+	// The triple pass runs after (and overrides) the pair pass: a slot that
+	// heads a recognized three-op (or four-op) run gets the longer closure,
+	// while the inner slots keep their pair/per-op closures for branches
+	// that enter mid-run (threaded_triples.go).
+	for i := 0; i < n; i++ {
+		if fn := tripleFn(s, tops, gens, stop, i); fn != nil {
+			tops[i].fn = fn
+		}
+	}
+	// The superblock pass runs last and wins where it matches: it collapses
+	// the recurring multi-op code templates — including runs that follow one
+	// taken branch or unroll one back-jump iteration — into single closures
+	// (threaded_super.go).
+	for i := 0; i < n; i++ {
+		if fn := superFn(s, tops, gens, stop, i); fn != nil {
+			tops[i].fn = fn
+		}
+	}
+	return tp
+}

@@ -1,0 +1,1699 @@
+package emu
+
+import (
+	"symbol/internal/exec"
+	"symbol/internal/word"
+)
+
+// The pair pass: past fusion, the threaded core combines two ADJACENT
+// fused ops into one closure, halving driver dispatches on covered code.
+// Where fusion rewrites the instruction stream (and is therefore visible
+// in the static counts), pairing is invisible: the combined closure
+// replays the two constituent ops' accounting — steps, dispatch counters,
+// fault points, poll edges — exactly as two driver dispatches would, so
+// every observable (Result.Steps, Stats, fault identity, suspension
+// points) stays bit-identical across all four execution cores.
+//
+// Rules that keep the parity argument local:
+//
+//   - A pair at slot i executes ops i and i+1 and exits to op i+1's
+//     successors. Slot i+1 keeps its own closure, so branches into the
+//     middle of a pair still execute correctly (installation overlaps,
+//     execution never does).
+//   - The combined fast path runs only with step budget for both ops in
+//     hand; otherwise it delegates to gens[i], the exact per-op chain,
+//     which replays the near-limit accounting one op at a time.
+//   - Op bodies are copied verbatim from the per-op closures, including
+//     the store ops' catchable-overflow redirects (one constituent
+//     counted) and the back-edge poll on taken branches.
+//
+// Only always-fall-through ops and branches (which fall through when not
+// taken) are combinable as the first op; the second op may additionally
+// be a jump. The categories below are the hot adjacent digraphs of the
+// benchmark suite; uncovered categories simply keep their per-op slots.
+
+// pairFn returns a combined closure for ops i and i+1 of s, or nil when
+// the category is not combined.
+func pairFn(s *exec.Stream, tops, gens []top, stop *top, i int) tfn {
+	n := len(s.Ops)
+	op1 := &s.Ops[i]
+	// The second op of a pair is normally the next slot; for unconditional
+	// jumps it is the op at the jump target, so hot jumps execute their
+	// landing op in the same dispatch (the back-edge poll runs between the
+	// two, exactly where the per-op chain polls).
+	j := i + 1
+	if op1.Code == exec.XJmp || op1.Code == exec.XFMovJmp {
+		if op1.Target < 0 || int(op1.Target) >= n || int(op1.Target) == i {
+			return nil
+		}
+		j = int(op1.Target)
+	}
+	if j >= n {
+		return nil
+	}
+	op2 := &s.Ops[j]
+	jback := j <= i
+
+	// Shared pre-resolved context. fall2/tgt1/tgt2 point into tops, so
+	// pairs chain into pairs; gen1 is the exact-accounting delegate.
+	gen1 := &gens[i]
+	pc1, pc2 := int(op1.PC), int(op2.PC)
+	k1, k2 := op1.Code, op2.Code
+	fall2 := stop
+	if j+1 < n {
+		fall2 = &tops[j+1]
+	}
+	tgt1, tback1 := stop, false
+	if op1.Target >= 0 && int(op1.Target) < n {
+		tgt1 = &tops[op1.Target]
+		tback1 = int(op1.Target) <= i
+	}
+	tgt2, tback2 := stop, false
+	if op2.Target >= 0 && int(op2.Target) < n {
+		tgt2 = &tops[op2.Target]
+		tback2 = int(op2.Target) <= j
+	}
+	var throw *top
+	throwBack1, throwBack2 := false, false
+	if s.Throw >= 0 {
+		throw = &tops[s.Throw]
+		throwBack1 = int(s.Throw) <= i
+		throwBack2 = int(s.Throw) <= j
+	}
+
+	// Operands, first op: plain fields and (for fused ops) the second
+	// constituent's fields under a "1b" suffix.
+	d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+	d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+	uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+	w1, tag1 := op1.W, op1.Tag
+	ri1, ri1b := op1.Region, op1.Region2
+	kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+
+	// Operands, second op.
+	d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+	d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+	uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+	w2, tag2 := op2.W, op2.Tag
+	ri2, ri2b := op2.Region, op2.Region2
+	kOver2, kOver2b := overflowKind(ri2), overflowKind(ri2b)
+	imm1, imm2 := op1.Imm, op2.Imm
+	cond1, cond2 := op1.Cond, op2.Cond
+
+	switch k1 {
+	case exec.XMov, exec.XMovCP:
+		// mov d1,a1 ; then a one-step second op.
+		switch k2 {
+		case exec.XBrTagEq:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps += 2
+				m.ctr.disp[k1]++
+				m.ctr.disp[k2]++
+				regs[d1] = regs[a1]
+				if regs[a2].Tag() == tag2 {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		case exec.XBrTagNe:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps += 2
+				m.ctr.disp[k1]++
+				m.ctr.disp[k2]++
+				regs[d1] = regs[a1]
+				if regs[a2].Tag() != tag2 {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		case exec.XJmp:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps += 2
+				m.ctr.disp[k1]++
+				m.ctr.disp[k2]++
+				regs[d1] = regs[a1]
+				if tback2 {
+					return m.tEdge(pc2, tgt2), steps
+				}
+				return tgt2, steps
+			}
+		}
+
+	case exec.XBrTagEq, exec.XBrTagNe:
+		// A tag branch: taken exits with one step counted; not taken falls
+		// into the second op. wantEq selects the sense at build time.
+		ne1 := k1 == exec.XBrTagNe
+		switch k2 {
+		case exec.XBrTagEq:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if (regs[a1].Tag() == tag1) == !ne1 {
+					if tback1 {
+						return m.tEdge(pc1, tgt1), steps
+					}
+					return tgt1, steps
+				}
+				steps++
+				m.ctr.disp[k2]++
+				if regs[a2].Tag() == tag2 {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		case exec.XBrTagNe:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if (regs[a1].Tag() == tag1) == !ne1 {
+					if tback1 {
+						return m.tEdge(pc1, tgt1), steps
+					}
+					return tgt1, steps
+				}
+				steps++
+				m.ctr.disp[k2]++
+				if regs[a2].Tag() != tag2 {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		case exec.XMov, exec.XMovCP:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if (regs[a1].Tag() == tag1) == !ne1 {
+					if tback1 {
+						return m.tEdge(pc1, tgt1), steps
+					}
+					return tgt1, steps
+				}
+				steps++
+				m.ctr.disp[k2]++
+				regs[d2] = regs[a2]
+				return fall2, steps
+			}
+		case exec.XFLdLd:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if (regs[a1].Tag() == tag1) == !ne1 {
+					if tback1 {
+						return m.tEdge(pc1, tgt1), steps
+					}
+					return tgt1, steps
+				}
+				m.ctr.disp[k2]++
+				addr := regs[a2].Val() + uimm2
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2, addr), steps
+				}
+				regs[d2] = mem[addr]
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2+1, addr), steps
+				}
+				regs[d2b] = mem[addr]
+				return fall2, steps
+			}
+		case exec.XAddR:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if (regs[a1].Tag() == tag1) == !ne1 {
+					if tback1 {
+						return m.tEdge(pc1, tgt1), steps
+					}
+					return tgt1, steps
+				}
+				steps++
+				m.ctr.disp[k2]++
+				av := regs[a2]
+				regs[d2] = word.Make(av.Tag(), uint64(av.Int()+regs[b2].Int()))
+				return fall2, steps
+			}
+		case exec.XSubR:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if (regs[a1].Tag() == tag1) == !ne1 {
+					if tback1 {
+						return m.tEdge(pc1, tgt1), steps
+					}
+					return tgt1, steps
+				}
+				steps++
+				m.ctr.disp[k2]++
+				av := regs[a2]
+				regs[d2] = word.Make(av.Tag(), uint64(av.Int()-regs[b2].Int()))
+				return fall2, steps
+			}
+		case exec.XFLdBrCmpEqR:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if (regs[a1].Tag() == tag1) == !ne1 {
+					if tback1 {
+						return m.tEdge(pc1, tgt1), steps
+					}
+					return tgt1, steps
+				}
+				m.ctr.disp[k2]++
+				addr := regs[a2].Val() + uimm2
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2, addr), steps
+				}
+				regs[d2] = mem[addr]
+				steps += 2
+				if regs[d2b] == regs[a2b] {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		case exec.XFLdBrCmpNeR:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if (regs[a1].Tag() == tag1) == !ne1 {
+					if tback1 {
+						return m.tEdge(pc1, tgt1), steps
+					}
+					return tgt1, steps
+				}
+				m.ctr.disp[k2]++
+				addr := regs[a2].Val() + uimm2
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2, addr), steps
+				}
+				regs[d2] = mem[addr]
+				steps += 2
+				if regs[d2b] != regs[a2b] {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		}
+
+	case exec.XFLdLd:
+		// Two loads, then a second op.
+		switch k2 {
+		case exec.XLd, exec.XLdUndo:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1, addr), steps
+				}
+				regs[d1] = mem[addr]
+				steps += 2
+				addr = regs[a1b].Val() + uimm1b
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1+1, addr), steps
+				}
+				regs[d1b] = mem[addr]
+				steps++
+				m.ctr.disp[k2]++
+				addr = regs[a2].Val() + uimm2
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2, addr), steps
+				}
+				regs[d2] = mem[addr]
+				return fall2, steps
+			}
+		case exec.XFLdLd:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+4 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1, addr), steps
+				}
+				regs[d1] = mem[addr]
+				steps += 2
+				addr = regs[a1b].Val() + uimm1b
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1+1, addr), steps
+				}
+				regs[d1b] = mem[addr]
+				m.ctr.disp[k2]++
+				addr = regs[a2].Val() + uimm2
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2, addr), steps
+				}
+				regs[d2] = mem[addr]
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2+1, addr), steps
+				}
+				regs[d2b] = mem[addr]
+				return fall2, steps
+			}
+		case exec.XFMovMov:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+4 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1, addr), steps
+				}
+				regs[d1] = mem[addr]
+				steps += 2
+				addr = regs[a1b].Val() + uimm1b
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1+1, addr), steps
+				}
+				regs[d1b] = mem[addr]
+				m.ctr.disp[k2]++
+				regs[d2] = regs[a2]
+				steps += 2
+				regs[d2b] = regs[a2b]
+				return fall2, steps
+			}
+		case exec.XJmp:
+			// An unconditional jump pairs with the op at its TARGET rather than
+			// the next slot: the jump's step is counted, the back-edge poll runs
+			// between the two (exactly where the per-op chain polls, so a
+			// deadline abort leaves the same step count), then the landing op
+			// executes in the same dispatch. Exits are the landing op's
+			// successors relative to j.
+			switch k2 {
+			case exec.XMov, exec.XMovCP:
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+2 > tmax {
+						return gen1, steps
+					}
+					steps++
+					m.ctr.disp[k1]++
+					if jback {
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pc1); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+					}
+					steps++
+					m.ctr.disp[k2]++
+					regs[d2] = regs[a2]
+					return fall2, steps
+				}
+			case exec.XBrCmpOrdR:
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+2 > tmax {
+						return gen1, steps
+					}
+					steps++
+					m.ctr.disp[k1]++
+					if jback {
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pc1); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+					}
+					steps++
+					m.ctr.disp[k2]++
+					if exec.OrdCmp(regs[a2].Int(), regs[b2].Int(), cond2) {
+						if tback2 {
+							return m.tEdge(pc2, tgt2), steps
+						}
+						return tgt2, steps
+					}
+					return fall2, steps
+				}
+			case exec.XBrTagEq:
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+2 > tmax {
+						return gen1, steps
+					}
+					steps++
+					m.ctr.disp[k1]++
+					if jback {
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pc1); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+					}
+					steps++
+					m.ctr.disp[k2]++
+					if regs[a2].Tag() == tag2 {
+						if tback2 {
+							return m.tEdge(pc2, tgt2), steps
+						}
+						return tgt2, steps
+					}
+					return fall2, steps
+				}
+			case exec.XBrTagNe:
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+2 > tmax {
+						return gen1, steps
+					}
+					steps++
+					m.ctr.disp[k1]++
+					if jback {
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pc1); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+					}
+					steps++
+					m.ctr.disp[k2]++
+					if regs[a2].Tag() != tag2 {
+						if tback2 {
+							return m.tEdge(pc2, tgt2), steps
+						}
+						return tgt2, steps
+					}
+					return fall2, steps
+				}
+			case exec.XFLdLd:
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+3 > tmax {
+						return gen1, steps
+					}
+					steps++
+					m.ctr.disp[k1]++
+					if jback {
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pc1); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+					}
+					m.ctr.disp[k2]++
+					addr := regs[a2].Val() + uimm2
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc2, addr), steps
+					}
+					regs[d2] = mem[addr]
+					steps += 2
+					addr = regs[a2b].Val() + uimm2b
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc2+1, addr), steps
+					}
+					regs[d2b] = mem[addr]
+					return fall2, steps
+				}
+			}
+
+		case exec.XFMovJmp:
+			// Move + unconditional jump, then the op at the jump target. The
+			// near-budget delegate (gen1) reproduces the fused op's partial
+			// execution when only one step remains.
+			switch k2 {
+			case exec.XBrTagEq:
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+3 > tmax {
+						return gen1, steps
+					}
+					m.ctr.disp[k1]++
+					regs[d1] = regs[a1]
+					steps += 2
+					if jback {
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pc1); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+					}
+					steps++
+					m.ctr.disp[k2]++
+					if regs[a2].Tag() == tag2 {
+						if tback2 {
+							return m.tEdge(pc2, tgt2), steps
+						}
+						return tgt2, steps
+					}
+					return fall2, steps
+				}
+			case exec.XBrTagNe:
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+3 > tmax {
+						return gen1, steps
+					}
+					m.ctr.disp[k1]++
+					regs[d1] = regs[a1]
+					steps += 2
+					if jback {
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pc1); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+					}
+					steps++
+					m.ctr.disp[k2]++
+					if regs[a2].Tag() != tag2 {
+						if tback2 {
+							return m.tEdge(pc2, tgt2), steps
+						}
+						return tgt2, steps
+					}
+					return fall2, steps
+				}
+			case exec.XMov, exec.XMovCP:
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+3 > tmax {
+						return gen1, steps
+					}
+					m.ctr.disp[k1]++
+					regs[d1] = regs[a1]
+					steps += 2
+					if jback {
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pc1); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+					}
+					steps++
+					m.ctr.disp[k2]++
+					regs[d2] = regs[a2]
+					return fall2, steps
+				}
+			}
+
+		case exec.XBrCmpOrdR:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1, addr), steps
+				}
+				regs[d1] = mem[addr]
+				steps += 2
+				addr = regs[a1b].Val() + uimm1b
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1+1, addr), steps
+				}
+				regs[d1b] = mem[addr]
+				steps++
+				m.ctr.disp[k2]++
+				if exec.OrdCmp(regs[a2].Int(), regs[b2].Int(), cond2) {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		}
+
+	case exec.XFLdBrCmpEqR, exec.XFLdBrCmpNeR:
+		// Load + compare-branch: taken exits with both constituents
+		// counted; not taken falls into the second op.
+		wantEq := k1 == exec.XFLdBrCmpEqR
+		switch k2 {
+		case exec.XFMovJmp:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+4 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1, addr), steps
+				}
+				regs[d1] = mem[addr]
+				steps += 2
+				if (regs[d1b] == regs[a1b]) == wantEq {
+					if tback1 {
+						return m.tEdge(pc1, tgt1), steps
+					}
+					return tgt1, steps
+				}
+				m.ctr.disp[k2]++
+				regs[d2] = regs[a2]
+				steps += 2
+				if tback2 {
+					return m.tEdge(pc2, tgt2), steps
+				}
+				return tgt2, steps
+			}
+		}
+
+	case exec.XFMovMov:
+		// Two moves, then a second op.
+		switch k2 {
+		case exec.XJmp:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				regs[d1] = regs[a1]
+				steps += 2
+				regs[d1b] = regs[a1b]
+				steps++
+				m.ctr.disp[k2]++
+				if tback2 {
+					return m.tEdge(pc2, tgt2), steps
+				}
+				return tgt2, steps
+			}
+		case exec.XFMovMov:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+4 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				regs[d1] = regs[a1]
+				steps += 2
+				regs[d1b] = regs[a1b]
+				m.ctr.disp[k2]++
+				regs[d2] = regs[a2]
+				steps += 2
+				regs[d2b] = regs[a2b]
+				return fall2, steps
+			}
+		case exec.XJsr:
+			retw2 := word.Make(word.Code, uint64(pc2+1))
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				regs[d1] = regs[a1]
+				steps += 2
+				regs[d1b] = regs[a1b]
+				steps++
+				m.ctr.disp[k2]++
+				regs[d2] = retw2
+				if tback2 {
+					return m.tEdge(pc2, tgt2), steps
+				}
+				return tgt2, steps
+			}
+		}
+
+	case exec.XLd, exec.XLdUndo:
+		// One load, then a second op.
+		switch k2 {
+		case exec.XJmp:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1, addr), steps
+				}
+				regs[d1] = mem[addr]
+				steps++
+				m.ctr.disp[k2]++
+				if tback2 {
+					return m.tEdge(pc2, tgt2), steps
+				}
+				return tgt2, steps
+			}
+		case exec.XAddI:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1, addr), steps
+				}
+				regs[d1] = mem[addr]
+				steps++
+				m.ctr.disp[k2]++
+				av := regs[a2]
+				regs[d2] = word.Make(av.Tag(), uint64(av.Int()+imm2))
+				return fall2, steps
+			}
+		case exec.XSt:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1, addr), steps
+				}
+				regs[d1] = mem[addr]
+				steps++
+				m.ctr.disp[k2]++
+				addr = regs[a2].Val() + uimm2
+				if addr >= m.limit[ri2] {
+					return m.tRaise(pc2, kOver2, throw, throwBack2, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2, addr), steps
+				}
+				mem[addr] = regs[b2]
+				m.st.Touch(addr)
+				return fall2, steps
+			}
+		case exec.XFMovISt:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1, addr), steps
+				}
+				regs[d1] = mem[addr]
+				m.ctr.disp[k2]++
+				regs[d2] = w2
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= m.limit[ri2b] {
+					return m.tRaise(pc2+1, kOver2b, throw, throwBack2, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2+1, addr), steps
+				}
+				mem[addr] = regs[d2b]
+				m.st.Touch(addr)
+				return fall2, steps
+			}
+		case exec.XJmpR:
+			xof := s.XOf
+			selfx2 := j
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1, addr), steps
+				}
+				regs[d1] = mem[addr]
+				steps++
+				m.ctr.disp[k2]++
+				tv := int(regs[a2].Val())
+				if tv < 0 || tv >= len(xof) || xof[tv] < 0 {
+					return m.tFail(tv, "pc out of range"), steps
+				}
+				nx := int(xof[tv])
+				if nx <= selfx2 {
+					return m.tEdge(pc2, &tops[nx]), steps
+				}
+				return &tops[nx], steps
+			}
+		}
+
+	case exec.XAddI:
+		// add.i, then a second op.
+		switch k2 {
+		case exec.XAddR:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				av := regs[a1]
+				regs[d1] = word.Make(av.Tag(), uint64(av.Int()+imm1))
+				steps++
+				m.ctr.disp[k2]++
+				av = regs[a2]
+				regs[d2] = word.Make(av.Tag(), uint64(av.Int()+regs[b2].Int()))
+				return fall2, steps
+			}
+		case exec.XFMovMov:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				av := regs[a1]
+				regs[d1] = word.Make(av.Tag(), uint64(av.Int()+imm1))
+				m.ctr.disp[k2]++
+				regs[d2] = regs[a2]
+				steps += 2
+				regs[d2b] = regs[a2b]
+				return fall2, steps
+			}
+		}
+
+	case exec.XSubI:
+		// sub.i, then a load.
+		switch k2 {
+		case exec.XLd, exec.XLdUndo:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				av := regs[a1]
+				regs[d1] = word.Make(av.Tag(), uint64(av.Int()-imm1))
+				steps++
+				m.ctr.disp[k2]++
+				addr := regs[a2].Val() + uimm2
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2, addr), steps
+				}
+				regs[d2] = mem[addr]
+				return fall2, steps
+			}
+		}
+
+	case exec.XAddR:
+		// add.r, then a second op.
+		switch k2 {
+		case exec.XFStMovI:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				av := regs[a1]
+				regs[d1] = word.Make(av.Tag(), uint64(av.Int()+regs[b1].Int()))
+				m.ctr.disp[k2]++
+				addr := regs[a2].Val() + uimm2
+				if addr >= m.limit[ri2] {
+					return m.tRaise(pc2, kOver2, throw, throwBack2, tSkipStMovI), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2, addr), steps
+				}
+				mem[addr] = regs[b2]
+				m.st.Touch(addr)
+				steps += 2
+				regs[d2b] = w2
+				return fall2, steps
+			}
+		case exec.XBrCmpNeR:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				av := regs[a1]
+				regs[d1] = word.Make(av.Tag(), uint64(av.Int()+regs[b1].Int()))
+				steps++
+				m.ctr.disp[k2]++
+				if regs[a2] != regs[b2] {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		}
+
+	case exec.XSubR:
+		switch k2 {
+		case exec.XBrCmpNeR:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				av := regs[a1]
+				regs[d1] = word.Make(av.Tag(), uint64(av.Int()-regs[b1].Int()))
+				steps++
+				m.ctr.disp[k2]++
+				if regs[a2] != regs[b2] {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		}
+
+	case exec.XLea:
+		switch k2 {
+		case exec.XFStSt:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				regs[d1] = word.Make(tag1, uint64(regs[a1].Int()+imm1))
+				m.ctr.disp[k2]++
+				addr := regs[a2].Val() + uimm2
+				if addr >= m.limit[ri2] {
+					return m.tRaise(pc2, kOver2, throw, throwBack2, tSkipStSt), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2, addr), steps
+				}
+				mem[addr] = regs[b2]
+				m.st.Touch(addr)
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= m.limit[ri2b] {
+					return m.tRaise(pc2+1, kOver2b, throw, throwBack2, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2+1, addr), steps
+				}
+				mem[addr] = regs[d2b]
+				m.st.Touch(addr)
+				return fall2, steps
+			}
+		}
+
+	case exec.XSt:
+		// st, then a second op.
+		switch k2 {
+		case exec.XFCMovR:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= m.limit[ri1] {
+					return m.tRaise(pc1, kOver1, throw, throwBack1, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1, addr), steps
+				}
+				mem[addr] = regs[b1]
+				m.st.Touch(addr)
+				steps++
+				m.ctr.disp[k2]++
+				if !exec.CmpW(regs[a2], regs[b2], cond2) {
+					steps++
+					m.ctr.cmovMoves++
+					regs[d2b] = regs[a2b]
+				}
+				return fall2, steps
+			}
+		case exec.XMov, exec.XMovCP:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= m.limit[ri1] {
+					return m.tRaise(pc1, kOver1, throw, throwBack1, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1, addr), steps
+				}
+				mem[addr] = regs[b1]
+				m.st.Touch(addr)
+				steps++
+				m.ctr.disp[k2]++
+				regs[d2] = regs[a2]
+				return fall2, steps
+			}
+		case exec.XJmp:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= m.limit[ri1] {
+					return m.tRaise(pc1, kOver1, throw, throwBack1, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1, addr), steps
+				}
+				mem[addr] = regs[b1]
+				m.st.Touch(addr)
+				steps++
+				m.ctr.disp[k2]++
+				if tback2 {
+					return m.tEdge(pc2, tgt2), steps
+				}
+				return tgt2, steps
+			}
+		}
+
+	case exec.XFStSt:
+		// Two stores, then a second op.
+		switch k2 {
+		case exec.XSt:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= m.limit[ri1] {
+					return m.tRaise(pc1, kOver1, throw, throwBack1, tSkipStSt), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1, addr), steps
+				}
+				mem[addr] = regs[b1]
+				m.st.Touch(addr)
+				steps += 2
+				addr = regs[a1b].Val() + uimm1b
+				if addr >= m.limit[ri1b] {
+					return m.tRaise(pc1+1, kOver1b, throw, throwBack1, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1+1, addr), steps
+				}
+				mem[addr] = regs[d1b]
+				m.st.Touch(addr)
+				steps++
+				m.ctr.disp[k2]++
+				addr = regs[a2].Val() + uimm2
+				if addr >= m.limit[ri2] {
+					return m.tRaise(pc2, kOver2, throw, throwBack2, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2, addr), steps
+				}
+				mem[addr] = regs[b2]
+				m.st.Touch(addr)
+				return fall2, steps
+			}
+		case exec.XFStSt:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+4 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= m.limit[ri1] {
+					return m.tRaise(pc1, kOver1, throw, throwBack1, tSkipStSt), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1, addr), steps
+				}
+				mem[addr] = regs[b1]
+				m.st.Touch(addr)
+				steps += 2
+				addr = regs[a1b].Val() + uimm1b
+				if addr >= m.limit[ri1b] {
+					return m.tRaise(pc1+1, kOver1b, throw, throwBack1, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1+1, addr), steps
+				}
+				mem[addr] = regs[d1b]
+				m.st.Touch(addr)
+				m.ctr.disp[k2]++
+				addr = regs[a2].Val() + uimm2
+				if addr >= m.limit[ri2] {
+					return m.tRaise(pc2, kOver2, throw, throwBack2, tSkipStSt), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2, addr), steps
+				}
+				mem[addr] = regs[b2]
+				m.st.Touch(addr)
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= m.limit[ri2b] {
+					return m.tRaise(pc2+1, kOver2b, throw, throwBack2, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2+1, addr), steps
+				}
+				mem[addr] = regs[d2b]
+				m.st.Touch(addr)
+				return fall2, steps
+			}
+		case exec.XFMovISt:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+4 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= m.limit[ri1] {
+					return m.tRaise(pc1, kOver1, throw, throwBack1, tSkipStSt), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1, addr), steps
+				}
+				mem[addr] = regs[b1]
+				m.st.Touch(addr)
+				steps += 2
+				addr = regs[a1b].Val() + uimm1b
+				if addr >= m.limit[ri1b] {
+					return m.tRaise(pc1+1, kOver1b, throw, throwBack1, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1+1, addr), steps
+				}
+				mem[addr] = regs[d1b]
+				m.st.Touch(addr)
+				m.ctr.disp[k2]++
+				regs[d2] = w2
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= m.limit[ri2b] {
+					return m.tRaise(pc2+1, kOver2b, throw, throwBack2, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2+1, addr), steps
+				}
+				mem[addr] = regs[d2b]
+				m.st.Touch(addr)
+				return fall2, steps
+			}
+		}
+
+	case exec.XFStMovI:
+		switch k2 {
+		case exec.XFStSt:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+4 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= m.limit[ri1] {
+					return m.tRaise(pc1, kOver1, throw, throwBack1, tSkipStMovI), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1, addr), steps
+				}
+				mem[addr] = regs[b1]
+				m.st.Touch(addr)
+				steps += 2
+				regs[d1b] = w1
+				m.ctr.disp[k2]++
+				addr = regs[a2].Val() + uimm2
+				if addr >= m.limit[ri2] {
+					return m.tRaise(pc2, kOver2, throw, throwBack2, tSkipStSt), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2, addr), steps
+				}
+				mem[addr] = regs[b2]
+				m.st.Touch(addr)
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= m.limit[ri2b] {
+					return m.tRaise(pc2+1, kOver2b, throw, throwBack2, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2+1, addr), steps
+				}
+				mem[addr] = regs[d2b]
+				m.st.Touch(addr)
+				return fall2, steps
+			}
+		}
+
+	case exec.XFMovISt:
+		// An immediate move and a store, then a second op.
+		switch k2 {
+		case exec.XFStSt:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+4 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				regs[d1] = w1
+				steps += 2
+				addr := regs[a1b].Val() + uimm1b
+				if addr >= m.limit[ri1b] {
+					return m.tRaise(pc1+1, kOver1b, throw, throwBack1, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1+1, addr), steps
+				}
+				mem[addr] = regs[d1b]
+				m.st.Touch(addr)
+				m.ctr.disp[k2]++
+				addr = regs[a2].Val() + uimm2
+				if addr >= m.limit[ri2] {
+					return m.tRaise(pc2, kOver2, throw, throwBack2, tSkipStSt), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2, addr), steps
+				}
+				mem[addr] = regs[b2]
+				m.st.Touch(addr)
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= m.limit[ri2b] {
+					return m.tRaise(pc2+1, kOver2b, throw, throwBack2, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2+1, addr), steps
+				}
+				mem[addr] = regs[d2b]
+				m.st.Touch(addr)
+				return fall2, steps
+			}
+		case exec.XJmp:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				regs[d1] = w1
+				steps += 2
+				addr := regs[a1b].Val() + uimm1b
+				if addr >= m.limit[ri1b] {
+					return m.tRaise(pc1+1, kOver1b, throw, throwBack1, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1+1, addr), steps
+				}
+				mem[addr] = regs[d1b]
+				m.st.Touch(addr)
+				steps++
+				m.ctr.disp[k2]++
+				if tback2 {
+					return m.tEdge(pc2, tgt2), steps
+				}
+				return tgt2, steps
+			}
+		}
+
+	case exec.XFCMovR:
+		// Conditional move (one or two constituent steps), then stores.
+		switch k2 {
+		case exec.XFStSt:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+4 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if !exec.CmpW(regs[a1], regs[b1], cond1) {
+					steps++
+					m.ctr.cmovMoves++
+					regs[d1b] = regs[a1b]
+				}
+				m.ctr.disp[k2]++
+				addr := regs[a2].Val() + uimm2
+				if addr >= m.limit[ri2] {
+					return m.tRaise(pc2, kOver2, throw, throwBack2, tSkipStSt), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2, addr), steps
+				}
+				mem[addr] = regs[b2]
+				m.st.Touch(addr)
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= m.limit[ri2b] {
+					return m.tRaise(pc2+1, kOver2b, throw, throwBack2, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2+1, addr), steps
+				}
+				mem[addr] = regs[d2b]
+				m.st.Touch(addr)
+				return fall2, steps
+			}
+		}
+
+	case exec.XBrCmpEqI, exec.XBrCmpNeI:
+		// An immediate compare-branch, then two loads when it falls through.
+		ne1 := k1 == exec.XBrCmpNeI
+		switch k2 {
+		case exec.XFLdLd:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if (regs[a1] == w1) == !ne1 {
+					if tback1 {
+						return m.tEdge(pc1, tgt1), steps
+					}
+					return tgt1, steps
+				}
+				m.ctr.disp[k2]++
+				addr := regs[a2].Val() + uimm2
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2, addr), steps
+				}
+				regs[d2] = mem[addr]
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2+1, addr), steps
+				}
+				regs[d2b] = mem[addr]
+				return fall2, steps
+			}
+		}
+
+	case exec.XJmp:
+		// An unconditional jump pairs with the op at its TARGET rather than
+		// the next slot: the jump's step is counted, the back-edge poll runs
+		// between the two (exactly where the per-op chain polls, so a
+		// deadline abort leaves the same step count), then the landing op
+		// executes in the same dispatch. Exits are the landing op's
+		// successors relative to j.
+		switch k2 {
+		case exec.XMov, exec.XMovCP:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if jback {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc1); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				steps++
+				m.ctr.disp[k2]++
+				regs[d2] = regs[a2]
+				return fall2, steps
+			}
+		case exec.XBrCmpOrdR:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if jback {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc1); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				steps++
+				m.ctr.disp[k2]++
+				if exec.OrdCmp(regs[a2].Int(), regs[b2].Int(), cond2) {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		case exec.XBrTagEq:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if jback {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc1); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				steps++
+				m.ctr.disp[k2]++
+				if regs[a2].Tag() == tag2 {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		case exec.XBrTagNe:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if jback {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc1); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				steps++
+				m.ctr.disp[k2]++
+				if regs[a2].Tag() != tag2 {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		case exec.XFLdLd:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if jback {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc1); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				m.ctr.disp[k2]++
+				addr := regs[a2].Val() + uimm2
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2, addr), steps
+				}
+				regs[d2] = mem[addr]
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2+1, addr), steps
+				}
+				regs[d2b] = mem[addr]
+				return fall2, steps
+			}
+		}
+
+	case exec.XFMovJmp:
+		// Move + unconditional jump, then the op at the jump target. The
+		// near-budget delegate (gen1) reproduces the fused op's partial
+		// execution when only one step remains.
+		switch k2 {
+		case exec.XBrTagEq:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				regs[d1] = regs[a1]
+				steps += 2
+				if jback {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc1); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				steps++
+				m.ctr.disp[k2]++
+				if regs[a2].Tag() == tag2 {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		case exec.XBrTagNe:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				regs[d1] = regs[a1]
+				steps += 2
+				if jback {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc1); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				steps++
+				m.ctr.disp[k2]++
+				if regs[a2].Tag() != tag2 {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		case exec.XMov, exec.XMovCP:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				regs[d1] = regs[a1]
+				steps += 2
+				if jback {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc1); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				steps++
+				m.ctr.disp[k2]++
+				regs[d2] = regs[a2]
+				return fall2, steps
+			}
+		}
+
+	case exec.XBrCmpOrdR:
+		switch k2 {
+		case exec.XSubI:
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+2 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if exec.OrdCmp(regs[a1].Int(), regs[b1].Int(), cond1) {
+					if tback1 {
+						return m.tEdge(pc1, tgt1), steps
+					}
+					return tgt1, steps
+				}
+				steps++
+				m.ctr.disp[k2]++
+				av := regs[a2]
+				regs[d2] = word.Make(av.Tag(), uint64(av.Int()-imm2))
+				return fall2, steps
+			}
+		}
+	}
+	return nil
+}

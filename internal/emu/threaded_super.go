@@ -1,0 +1,3175 @@
+package emu
+
+import (
+	"symbol/internal/exec"
+	"symbol/internal/word"
+)
+
+// The superblock pass: a third combining pass that collapses the recurring
+// multi-op code templates the compiler emits — a dereference-loop step, a
+// clause-continuation tail, the structure-copy store chain, and the
+// first-argument indexing head — into single closures of up to fifteen
+// constituents. Two extensions over the pair/triple passes, both still
+// within the same parity rules (verbatim constituent accounting, gens[i]
+// delegation when the remaining budget cannot cover the worst-case width,
+// overlapping installation with non-overlapping execution):
+//
+//   - a superblock may follow ONE control transfer mid-block: either an
+//     unconditional jump (back-edge poll run in place, exactly where the
+//     per-op chain polls) or, for the indexing head, a compare-branch
+//     whose taken side continues at the branch target while the not-taken
+//     side exits cold to the untouched fall-through slot;
+//   - a superblock ending in a backward jump may re-inline its own first
+//     ops once (loop unrolling by one iteration): the re-executed branch
+//     exits to the loop's own slots, so longer iteration counts simply
+//     re-enter the chain.
+
+// superFn returns a superblock closure for the run starting at op i of s,
+// or nil when no template matches.
+// dbgSuperMask enables superblock templates individually (one bit per
+// category, S1=bit0 … S3L=bit18). All bits are set in normal builds; the
+// mask exists so a parity failure can be bisected to a single template by
+// rebuilding with a narrowed value.
+const dbgSuperMask uint = ^uint(0)
+
+func superFn(s *exec.Stream, tops, gens []top, stop *top, i int) tfn {
+	n := len(s.Ops)
+	ops := s.Ops
+	var throw *top
+	if s.Throw >= 0 {
+		throw = &tops[s.Throw]
+	}
+	_ = throw
+	gen1 := &gens[i]
+
+	at := func(j int) exec.XCode {
+		if j < 0 || j >= n {
+			return exec.XHalt
+		}
+		return ops[j].Code
+	}
+	fallTop := func(j int) *top {
+		if j+1 < n {
+			return &tops[j+1]
+		}
+		return stop
+	}
+	targetOf := func(j int) (*top, bool) {
+		t := int(ops[j].Target)
+		if t >= 0 && t < n {
+			return &tops[t], t <= j
+		}
+		return stop, false
+	}
+	throwBack := func(j int) bool { return s.Throw >= 0 && int(s.Throw) <= j }
+	isBrTag := func(c exec.XCode) bool { return c == exec.XBrTagEq || c == exec.XBrTagNe }
+	isMov := func(c exec.XCode) bool { return c == exec.XMov || c == exec.XMovCP }
+	isLd := func(c exec.XCode) bool { return c == exec.XLd || c == exec.XLdUndo }
+	isFLdBr := func(c exec.XCode) bool { return c == exec.XFLdBrCmpEqR || c == exec.XFLdBrCmpNeR }
+	_, _, _, _ = isBrTag, isMov, isLd, isFLdBr
+
+	// Rung-shape helpers for the ladder traces: a "six" rung is the S6
+	// dereference step (tag branch, load+compare, move+jump back), a
+	// "seven" rung prepends an escape branch and a move. A ladder chains
+	// rungs whose hot exits land on the next rung's head; the trace runs
+	// the whole chain in one dispatch with every cold exit exact.
+	sixAt := func(t int) int { // returns continuation slot, or -1
+		if t < 0 || t+2 >= n || !isBrTag(at(t)) || !isFLdBr(at(t+1)) ||
+			at(t+2) != exec.XFMovJmp {
+			return -1
+		}
+		c := int(ops[t].Target)
+		if c <= t+2 || c >= n || int(ops[t+1].Target) != c || int(ops[t+2].Target) != t {
+			return -1
+		}
+		return c
+	}
+	sevenAt := func(t int) int {
+		if t < 0 || t+4 >= n || !isBrTag(at(t)) || !isMov(at(t+1)) ||
+			!isBrTag(at(t+2)) || !isFLdBr(at(t+3)) || at(t+4) != exec.XFMovJmp {
+			return -1
+		}
+		c := int(ops[t+2].Target)
+		if c <= t+4 || c >= n || int(ops[t+3].Target) != c || int(ops[t+4].Target) != t+2 {
+			return -1
+		}
+		e := int(ops[t].Target)
+		if e < 0 || e >= n {
+			return -1
+		}
+		return c
+	}
+
+	// S1 — indexing head: immediate compare (not taken), two loads, an
+	// ordered compare-branch whose TAKEN side continues at the forward
+	// target with four more loads and the computed jump. Not-taken exits
+	// cold to the untouched fall-through slot.
+	if dbgSuperMask&(1<<0) != 0 {
+		if (at(i) == exec.XBrCmpEqI || at(i) == exec.XBrCmpNeI) &&
+			at(i+1) == exec.XFLdLd && at(i+2) == exec.XBrCmpOrdR {
+			t := int(ops[i+2].Target)
+			if t > i+2 && t+3 < n && at(t) == exec.XFLdLd && at(t+1) == exec.XFLdLd &&
+				isLd(at(t+2)) && at(t+3) == exec.XJmpR {
+				op0, op1, op2 := &ops[i], &ops[i+1], &ops[i+2]
+				op3, op4, op5, op6 := &ops[t], &ops[t+1], &ops[t+2], &ops[t+3]
+				ne0 := op0.Code == exec.XBrCmpNeI
+				tgt0, tback0 := targetOf(i)
+				fall2 := fallTop(i + 2)
+				xof := s.XOf
+				selfx6 := t + 3
+				d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+				d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+				uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+				w0, tag0 := op0.W, op0.Tag
+				ri0, ri0b := op0.Region, op0.Region2
+				kOver0, kOver0b := overflowKind(ri0), overflowKind(ri0b)
+				imm0, cond0 := op0.Imm, op0.Cond
+				pc0, k0 := int(op0.PC), op0.Code
+				_ = pc0
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, ri0, ri0b, kOver0, kOver0b, imm0, cond0
+				d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+				d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+				uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+				w1, tag1 := op1.W, op1.Tag
+				ri1, ri1b := op1.Region, op1.Region2
+				kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+				imm1, cond1 := op1.Imm, op1.Cond
+				pc1, k1 := int(op1.PC), op1.Code
+				_ = pc1
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, ri1, ri1b, kOver1, kOver1b, imm1, cond1
+				d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+				d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+				uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+				w2, tag2 := op2.W, op2.Tag
+				ri2, ri2b := op2.Region, op2.Region2
+				kOver2, kOver2b := overflowKind(ri2), overflowKind(ri2b)
+				imm2, cond2 := op2.Imm, op2.Cond
+				pc2, k2 := int(op2.PC), op2.Code
+				_ = pc2
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d2, a2, b2, d2b, a2b, uimm2, uimm2b, w2, tag2, ri2, ri2b, kOver2, kOver2b, imm2, cond2
+				d3, a3, b3 := uint8(op3.D), uint8(op3.A), uint8(op3.B)
+				d3b, a3b := uint8(op3.D2), uint8(op3.A2)
+				uimm3, uimm3b := uint64(op3.Imm), uint64(op3.Imm2)
+				w3, tag3 := op3.W, op3.Tag
+				ri3, ri3b := op3.Region, op3.Region2
+				kOver3, kOver3b := overflowKind(ri3), overflowKind(ri3b)
+				imm3, cond3 := op3.Imm, op3.Cond
+				pc3, k3 := int(op3.PC), op3.Code
+				_ = pc3
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d3, a3, b3, d3b, a3b, uimm3, uimm3b, w3, tag3, ri3, ri3b, kOver3, kOver3b, imm3, cond3
+				d4, a4, b4 := uint8(op4.D), uint8(op4.A), uint8(op4.B)
+				d4b, a4b := uint8(op4.D2), uint8(op4.A2)
+				uimm4, uimm4b := uint64(op4.Imm), uint64(op4.Imm2)
+				w4, tag4 := op4.W, op4.Tag
+				ri4, ri4b := op4.Region, op4.Region2
+				kOver4, kOver4b := overflowKind(ri4), overflowKind(ri4b)
+				imm4, cond4 := op4.Imm, op4.Cond
+				pc4, k4 := int(op4.PC), op4.Code
+				_ = pc4
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d4, a4, b4, d4b, a4b, uimm4, uimm4b, w4, tag4, ri4, ri4b, kOver4, kOver4b, imm4, cond4
+				d5, a5, b5 := uint8(op5.D), uint8(op5.A), uint8(op5.B)
+				d5b, a5b := uint8(op5.D2), uint8(op5.A2)
+				uimm5, uimm5b := uint64(op5.Imm), uint64(op5.Imm2)
+				w5, tag5 := op5.W, op5.Tag
+				ri5, ri5b := op5.Region, op5.Region2
+				kOver5, kOver5b := overflowKind(ri5), overflowKind(ri5b)
+				imm5, cond5 := op5.Imm, op5.Cond
+				pc5, k5 := int(op5.PC), op5.Code
+				_ = pc5
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d5, a5, b5, d5b, a5b, uimm5, uimm5b, w5, tag5, ri5, ri5b, kOver5, kOver5b, imm5, cond5
+				d6, a6, b6 := uint8(op6.D), uint8(op6.A), uint8(op6.B)
+				d6b, a6b := uint8(op6.D2), uint8(op6.A2)
+				uimm6, uimm6b := uint64(op6.Imm), uint64(op6.Imm2)
+				w6, tag6 := op6.W, op6.Tag
+				ri6, ri6b := op6.Region, op6.Region2
+				kOver6, kOver6b := overflowKind(ri6), overflowKind(ri6b)
+				imm6, cond6 := op6.Imm, op6.Cond
+				pc6, k6 := int(op6.PC), op6.Code
+				_ = pc6
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d6, a6, b6, d6b, a6b, uimm6, uimm6b, w6, tag6, ri6, ri6b, kOver6, kOver6b, imm6, cond6
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+10 > tmax {
+						return gen1, steps
+					}
+					steps++
+					m.ctr.disp[k0]++
+					if (regs[a0] == w0) == !ne0 {
+						if tback0 {
+							return m.tEdge(pc0, tgt0), steps
+						}
+						return tgt0, steps
+					}
+					m.ctr.disp[k1]++
+					addr := regs[a1].Val() + uimm1
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc1, addr), steps
+					}
+					regs[d1] = mem[addr]
+					steps += 2
+					addr = regs[a1b].Val() + uimm1b
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc1+1, addr), steps
+					}
+					regs[d1b] = mem[addr]
+					steps++
+					m.ctr.disp[k2]++
+					if !exec.OrdCmp(regs[a2].Int(), regs[b2].Int(), cond2) {
+						return fall2, steps
+					}
+					m.ctr.disp[k3]++
+					addr = regs[a3].Val() + uimm3
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc3, addr), steps
+					}
+					regs[d3] = mem[addr]
+					steps += 2
+					addr = regs[a3b].Val() + uimm3b
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc3+1, addr), steps
+					}
+					regs[d3b] = mem[addr]
+					m.ctr.disp[k4]++
+					addr = regs[a4].Val() + uimm4
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc4, addr), steps
+					}
+					regs[d4] = mem[addr]
+					steps += 2
+					addr = regs[a4b].Val() + uimm4b
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc4+1, addr), steps
+					}
+					regs[d4b] = mem[addr]
+					steps++
+					m.ctr.disp[k5]++
+					addr = regs[a5].Val() + uimm5
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc5, addr), steps
+					}
+					regs[d5] = mem[addr]
+					steps++
+					m.ctr.disp[k6]++
+					tv := int(regs[a6].Val())
+					if tv < 0 || tv >= len(xof) || xof[tv] < 0 {
+						return m.tFail(tv, "pc out of range"), steps
+					}
+					nx := int(xof[tv])
+					if nx <= selfx6 {
+						return m.tEdge(pc6, &tops[nx]), steps
+					}
+					return &tops[nx], steps
+				}
+			}
+		}
+	}
+
+	// S17 — loop close into the indexing head: a not-taken tag branch, an
+	// add/subtract, and a register compare whose taken side is the S1
+	// indexing head; the back-edge poll runs in place, then the head's
+	// compare, six loads, and computed jump all execute in this dispatch.
+	if dbgSuperMask&(1<<16) != 0 {
+		if isBrTag(at(i)) && (at(i+1) == exec.XAddR || at(i+1) == exec.XSubR) &&
+			at(i+2) == exec.XBrCmpNeR {
+			t := int(ops[i+2].Target)
+			t2 := -1
+			if t >= 0 && t+2 < n && (at(t) == exec.XBrCmpEqI || at(t) == exec.XBrCmpNeI) &&
+				at(t+1) == exec.XFLdLd && at(t+2) == exec.XBrCmpOrdR {
+				tt := int(ops[t+2].Target)
+				if tt > t+2 && tt+3 < n && at(tt) == exec.XFLdLd && at(tt+1) == exec.XFLdLd &&
+					isLd(at(tt+2)) && at(tt+3) == exec.XJmpR {
+					t2 = tt
+				}
+			}
+			if t2 >= 0 {
+				op0, op1, op2 := &ops[i], &ops[i+1], &ops[i+2]
+				ne0 := op0.Code == exec.XBrTagNe
+				ne2 := op2.Code == exec.XBrCmpNeR
+				sub1 := op1.Code == exec.XSubR
+				tgt0, tback0 := targetOf(i)
+				fall2 := fallTop(i + 2)
+				jback := t <= i+2
+				d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+				d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+				uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+				w0, tag0 := op0.W, op0.Tag
+				imm0, cond0 := op0.Imm, op0.Cond
+				pc0, k0 := int(op0.PC), op0.Code
+				_ = pc0
+				_, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, imm0, cond0
+				d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+				d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+				uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+				w1, tag1 := op1.W, op1.Tag
+				imm1, cond1 := op1.Imm, op1.Cond
+				pc1, k1 := int(op1.PC), op1.Code
+				_ = pc1
+				_, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, imm1, cond1
+				d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+				d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+				uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+				w2, tag2 := op2.W, op2.Tag
+				imm2, cond2 := op2.Imm, op2.Cond
+				pc2, k2 := int(op2.PC), op2.Code
+				_ = pc2
+				_, _, _, _, _, _, _, _, _, _, _ = d2, a2, b2, d2b, a2b, uimm2, uimm2b, w2, tag2, imm2, cond2
+				dh0, ah0, bh0 := uint8((&ops[t]).D), uint8((&ops[t]).A), uint8((&ops[t]).B)
+				dh0b, ah0b := uint8((&ops[t]).D2), uint8((&ops[t]).A2)
+				uimmh0, uimmh0b := uint64((&ops[t]).Imm), uint64((&ops[t]).Imm2)
+				wh0, tagh0 := (&ops[t]).W, (&ops[t]).Tag
+				immh0, condh0 := (&ops[t]).Imm, (&ops[t]).Cond
+				pch0, kh0 := int((&ops[t]).PC), (&ops[t]).Code
+				_ = pch0
+				_, _, _, _, _, _, _, _, _, _, _ = dh0, ah0, bh0, dh0b, ah0b, uimmh0, uimmh0b, wh0, tagh0, immh0, condh0
+				dh1, ah1, bh1 := uint8((&ops[t+1]).D), uint8((&ops[t+1]).A), uint8((&ops[t+1]).B)
+				dh1b, ah1b := uint8((&ops[t+1]).D2), uint8((&ops[t+1]).A2)
+				uimmh1, uimmh1b := uint64((&ops[t+1]).Imm), uint64((&ops[t+1]).Imm2)
+				wh1, tagh1 := (&ops[t+1]).W, (&ops[t+1]).Tag
+				immh1, condh1 := (&ops[t+1]).Imm, (&ops[t+1]).Cond
+				pch1, kh1 := int((&ops[t+1]).PC), (&ops[t+1]).Code
+				_ = pch1
+				_, _, _, _, _, _, _, _, _, _, _ = dh1, ah1, bh1, dh1b, ah1b, uimmh1, uimmh1b, wh1, tagh1, immh1, condh1
+				dh2, ah2, bh2 := uint8((&ops[t+2]).D), uint8((&ops[t+2]).A), uint8((&ops[t+2]).B)
+				dh2b, ah2b := uint8((&ops[t+2]).D2), uint8((&ops[t+2]).A2)
+				uimmh2, uimmh2b := uint64((&ops[t+2]).Imm), uint64((&ops[t+2]).Imm2)
+				wh2, tagh2 := (&ops[t+2]).W, (&ops[t+2]).Tag
+				immh2, condh2 := (&ops[t+2]).Imm, (&ops[t+2]).Cond
+				pch2, kh2 := int((&ops[t+2]).PC), (&ops[t+2]).Code
+				_ = pch2
+				_, _, _, _, _, _, _, _, _, _, _ = dh2, ah2, bh2, dh2b, ah2b, uimmh2, uimmh2b, wh2, tagh2, immh2, condh2
+				dh3, ah3, bh3 := uint8((&ops[t2]).D), uint8((&ops[t2]).A), uint8((&ops[t2]).B)
+				dh3b, ah3b := uint8((&ops[t2]).D2), uint8((&ops[t2]).A2)
+				uimmh3, uimmh3b := uint64((&ops[t2]).Imm), uint64((&ops[t2]).Imm2)
+				wh3, tagh3 := (&ops[t2]).W, (&ops[t2]).Tag
+				immh3, condh3 := (&ops[t2]).Imm, (&ops[t2]).Cond
+				pch3, kh3 := int((&ops[t2]).PC), (&ops[t2]).Code
+				_ = pch3
+				_, _, _, _, _, _, _, _, _, _, _ = dh3, ah3, bh3, dh3b, ah3b, uimmh3, uimmh3b, wh3, tagh3, immh3, condh3
+				dh4, ah4, bh4 := uint8((&ops[t2+1]).D), uint8((&ops[t2+1]).A), uint8((&ops[t2+1]).B)
+				dh4b, ah4b := uint8((&ops[t2+1]).D2), uint8((&ops[t2+1]).A2)
+				uimmh4, uimmh4b := uint64((&ops[t2+1]).Imm), uint64((&ops[t2+1]).Imm2)
+				wh4, tagh4 := (&ops[t2+1]).W, (&ops[t2+1]).Tag
+				immh4, condh4 := (&ops[t2+1]).Imm, (&ops[t2+1]).Cond
+				pch4, kh4 := int((&ops[t2+1]).PC), (&ops[t2+1]).Code
+				_ = pch4
+				_, _, _, _, _, _, _, _, _, _, _ = dh4, ah4, bh4, dh4b, ah4b, uimmh4, uimmh4b, wh4, tagh4, immh4, condh4
+				dh5, ah5, bh5 := uint8((&ops[t2+2]).D), uint8((&ops[t2+2]).A), uint8((&ops[t2+2]).B)
+				dh5b, ah5b := uint8((&ops[t2+2]).D2), uint8((&ops[t2+2]).A2)
+				uimmh5, uimmh5b := uint64((&ops[t2+2]).Imm), uint64((&ops[t2+2]).Imm2)
+				wh5, tagh5 := (&ops[t2+2]).W, (&ops[t2+2]).Tag
+				immh5, condh5 := (&ops[t2+2]).Imm, (&ops[t2+2]).Cond
+				pch5, kh5 := int((&ops[t2+2]).PC), (&ops[t2+2]).Code
+				_ = pch5
+				_, _, _, _, _, _, _, _, _, _, _ = dh5, ah5, bh5, dh5b, ah5b, uimmh5, uimmh5b, wh5, tagh5, immh5, condh5
+				dh6, ah6, bh6 := uint8((&ops[t2+3]).D), uint8((&ops[t2+3]).A), uint8((&ops[t2+3]).B)
+				dh6b, ah6b := uint8((&ops[t2+3]).D2), uint8((&ops[t2+3]).A2)
+				uimmh6, uimmh6b := uint64((&ops[t2+3]).Imm), uint64((&ops[t2+3]).Imm2)
+				wh6, tagh6 := (&ops[t2+3]).W, (&ops[t2+3]).Tag
+				immh6, condh6 := (&ops[t2+3]).Imm, (&ops[t2+3]).Cond
+				pch6, kh6 := int((&ops[t2+3]).PC), (&ops[t2+3]).Code
+				_ = pch6
+				_, _, _, _, _, _, _, _, _, _, _ = dh6, ah6, bh6, dh6b, ah6b, uimmh6, uimmh6b, wh6, tagh6, immh6, condh6
+				neh0 := ops[t].Code == exec.XBrCmpNeI
+				tgth0, tbackh0 := targetOf(t)
+				fallh2 := fallTop(t + 2)
+				xof := s.XOf
+				selfxh6 := t2 + 3
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+13 > tmax {
+						return gen1, steps
+					}
+					var addr uint64
+					_ = addr
+					steps++
+					m.ctr.disp[k0]++
+					if (regs[a0].Tag() == tag0) == !ne0 {
+						if tback0 {
+							return m.tEdge(pc0, tgt0), steps
+						}
+						return tgt0, steps
+					}
+					steps++
+					m.ctr.disp[k1]++
+					av := regs[a1]
+					if sub1 {
+						regs[d1] = word.Make(av.Tag(), uint64(av.Int()-regs[b1].Int()))
+					} else {
+						regs[d1] = word.Make(av.Tag(), uint64(av.Int()+regs[b1].Int()))
+					}
+					steps++
+					m.ctr.disp[k2]++
+					if (regs[a2] == regs[b2]) == ne2 {
+						return fall2, steps
+					}
+					if jback {
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pc2); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+					}
+					steps++
+					m.ctr.disp[kh0]++
+					if (regs[ah0] == wh0) == !neh0 {
+						if tbackh0 {
+							return m.tEdge(pch0, tgth0), steps
+						}
+						return tgth0, steps
+					}
+					m.ctr.disp[kh1]++
+					addr = regs[ah1].Val() + uimmh1
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pch1, addr), steps
+					}
+					regs[dh1] = mem[addr]
+					steps += 2
+					addr = regs[ah1b].Val() + uimmh1b
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pch1+1, addr), steps
+					}
+					regs[dh1b] = mem[addr]
+					steps++
+					m.ctr.disp[kh2]++
+					if !exec.OrdCmp(regs[ah2].Int(), regs[bh2].Int(), condh2) {
+						return fallh2, steps
+					}
+					m.ctr.disp[kh3]++
+					addr = regs[ah3].Val() + uimmh3
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pch3, addr), steps
+					}
+					regs[dh3] = mem[addr]
+					steps += 2
+					addr = regs[ah3b].Val() + uimmh3b
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pch3+1, addr), steps
+					}
+					regs[dh3b] = mem[addr]
+					m.ctr.disp[kh4]++
+					addr = regs[ah4].Val() + uimmh4
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pch4, addr), steps
+					}
+					regs[dh4] = mem[addr]
+					steps += 2
+					addr = regs[ah4b].Val() + uimmh4b
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pch4+1, addr), steps
+					}
+					regs[dh4b] = mem[addr]
+					steps++
+					m.ctr.disp[kh5]++
+					addr = regs[ah5].Val() + uimmh5
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pch5, addr), steps
+					}
+					regs[dh5] = mem[addr]
+					steps++
+					m.ctr.disp[kh6]++
+					tv := int(regs[ah6].Val())
+					if tv < 0 || tv >= len(xof) || xof[tv] < 0 {
+						return m.tFail(tv, "pc out of range"), steps
+					}
+					nx := int(xof[tv])
+					if nx <= selfxh6 {
+						return m.tEdge(pch6, &tops[nx]), steps
+					}
+					return &tops[nx], steps
+				}
+			}
+		}
+
+	}
+
+	// S2L — continuation tail flowing into a deref ladder: the S2 shape
+	// whose landing-slot successor heads a six/seven/seven ladder; the
+	// whole run executes in one dispatch.
+	if dbgSuperMask&(1<<17) != 0 {
+		if isBrTag(at(i)) && isBrTag(at(i+1)) && at(i+2) == exec.XFLdLd &&
+			at(i+3) == exec.XFMovMov && at(i+4) == exec.XJmp {
+			t := int(ops[i+4].Target)
+			if t >= 0 && t < n && isMov(at(t)) && t != i+4 {
+				if c0 := sixAt(t + 1); c0 >= 0 {
+					if c1 := sevenAt(c0); c1 >= 0 {
+						if c2 := sevenAt(c1); c2 >= 0 {
+							op0, op1, op2, op3, op4, op5 := &ops[i], &ops[i+1], &ops[i+2], &ops[i+3], &ops[i+4], &ops[t]
+							ne0 := op0.Code == exec.XBrTagNe
+							ne1 := op1.Code == exec.XBrTagNe
+							tgt0, tback0 := targetOf(i)
+							tgt1, tback1 := targetOf(i + 1)
+							jback := t <= i+4
+							exit2 := &tops[c2]
+							exitA := &tops[t+2]
+							exitB := &tops[c0+3]
+							exitC := &tops[c1+3]
+							d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+							d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+							uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+							w0, tag0 := op0.W, op0.Tag
+							imm0, cond0 := op0.Imm, op0.Cond
+							pc0, k0 := int(op0.PC), op0.Code
+							_ = pc0
+							_, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, imm0, cond0
+							d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+							d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+							uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+							w1, tag1 := op1.W, op1.Tag
+							imm1, cond1 := op1.Imm, op1.Cond
+							pc1, k1 := int(op1.PC), op1.Code
+							_ = pc1
+							_, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, imm1, cond1
+							d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+							d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+							uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+							w2, tag2 := op2.W, op2.Tag
+							imm2, cond2 := op2.Imm, op2.Cond
+							pc2, k2 := int(op2.PC), op2.Code
+							_ = pc2
+							_, _, _, _, _, _, _, _, _, _, _ = d2, a2, b2, d2b, a2b, uimm2, uimm2b, w2, tag2, imm2, cond2
+							d3, a3, b3 := uint8(op3.D), uint8(op3.A), uint8(op3.B)
+							d3b, a3b := uint8(op3.D2), uint8(op3.A2)
+							uimm3, uimm3b := uint64(op3.Imm), uint64(op3.Imm2)
+							w3, tag3 := op3.W, op3.Tag
+							imm3, cond3 := op3.Imm, op3.Cond
+							pc3, k3 := int(op3.PC), op3.Code
+							_ = pc3
+							_, _, _, _, _, _, _, _, _, _, _ = d3, a3, b3, d3b, a3b, uimm3, uimm3b, w3, tag3, imm3, cond3
+							d4, a4, b4 := uint8(op4.D), uint8(op4.A), uint8(op4.B)
+							d4b, a4b := uint8(op4.D2), uint8(op4.A2)
+							uimm4, uimm4b := uint64(op4.Imm), uint64(op4.Imm2)
+							w4, tag4 := op4.W, op4.Tag
+							imm4, cond4 := op4.Imm, op4.Cond
+							pc4, k4 := int(op4.PC), op4.Code
+							_ = pc4
+							_, _, _, _, _, _, _, _, _, _, _ = d4, a4, b4, d4b, a4b, uimm4, uimm4b, w4, tag4, imm4, cond4
+							d5, a5, b5 := uint8(op5.D), uint8(op5.A), uint8(op5.B)
+							d5b, a5b := uint8(op5.D2), uint8(op5.A2)
+							uimm5, uimm5b := uint64(op5.Imm), uint64(op5.Imm2)
+							w5, tag5 := op5.W, op5.Tag
+							imm5, cond5 := op5.Imm, op5.Cond
+							pc5, k5 := int(op5.PC), op5.Code
+							_ = pc5
+							_, _, _, _, _, _, _, _, _, _, _ = d5, a5, b5, d5b, a5b, uimm5, uimm5b, w5, tag5, imm5, cond5
+							dra0, ara0, bra0 := uint8((&ops[t+1+0]).D), uint8((&ops[t+1+0]).A), uint8((&ops[t+1+0]).B)
+							dra0b, ara0b := uint8((&ops[t+1+0]).D2), uint8((&ops[t+1+0]).A2)
+							uimmra0, uimmra0b := uint64((&ops[t+1+0]).Imm), uint64((&ops[t+1+0]).Imm2)
+							wra0, tagra0 := (&ops[t+1+0]).W, (&ops[t+1+0]).Tag
+							immra0, condra0 := (&ops[t+1+0]).Imm, (&ops[t+1+0]).Cond
+							pcra0, kra0 := int((&ops[t+1+0]).PC), (&ops[t+1+0]).Code
+							_ = pcra0
+							_, _, _, _, _, _, _, _, _, _, _ = dra0, ara0, bra0, dra0b, ara0b, uimmra0, uimmra0b, wra0, tagra0, immra0, condra0
+							dra1, ara1, bra1 := uint8((&ops[t+1+1]).D), uint8((&ops[t+1+1]).A), uint8((&ops[t+1+1]).B)
+							dra1b, ara1b := uint8((&ops[t+1+1]).D2), uint8((&ops[t+1+1]).A2)
+							uimmra1, uimmra1b := uint64((&ops[t+1+1]).Imm), uint64((&ops[t+1+1]).Imm2)
+							wra1, tagra1 := (&ops[t+1+1]).W, (&ops[t+1+1]).Tag
+							immra1, condra1 := (&ops[t+1+1]).Imm, (&ops[t+1+1]).Cond
+							pcra1, kra1 := int((&ops[t+1+1]).PC), (&ops[t+1+1]).Code
+							_ = pcra1
+							_, _, _, _, _, _, _, _, _, _, _ = dra1, ara1, bra1, dra1b, ara1b, uimmra1, uimmra1b, wra1, tagra1, immra1, condra1
+							dra2, ara2, bra2 := uint8((&ops[t+1+2]).D), uint8((&ops[t+1+2]).A), uint8((&ops[t+1+2]).B)
+							dra2b, ara2b := uint8((&ops[t+1+2]).D2), uint8((&ops[t+1+2]).A2)
+							uimmra2, uimmra2b := uint64((&ops[t+1+2]).Imm), uint64((&ops[t+1+2]).Imm2)
+							wra2, tagra2 := (&ops[t+1+2]).W, (&ops[t+1+2]).Tag
+							immra2, condra2 := (&ops[t+1+2]).Imm, (&ops[t+1+2]).Cond
+							pcra2, kra2 := int((&ops[t+1+2]).PC), (&ops[t+1+2]).Code
+							_ = pcra2
+							_, _, _, _, _, _, _, _, _, _, _ = dra2, ara2, bra2, dra2b, ara2b, uimmra2, uimmra2b, wra2, tagra2, immra2, condra2
+							nera0 := ops[t+1].Code == exec.XBrTagNe
+							wantEqra1 := ops[t+1+1].Code == exec.XFLdBrCmpEqR
+							drb0, arb0, brb0 := uint8((&ops[c0+0]).D), uint8((&ops[c0+0]).A), uint8((&ops[c0+0]).B)
+							drb0b, arb0b := uint8((&ops[c0+0]).D2), uint8((&ops[c0+0]).A2)
+							uimmrb0, uimmrb0b := uint64((&ops[c0+0]).Imm), uint64((&ops[c0+0]).Imm2)
+							wrb0, tagrb0 := (&ops[c0+0]).W, (&ops[c0+0]).Tag
+							immrb0, condrb0 := (&ops[c0+0]).Imm, (&ops[c0+0]).Cond
+							pcrb0, krb0 := int((&ops[c0+0]).PC), (&ops[c0+0]).Code
+							_ = pcrb0
+							_, _, _, _, _, _, _, _, _, _, _ = drb0, arb0, brb0, drb0b, arb0b, uimmrb0, uimmrb0b, wrb0, tagrb0, immrb0, condrb0
+							drb1, arb1, brb1 := uint8((&ops[c0+1]).D), uint8((&ops[c0+1]).A), uint8((&ops[c0+1]).B)
+							drb1b, arb1b := uint8((&ops[c0+1]).D2), uint8((&ops[c0+1]).A2)
+							uimmrb1, uimmrb1b := uint64((&ops[c0+1]).Imm), uint64((&ops[c0+1]).Imm2)
+							wrb1, tagrb1 := (&ops[c0+1]).W, (&ops[c0+1]).Tag
+							immrb1, condrb1 := (&ops[c0+1]).Imm, (&ops[c0+1]).Cond
+							pcrb1, krb1 := int((&ops[c0+1]).PC), (&ops[c0+1]).Code
+							_ = pcrb1
+							_, _, _, _, _, _, _, _, _, _, _ = drb1, arb1, brb1, drb1b, arb1b, uimmrb1, uimmrb1b, wrb1, tagrb1, immrb1, condrb1
+							drb2, arb2, brb2 := uint8((&ops[c0+2]).D), uint8((&ops[c0+2]).A), uint8((&ops[c0+2]).B)
+							drb2b, arb2b := uint8((&ops[c0+2]).D2), uint8((&ops[c0+2]).A2)
+							uimmrb2, uimmrb2b := uint64((&ops[c0+2]).Imm), uint64((&ops[c0+2]).Imm2)
+							wrb2, tagrb2 := (&ops[c0+2]).W, (&ops[c0+2]).Tag
+							immrb2, condrb2 := (&ops[c0+2]).Imm, (&ops[c0+2]).Cond
+							pcrb2, krb2 := int((&ops[c0+2]).PC), (&ops[c0+2]).Code
+							_ = pcrb2
+							_, _, _, _, _, _, _, _, _, _, _ = drb2, arb2, brb2, drb2b, arb2b, uimmrb2, uimmrb2b, wrb2, tagrb2, immrb2, condrb2
+							drb3, arb3, brb3 := uint8((&ops[c0+3]).D), uint8((&ops[c0+3]).A), uint8((&ops[c0+3]).B)
+							drb3b, arb3b := uint8((&ops[c0+3]).D2), uint8((&ops[c0+3]).A2)
+							uimmrb3, uimmrb3b := uint64((&ops[c0+3]).Imm), uint64((&ops[c0+3]).Imm2)
+							wrb3, tagrb3 := (&ops[c0+3]).W, (&ops[c0+3]).Tag
+							immrb3, condrb3 := (&ops[c0+3]).Imm, (&ops[c0+3]).Cond
+							pcrb3, krb3 := int((&ops[c0+3]).PC), (&ops[c0+3]).Code
+							_ = pcrb3
+							_, _, _, _, _, _, _, _, _, _, _ = drb3, arb3, brb3, drb3b, arb3b, uimmrb3, uimmrb3b, wrb3, tagrb3, immrb3, condrb3
+							drb4, arb4, brb4 := uint8((&ops[c0+4]).D), uint8((&ops[c0+4]).A), uint8((&ops[c0+4]).B)
+							drb4b, arb4b := uint8((&ops[c0+4]).D2), uint8((&ops[c0+4]).A2)
+							uimmrb4, uimmrb4b := uint64((&ops[c0+4]).Imm), uint64((&ops[c0+4]).Imm2)
+							wrb4, tagrb4 := (&ops[c0+4]).W, (&ops[c0+4]).Tag
+							immrb4, condrb4 := (&ops[c0+4]).Imm, (&ops[c0+4]).Cond
+							pcrb4, krb4 := int((&ops[c0+4]).PC), (&ops[c0+4]).Code
+							_ = pcrb4
+							_, _, _, _, _, _, _, _, _, _, _ = drb4, arb4, brb4, drb4b, arb4b, uimmrb4, uimmrb4b, wrb4, tagrb4, immrb4, condrb4
+							nerb0 := ops[c0].Code == exec.XBrTagNe
+							tgtrb0, tbackrb0 := targetOf(c0)
+							nerb2 := ops[c0+2].Code == exec.XBrTagNe
+							wantEqrb3 := ops[c0+3].Code == exec.XFLdBrCmpEqR
+							drc0, arc0, brc0 := uint8((&ops[c1+0]).D), uint8((&ops[c1+0]).A), uint8((&ops[c1+0]).B)
+							drc0b, arc0b := uint8((&ops[c1+0]).D2), uint8((&ops[c1+0]).A2)
+							uimmrc0, uimmrc0b := uint64((&ops[c1+0]).Imm), uint64((&ops[c1+0]).Imm2)
+							wrc0, tagrc0 := (&ops[c1+0]).W, (&ops[c1+0]).Tag
+							immrc0, condrc0 := (&ops[c1+0]).Imm, (&ops[c1+0]).Cond
+							pcrc0, krc0 := int((&ops[c1+0]).PC), (&ops[c1+0]).Code
+							_ = pcrc0
+							_, _, _, _, _, _, _, _, _, _, _ = drc0, arc0, brc0, drc0b, arc0b, uimmrc0, uimmrc0b, wrc0, tagrc0, immrc0, condrc0
+							drc1, arc1, brc1 := uint8((&ops[c1+1]).D), uint8((&ops[c1+1]).A), uint8((&ops[c1+1]).B)
+							drc1b, arc1b := uint8((&ops[c1+1]).D2), uint8((&ops[c1+1]).A2)
+							uimmrc1, uimmrc1b := uint64((&ops[c1+1]).Imm), uint64((&ops[c1+1]).Imm2)
+							wrc1, tagrc1 := (&ops[c1+1]).W, (&ops[c1+1]).Tag
+							immrc1, condrc1 := (&ops[c1+1]).Imm, (&ops[c1+1]).Cond
+							pcrc1, krc1 := int((&ops[c1+1]).PC), (&ops[c1+1]).Code
+							_ = pcrc1
+							_, _, _, _, _, _, _, _, _, _, _ = drc1, arc1, brc1, drc1b, arc1b, uimmrc1, uimmrc1b, wrc1, tagrc1, immrc1, condrc1
+							drc2, arc2, brc2 := uint8((&ops[c1+2]).D), uint8((&ops[c1+2]).A), uint8((&ops[c1+2]).B)
+							drc2b, arc2b := uint8((&ops[c1+2]).D2), uint8((&ops[c1+2]).A2)
+							uimmrc2, uimmrc2b := uint64((&ops[c1+2]).Imm), uint64((&ops[c1+2]).Imm2)
+							wrc2, tagrc2 := (&ops[c1+2]).W, (&ops[c1+2]).Tag
+							immrc2, condrc2 := (&ops[c1+2]).Imm, (&ops[c1+2]).Cond
+							pcrc2, krc2 := int((&ops[c1+2]).PC), (&ops[c1+2]).Code
+							_ = pcrc2
+							_, _, _, _, _, _, _, _, _, _, _ = drc2, arc2, brc2, drc2b, arc2b, uimmrc2, uimmrc2b, wrc2, tagrc2, immrc2, condrc2
+							drc3, arc3, brc3 := uint8((&ops[c1+3]).D), uint8((&ops[c1+3]).A), uint8((&ops[c1+3]).B)
+							drc3b, arc3b := uint8((&ops[c1+3]).D2), uint8((&ops[c1+3]).A2)
+							uimmrc3, uimmrc3b := uint64((&ops[c1+3]).Imm), uint64((&ops[c1+3]).Imm2)
+							wrc3, tagrc3 := (&ops[c1+3]).W, (&ops[c1+3]).Tag
+							immrc3, condrc3 := (&ops[c1+3]).Imm, (&ops[c1+3]).Cond
+							pcrc3, krc3 := int((&ops[c1+3]).PC), (&ops[c1+3]).Code
+							_ = pcrc3
+							_, _, _, _, _, _, _, _, _, _, _ = drc3, arc3, brc3, drc3b, arc3b, uimmrc3, uimmrc3b, wrc3, tagrc3, immrc3, condrc3
+							drc4, arc4, brc4 := uint8((&ops[c1+4]).D), uint8((&ops[c1+4]).A), uint8((&ops[c1+4]).B)
+							drc4b, arc4b := uint8((&ops[c1+4]).D2), uint8((&ops[c1+4]).A2)
+							uimmrc4, uimmrc4b := uint64((&ops[c1+4]).Imm), uint64((&ops[c1+4]).Imm2)
+							wrc4, tagrc4 := (&ops[c1+4]).W, (&ops[c1+4]).Tag
+							immrc4, condrc4 := (&ops[c1+4]).Imm, (&ops[c1+4]).Cond
+							pcrc4, krc4 := int((&ops[c1+4]).PC), (&ops[c1+4]).Code
+							_ = pcrc4
+							_, _, _, _, _, _, _, _, _, _, _ = drc4, arc4, brc4, drc4b, arc4b, uimmrc4, uimmrc4b, wrc4, tagrc4, immrc4, condrc4
+							nerc0 := ops[c1].Code == exec.XBrTagNe
+							tgtrc0, tbackrc0 := targetOf(c1)
+							nerc2 := ops[c1+2].Code == exec.XBrTagNe
+							wantEqrc3 := ops[c1+3].Code == exec.XFLdBrCmpEqR
+							return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+								if steps+30 > tmax {
+									return gen1, steps
+								}
+								var addr uint64
+								steps++
+								m.ctr.disp[k0]++
+								if (regs[a0].Tag() == tag0) == !ne0 {
+									if tback0 {
+										return m.tEdge(pc0, tgt0), steps
+									}
+									return tgt0, steps
+								}
+								steps++
+								m.ctr.disp[k1]++
+								if (regs[a1].Tag() == tag1) == !ne1 {
+									if tback1 {
+										return m.tEdge(pc1, tgt1), steps
+									}
+									return tgt1, steps
+								}
+								m.ctr.disp[k2]++
+								addr = regs[a2].Val() + uimm2
+								if addr >= uint64(len(mem)) {
+									return m.tLoadErr(pc2, addr), steps
+								}
+								regs[d2] = mem[addr]
+								steps += 2
+								addr = regs[a2b].Val() + uimm2b
+								if addr >= uint64(len(mem)) {
+									return m.tLoadErr(pc2+1, addr), steps
+								}
+								regs[d2b] = mem[addr]
+								m.ctr.disp[k3]++
+								regs[d3] = regs[a3]
+								steps += 2
+								regs[d3b] = regs[a3b]
+								steps++
+								m.ctr.disp[k4]++
+								if jback {
+									m.tpoll--
+									if m.tpoll <= 0 {
+										m.tpoll = m.pollEvery()
+										if err := m.pollCheck(pc4); err != nil {
+											m.terr = err
+											return nil, steps
+										}
+									}
+								}
+								steps++
+								m.ctr.disp[k5]++
+								regs[d5] = regs[a5]
+								steps++
+								m.ctr.disp[kra0]++
+								if (regs[ara0].Tag() == tagra0) == !nera0 {
+									goto tladA
+								}
+								m.ctr.disp[kra1]++
+								addr = regs[ara1].Val() + uimmra1
+								if addr >= uint64(len(mem)) {
+									return m.tLoadErr(pcra1, addr), steps
+								}
+								regs[dra1] = mem[addr]
+								steps += 2
+								if (regs[dra1b] == regs[ara1b]) == wantEqra1 {
+									goto tladA
+								}
+								m.ctr.disp[kra2]++
+								regs[dra2] = regs[ara2]
+								steps += 2
+								m.tpoll--
+								if m.tpoll <= 0 {
+									m.tpoll = m.pollEvery()
+									if err := m.pollCheck(pcra2); err != nil {
+										m.terr = err
+										return nil, steps
+									}
+								}
+								steps++
+								m.ctr.disp[kra0]++
+								if (regs[ara0].Tag() == tagra0) == !nera0 {
+									goto tladA
+								}
+								return exitA, steps
+							tladA:
+								steps++
+								m.ctr.disp[krb0]++
+								if (regs[arb0].Tag() == tagrb0) == !nerb0 {
+									if tbackrb0 {
+										return m.tEdge(pcrb0, tgtrb0), steps
+									}
+									return tgtrb0, steps
+								}
+								steps++
+								m.ctr.disp[krb1]++
+								regs[drb1] = regs[arb1]
+								steps++
+								m.ctr.disp[krb2]++
+								if (regs[arb2].Tag() == tagrb2) == !nerb2 {
+									goto tladB
+								}
+								m.ctr.disp[krb3]++
+								addr = regs[arb3].Val() + uimmrb3
+								if addr >= uint64(len(mem)) {
+									return m.tLoadErr(pcrb3, addr), steps
+								}
+								regs[drb3] = mem[addr]
+								steps += 2
+								if (regs[drb3b] == regs[arb3b]) == wantEqrb3 {
+									goto tladB
+								}
+								m.ctr.disp[krb4]++
+								regs[drb4] = regs[arb4]
+								steps += 2
+								m.tpoll--
+								if m.tpoll <= 0 {
+									m.tpoll = m.pollEvery()
+									if err := m.pollCheck(pcrb4); err != nil {
+										m.terr = err
+										return nil, steps
+									}
+								}
+								steps++
+								m.ctr.disp[krb2]++
+								if (regs[arb2].Tag() == tagrb2) == !nerb2 {
+									goto tladB
+								}
+								return exitB, steps
+							tladB:
+								steps++
+								m.ctr.disp[krc0]++
+								if (regs[arc0].Tag() == tagrc0) == !nerc0 {
+									if tbackrc0 {
+										return m.tEdge(pcrc0, tgtrc0), steps
+									}
+									return tgtrc0, steps
+								}
+								steps++
+								m.ctr.disp[krc1]++
+								regs[drc1] = regs[arc1]
+								steps++
+								m.ctr.disp[krc2]++
+								if (regs[arc2].Tag() == tagrc2) == !nerc2 {
+									goto tladC
+								}
+								m.ctr.disp[krc3]++
+								addr = regs[arc3].Val() + uimmrc3
+								if addr >= uint64(len(mem)) {
+									return m.tLoadErr(pcrc3, addr), steps
+								}
+								regs[drc3] = mem[addr]
+								steps += 2
+								if (regs[drc3b] == regs[arc3b]) == wantEqrc3 {
+									goto tladC
+								}
+								m.ctr.disp[krc4]++
+								regs[drc4] = regs[arc4]
+								steps += 2
+								m.tpoll--
+								if m.tpoll <= 0 {
+									m.tpoll = m.pollEvery()
+									if err := m.pollCheck(pcrc4); err != nil {
+										m.terr = err
+										return nil, steps
+									}
+								}
+								steps++
+								m.ctr.disp[krc2]++
+								if (regs[arc2].Tag() == tagrc2) == !nerc2 {
+									goto tladC
+								}
+								return exitC, steps
+							tladC:
+								return exit2, steps
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// S2 — clause-continuation tail: two not-taken tag branches, two
+	// loads, two moves, an unconditional jump, and the move at its
+	// landing slot.
+	if dbgSuperMask&(1<<1) != 0 {
+		if isBrTag(at(i)) && isBrTag(at(i+1)) && at(i+2) == exec.XFLdLd &&
+			at(i+3) == exec.XFMovMov && at(i+4) == exec.XJmp {
+			t := int(ops[i+4].Target)
+			if t >= 0 && t < n && isMov(at(t)) && t != i+4 {
+				op0, op1, op2, op3, op4, op5 := &ops[i], &ops[i+1], &ops[i+2], &ops[i+3], &ops[i+4], &ops[t]
+				ne0 := op0.Code == exec.XBrTagNe
+				ne1 := op1.Code == exec.XBrTagNe
+				tgt0, tback0 := targetOf(i)
+				tgt1, tback1 := targetOf(i + 1)
+				jback := t <= i+4
+				fall5 := fallTop(t)
+				d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+				d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+				uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+				w0, tag0 := op0.W, op0.Tag
+				ri0, ri0b := op0.Region, op0.Region2
+				kOver0, kOver0b := overflowKind(ri0), overflowKind(ri0b)
+				imm0, cond0 := op0.Imm, op0.Cond
+				pc0, k0 := int(op0.PC), op0.Code
+				_ = pc0
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, ri0, ri0b, kOver0, kOver0b, imm0, cond0
+				d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+				d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+				uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+				w1, tag1 := op1.W, op1.Tag
+				ri1, ri1b := op1.Region, op1.Region2
+				kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+				imm1, cond1 := op1.Imm, op1.Cond
+				pc1, k1 := int(op1.PC), op1.Code
+				_ = pc1
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, ri1, ri1b, kOver1, kOver1b, imm1, cond1
+				d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+				d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+				uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+				w2, tag2 := op2.W, op2.Tag
+				ri2, ri2b := op2.Region, op2.Region2
+				kOver2, kOver2b := overflowKind(ri2), overflowKind(ri2b)
+				imm2, cond2 := op2.Imm, op2.Cond
+				pc2, k2 := int(op2.PC), op2.Code
+				_ = pc2
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d2, a2, b2, d2b, a2b, uimm2, uimm2b, w2, tag2, ri2, ri2b, kOver2, kOver2b, imm2, cond2
+				d3, a3, b3 := uint8(op3.D), uint8(op3.A), uint8(op3.B)
+				d3b, a3b := uint8(op3.D2), uint8(op3.A2)
+				uimm3, uimm3b := uint64(op3.Imm), uint64(op3.Imm2)
+				w3, tag3 := op3.W, op3.Tag
+				ri3, ri3b := op3.Region, op3.Region2
+				kOver3, kOver3b := overflowKind(ri3), overflowKind(ri3b)
+				imm3, cond3 := op3.Imm, op3.Cond
+				pc3, k3 := int(op3.PC), op3.Code
+				_ = pc3
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d3, a3, b3, d3b, a3b, uimm3, uimm3b, w3, tag3, ri3, ri3b, kOver3, kOver3b, imm3, cond3
+				d4, a4, b4 := uint8(op4.D), uint8(op4.A), uint8(op4.B)
+				d4b, a4b := uint8(op4.D2), uint8(op4.A2)
+				uimm4, uimm4b := uint64(op4.Imm), uint64(op4.Imm2)
+				w4, tag4 := op4.W, op4.Tag
+				ri4, ri4b := op4.Region, op4.Region2
+				kOver4, kOver4b := overflowKind(ri4), overflowKind(ri4b)
+				imm4, cond4 := op4.Imm, op4.Cond
+				pc4, k4 := int(op4.PC), op4.Code
+				_ = pc4
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d4, a4, b4, d4b, a4b, uimm4, uimm4b, w4, tag4, ri4, ri4b, kOver4, kOver4b, imm4, cond4
+				d5, a5, b5 := uint8(op5.D), uint8(op5.A), uint8(op5.B)
+				d5b, a5b := uint8(op5.D2), uint8(op5.A2)
+				uimm5, uimm5b := uint64(op5.Imm), uint64(op5.Imm2)
+				w5, tag5 := op5.W, op5.Tag
+				ri5, ri5b := op5.Region, op5.Region2
+				kOver5, kOver5b := overflowKind(ri5), overflowKind(ri5b)
+				imm5, cond5 := op5.Imm, op5.Cond
+				pc5, k5 := int(op5.PC), op5.Code
+				_ = pc5
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d5, a5, b5, d5b, a5b, uimm5, uimm5b, w5, tag5, ri5, ri5b, kOver5, kOver5b, imm5, cond5
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+8 > tmax {
+						return gen1, steps
+					}
+					steps++
+					m.ctr.disp[k0]++
+					if (regs[a0].Tag() == tag0) == !ne0 {
+						if tback0 {
+							return m.tEdge(pc0, tgt0), steps
+						}
+						return tgt0, steps
+					}
+					steps++
+					m.ctr.disp[k1]++
+					if (regs[a1].Tag() == tag1) == !ne1 {
+						if tback1 {
+							return m.tEdge(pc1, tgt1), steps
+						}
+						return tgt1, steps
+					}
+					m.ctr.disp[k2]++
+					addr := regs[a2].Val() + uimm2
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc2, addr), steps
+					}
+					regs[d2] = mem[addr]
+					steps += 2
+					addr = regs[a2b].Val() + uimm2b
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc2+1, addr), steps
+					}
+					regs[d2b] = mem[addr]
+					m.ctr.disp[k3]++
+					regs[d3] = regs[a3]
+					steps += 2
+					regs[d3b] = regs[a3b]
+					steps++
+					m.ctr.disp[k4]++
+					if jback {
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pc4); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+					}
+					steps++
+					m.ctr.disp[k5]++
+					regs[d5] = regs[a5]
+					return fall5, steps
+				}
+			}
+		}
+	}
+
+	// S3L — structure-copy store chain: load, two adds, nine stores (with
+	// an embedded conditional move and immediate moves), the closing
+	// move, the jump, and its landing move. Every catchable store
+	// overflow redirects with exactly the constituent count a per-op
+	// chain would have accumulated.
+	if dbgSuperMask&(1<<18) != 0 {
+		if isLd(at(i)) && at(i+1) == exec.XAddI && at(i+2) == exec.XAddR &&
+			at(i+3) == exec.XFStMovI && at(i+4) == exec.XFStSt && at(i+5) == exec.XFStSt &&
+			at(i+6) == exec.XSt && at(i+7) == exec.XFCMovR && at(i+8) == exec.XFStSt &&
+			at(i+9) == exec.XFMovISt && at(i+10) == exec.XFStSt && at(i+11) == exec.XSt &&
+			isMov(at(i+12)) && at(i+13) == exec.XJmp {
+			t := int(ops[i+13].Target)
+			if t >= 0 && t < n && isMov(at(t)) && t != i+13 && sixAt(t+1) >= 0 {
+				c0 := sixAt(t + 1)
+				exitL := &tops[c0]
+				exitA := &tops[t+2]
+				op0 := &ops[i+0]
+				op1 := &ops[i+1]
+				op2 := &ops[i+2]
+				op3 := &ops[i+3]
+				op4 := &ops[i+4]
+				op5 := &ops[i+5]
+				op6 := &ops[i+6]
+				op7 := &ops[i+7]
+				op8 := &ops[i+8]
+				op9 := &ops[i+9]
+				op10 := &ops[i+10]
+				op11 := &ops[i+11]
+				op12 := &ops[i+12]
+				op13 := &ops[i+13]
+				op14 := &ops[t]
+				jback := t <= i+13
+				d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+				d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+				uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+				w0, tag0 := op0.W, op0.Tag
+				ri0, ri0b := op0.Region, op0.Region2
+				kOver0, kOver0b := overflowKind(ri0), overflowKind(ri0b)
+				imm0, cond0 := op0.Imm, op0.Cond
+				pc0, k0 := int(op0.PC), op0.Code
+				_ = pc0
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, ri0, ri0b, kOver0, kOver0b, imm0, cond0
+				d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+				d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+				uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+				w1, tag1 := op1.W, op1.Tag
+				ri1, ri1b := op1.Region, op1.Region2
+				kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+				imm1, cond1 := op1.Imm, op1.Cond
+				pc1, k1 := int(op1.PC), op1.Code
+				_ = pc1
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, ri1, ri1b, kOver1, kOver1b, imm1, cond1
+				d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+				d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+				uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+				w2, tag2 := op2.W, op2.Tag
+				ri2, ri2b := op2.Region, op2.Region2
+				kOver2, kOver2b := overflowKind(ri2), overflowKind(ri2b)
+				imm2, cond2 := op2.Imm, op2.Cond
+				pc2, k2 := int(op2.PC), op2.Code
+				_ = pc2
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d2, a2, b2, d2b, a2b, uimm2, uimm2b, w2, tag2, ri2, ri2b, kOver2, kOver2b, imm2, cond2
+				d3, a3, b3 := uint8(op3.D), uint8(op3.A), uint8(op3.B)
+				d3b, a3b := uint8(op3.D2), uint8(op3.A2)
+				uimm3, uimm3b := uint64(op3.Imm), uint64(op3.Imm2)
+				w3, tag3 := op3.W, op3.Tag
+				ri3, ri3b := op3.Region, op3.Region2
+				kOver3, kOver3b := overflowKind(ri3), overflowKind(ri3b)
+				imm3, cond3 := op3.Imm, op3.Cond
+				pc3, k3 := int(op3.PC), op3.Code
+				_ = pc3
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d3, a3, b3, d3b, a3b, uimm3, uimm3b, w3, tag3, ri3, ri3b, kOver3, kOver3b, imm3, cond3
+				d4, a4, b4 := uint8(op4.D), uint8(op4.A), uint8(op4.B)
+				d4b, a4b := uint8(op4.D2), uint8(op4.A2)
+				uimm4, uimm4b := uint64(op4.Imm), uint64(op4.Imm2)
+				w4, tag4 := op4.W, op4.Tag
+				ri4, ri4b := op4.Region, op4.Region2
+				kOver4, kOver4b := overflowKind(ri4), overflowKind(ri4b)
+				imm4, cond4 := op4.Imm, op4.Cond
+				pc4, k4 := int(op4.PC), op4.Code
+				_ = pc4
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d4, a4, b4, d4b, a4b, uimm4, uimm4b, w4, tag4, ri4, ri4b, kOver4, kOver4b, imm4, cond4
+				d5, a5, b5 := uint8(op5.D), uint8(op5.A), uint8(op5.B)
+				d5b, a5b := uint8(op5.D2), uint8(op5.A2)
+				uimm5, uimm5b := uint64(op5.Imm), uint64(op5.Imm2)
+				w5, tag5 := op5.W, op5.Tag
+				ri5, ri5b := op5.Region, op5.Region2
+				kOver5, kOver5b := overflowKind(ri5), overflowKind(ri5b)
+				imm5, cond5 := op5.Imm, op5.Cond
+				pc5, k5 := int(op5.PC), op5.Code
+				_ = pc5
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d5, a5, b5, d5b, a5b, uimm5, uimm5b, w5, tag5, ri5, ri5b, kOver5, kOver5b, imm5, cond5
+				d6, a6, b6 := uint8(op6.D), uint8(op6.A), uint8(op6.B)
+				d6b, a6b := uint8(op6.D2), uint8(op6.A2)
+				uimm6, uimm6b := uint64(op6.Imm), uint64(op6.Imm2)
+				w6, tag6 := op6.W, op6.Tag
+				ri6, ri6b := op6.Region, op6.Region2
+				kOver6, kOver6b := overflowKind(ri6), overflowKind(ri6b)
+				imm6, cond6 := op6.Imm, op6.Cond
+				pc6, k6 := int(op6.PC), op6.Code
+				_ = pc6
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d6, a6, b6, d6b, a6b, uimm6, uimm6b, w6, tag6, ri6, ri6b, kOver6, kOver6b, imm6, cond6
+				d7, a7, b7 := uint8(op7.D), uint8(op7.A), uint8(op7.B)
+				d7b, a7b := uint8(op7.D2), uint8(op7.A2)
+				uimm7, uimm7b := uint64(op7.Imm), uint64(op7.Imm2)
+				w7, tag7 := op7.W, op7.Tag
+				ri7, ri7b := op7.Region, op7.Region2
+				kOver7, kOver7b := overflowKind(ri7), overflowKind(ri7b)
+				imm7, cond7 := op7.Imm, op7.Cond
+				pc7, k7 := int(op7.PC), op7.Code
+				_ = pc7
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d7, a7, b7, d7b, a7b, uimm7, uimm7b, w7, tag7, ri7, ri7b, kOver7, kOver7b, imm7, cond7
+				d8, a8, b8 := uint8(op8.D), uint8(op8.A), uint8(op8.B)
+				d8b, a8b := uint8(op8.D2), uint8(op8.A2)
+				uimm8, uimm8b := uint64(op8.Imm), uint64(op8.Imm2)
+				w8, tag8 := op8.W, op8.Tag
+				ri8, ri8b := op8.Region, op8.Region2
+				kOver8, kOver8b := overflowKind(ri8), overflowKind(ri8b)
+				imm8, cond8 := op8.Imm, op8.Cond
+				pc8, k8 := int(op8.PC), op8.Code
+				_ = pc8
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d8, a8, b8, d8b, a8b, uimm8, uimm8b, w8, tag8, ri8, ri8b, kOver8, kOver8b, imm8, cond8
+				d9, a9, b9 := uint8(op9.D), uint8(op9.A), uint8(op9.B)
+				d9b, a9b := uint8(op9.D2), uint8(op9.A2)
+				uimm9, uimm9b := uint64(op9.Imm), uint64(op9.Imm2)
+				w9, tag9 := op9.W, op9.Tag
+				ri9, ri9b := op9.Region, op9.Region2
+				kOver9, kOver9b := overflowKind(ri9), overflowKind(ri9b)
+				imm9, cond9 := op9.Imm, op9.Cond
+				pc9, k9 := int(op9.PC), op9.Code
+				_ = pc9
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d9, a9, b9, d9b, a9b, uimm9, uimm9b, w9, tag9, ri9, ri9b, kOver9, kOver9b, imm9, cond9
+				d10, a10, b10 := uint8(op10.D), uint8(op10.A), uint8(op10.B)
+				d10b, a10b := uint8(op10.D2), uint8(op10.A2)
+				uimm10, uimm10b := uint64(op10.Imm), uint64(op10.Imm2)
+				w10, tag10 := op10.W, op10.Tag
+				ri10, ri10b := op10.Region, op10.Region2
+				kOver10, kOver10b := overflowKind(ri10), overflowKind(ri10b)
+				imm10, cond10 := op10.Imm, op10.Cond
+				pc10, k10 := int(op10.PC), op10.Code
+				_ = pc10
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d10, a10, b10, d10b, a10b, uimm10, uimm10b, w10, tag10, ri10, ri10b, kOver10, kOver10b, imm10, cond10
+				d11, a11, b11 := uint8(op11.D), uint8(op11.A), uint8(op11.B)
+				d11b, a11b := uint8(op11.D2), uint8(op11.A2)
+				uimm11, uimm11b := uint64(op11.Imm), uint64(op11.Imm2)
+				w11, tag11 := op11.W, op11.Tag
+				ri11, ri11b := op11.Region, op11.Region2
+				kOver11, kOver11b := overflowKind(ri11), overflowKind(ri11b)
+				imm11, cond11 := op11.Imm, op11.Cond
+				pc11, k11 := int(op11.PC), op11.Code
+				_ = pc11
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d11, a11, b11, d11b, a11b, uimm11, uimm11b, w11, tag11, ri11, ri11b, kOver11, kOver11b, imm11, cond11
+				d12, a12, b12 := uint8(op12.D), uint8(op12.A), uint8(op12.B)
+				d12b, a12b := uint8(op12.D2), uint8(op12.A2)
+				uimm12, uimm12b := uint64(op12.Imm), uint64(op12.Imm2)
+				w12, tag12 := op12.W, op12.Tag
+				ri12, ri12b := op12.Region, op12.Region2
+				kOver12, kOver12b := overflowKind(ri12), overflowKind(ri12b)
+				imm12, cond12 := op12.Imm, op12.Cond
+				pc12, k12 := int(op12.PC), op12.Code
+				_ = pc12
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d12, a12, b12, d12b, a12b, uimm12, uimm12b, w12, tag12, ri12, ri12b, kOver12, kOver12b, imm12, cond12
+				d13, a13, b13 := uint8(op13.D), uint8(op13.A), uint8(op13.B)
+				d13b, a13b := uint8(op13.D2), uint8(op13.A2)
+				uimm13, uimm13b := uint64(op13.Imm), uint64(op13.Imm2)
+				w13, tag13 := op13.W, op13.Tag
+				ri13, ri13b := op13.Region, op13.Region2
+				kOver13, kOver13b := overflowKind(ri13), overflowKind(ri13b)
+				imm13, cond13 := op13.Imm, op13.Cond
+				pc13, k13 := int(op13.PC), op13.Code
+				_ = pc13
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d13, a13, b13, d13b, a13b, uimm13, uimm13b, w13, tag13, ri13, ri13b, kOver13, kOver13b, imm13, cond13
+				d14, a14, b14 := uint8(op14.D), uint8(op14.A), uint8(op14.B)
+				d14b, a14b := uint8(op14.D2), uint8(op14.A2)
+				uimm14, uimm14b := uint64(op14.Imm), uint64(op14.Imm2)
+				w14, tag14 := op14.W, op14.Tag
+				ri14, ri14b := op14.Region, op14.Region2
+				kOver14, kOver14b := overflowKind(ri14), overflowKind(ri14b)
+				imm14, cond14 := op14.Imm, op14.Cond
+				pc14, k14 := int(op14.PC), op14.Code
+				_ = pc14
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d14, a14, b14, d14b, a14b, uimm14, uimm14b, w14, tag14, ri14, ri14b, kOver14, kOver14b, imm14, cond14
+				tb0 := throwBack(i + 0)
+				_ = tb0
+				tb1 := throwBack(i + 1)
+				_ = tb1
+				tb2 := throwBack(i + 2)
+				_ = tb2
+				tb3 := throwBack(i + 3)
+				_ = tb3
+				tb4 := throwBack(i + 4)
+				_ = tb4
+				tb5 := throwBack(i + 5)
+				_ = tb5
+				tb6 := throwBack(i + 6)
+				_ = tb6
+				tb7 := throwBack(i + 7)
+				_ = tb7
+				tb8 := throwBack(i + 8)
+				_ = tb8
+				tb9 := throwBack(i + 9)
+				_ = tb9
+				tb10 := throwBack(i + 10)
+				_ = tb10
+				tb11 := throwBack(i + 11)
+				_ = tb11
+				tb12 := throwBack(i + 12)
+				_ = tb12
+				tb13 := throwBack(i + 13)
+				_ = tb13
+				dra0, ara0, bra0 := uint8((&ops[t+1+0]).D), uint8((&ops[t+1+0]).A), uint8((&ops[t+1+0]).B)
+				dra0b, ara0b := uint8((&ops[t+1+0]).D2), uint8((&ops[t+1+0]).A2)
+				uimmra0, uimmra0b := uint64((&ops[t+1+0]).Imm), uint64((&ops[t+1+0]).Imm2)
+				wra0, tagra0 := (&ops[t+1+0]).W, (&ops[t+1+0]).Tag
+				immra0, condra0 := (&ops[t+1+0]).Imm, (&ops[t+1+0]).Cond
+				pcra0, kra0 := int((&ops[t+1+0]).PC), (&ops[t+1+0]).Code
+				_ = pcra0
+				_, _, _, _, _, _, _, _, _, _, _ = dra0, ara0, bra0, dra0b, ara0b, uimmra0, uimmra0b, wra0, tagra0, immra0, condra0
+				dra1, ara1, bra1 := uint8((&ops[t+1+1]).D), uint8((&ops[t+1+1]).A), uint8((&ops[t+1+1]).B)
+				dra1b, ara1b := uint8((&ops[t+1+1]).D2), uint8((&ops[t+1+1]).A2)
+				uimmra1, uimmra1b := uint64((&ops[t+1+1]).Imm), uint64((&ops[t+1+1]).Imm2)
+				wra1, tagra1 := (&ops[t+1+1]).W, (&ops[t+1+1]).Tag
+				immra1, condra1 := (&ops[t+1+1]).Imm, (&ops[t+1+1]).Cond
+				pcra1, kra1 := int((&ops[t+1+1]).PC), (&ops[t+1+1]).Code
+				_ = pcra1
+				_, _, _, _, _, _, _, _, _, _, _ = dra1, ara1, bra1, dra1b, ara1b, uimmra1, uimmra1b, wra1, tagra1, immra1, condra1
+				dra2, ara2, bra2 := uint8((&ops[t+1+2]).D), uint8((&ops[t+1+2]).A), uint8((&ops[t+1+2]).B)
+				dra2b, ara2b := uint8((&ops[t+1+2]).D2), uint8((&ops[t+1+2]).A2)
+				uimmra2, uimmra2b := uint64((&ops[t+1+2]).Imm), uint64((&ops[t+1+2]).Imm2)
+				wra2, tagra2 := (&ops[t+1+2]).W, (&ops[t+1+2]).Tag
+				immra2, condra2 := (&ops[t+1+2]).Imm, (&ops[t+1+2]).Cond
+				pcra2, kra2 := int((&ops[t+1+2]).PC), (&ops[t+1+2]).Code
+				_ = pcra2
+				_, _, _, _, _, _, _, _, _, _, _ = dra2, ara2, bra2, dra2b, ara2b, uimmra2, uimmra2b, wra2, tagra2, immra2, condra2
+				nera0 := ops[t+1].Code == exec.XBrTagNe
+				wantEqra1 := ops[t+1+1].Code == exec.XFLdBrCmpEqR
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+28 > tmax {
+						return gen1, steps
+					}
+					steps++
+					m.ctr.disp[k0]++
+					addr := regs[a0].Val() + uimm0
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc0, addr), steps
+					}
+					regs[d0] = mem[addr]
+					steps++
+					m.ctr.disp[k1]++
+					av := regs[a1]
+					regs[d1] = word.Make(av.Tag(), uint64(av.Int()+imm1))
+					steps++
+					m.ctr.disp[k2]++
+					av = regs[a2]
+					regs[d2] = word.Make(av.Tag(), uint64(av.Int()+regs[b2].Int()))
+					m.ctr.disp[k3]++
+					addr = regs[a3].Val() + uimm3
+					if addr >= m.limit[ri3] {
+						return m.tRaise(pc3, kOver3, throw, tb3, tSkipStMovI), steps + 1
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc3, addr), steps
+					}
+					mem[addr] = regs[b3]
+					m.st.Touch(addr)
+					steps += 2
+					regs[d3b] = w3
+					m.ctr.disp[k4]++
+					addr = regs[a4].Val() + uimm4
+					if addr >= m.limit[ri4] {
+						return m.tRaise(pc4, kOver4, throw, tb4, tSkipStSt), steps + 1
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc4, addr), steps
+					}
+					mem[addr] = regs[b4]
+					m.st.Touch(addr)
+					steps += 2
+					addr = regs[a4b].Val() + uimm4b
+					if addr >= m.limit[ri4b] {
+						return m.tRaise(pc4+1, kOver4b, throw, tb4, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc4+1, addr), steps
+					}
+					mem[addr] = regs[d4b]
+					m.st.Touch(addr)
+					m.ctr.disp[k5]++
+					addr = regs[a5].Val() + uimm5
+					if addr >= m.limit[ri5] {
+						return m.tRaise(pc5, kOver5, throw, tb5, tSkipStSt), steps + 1
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc5, addr), steps
+					}
+					mem[addr] = regs[b5]
+					m.st.Touch(addr)
+					steps += 2
+					addr = regs[a5b].Val() + uimm5b
+					if addr >= m.limit[ri5b] {
+						return m.tRaise(pc5+1, kOver5b, throw, tb5, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc5+1, addr), steps
+					}
+					mem[addr] = regs[d5b]
+					m.st.Touch(addr)
+					steps++
+					m.ctr.disp[k6]++
+					addr = regs[a6].Val() + uimm6
+					if addr >= m.limit[ri6] {
+						return m.tRaise(pc6, kOver6, throw, tb6, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc6, addr), steps
+					}
+					mem[addr] = regs[b6]
+					m.st.Touch(addr)
+					steps++
+					m.ctr.disp[k7]++
+					if !exec.CmpW(regs[a7], regs[b7], cond7) {
+						steps++
+						m.ctr.cmovMoves++
+						regs[d7b] = regs[a7b]
+					}
+					m.ctr.disp[k8]++
+					addr = regs[a8].Val() + uimm8
+					if addr >= m.limit[ri8] {
+						return m.tRaise(pc8, kOver8, throw, tb8, tSkipStSt), steps + 1
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc8, addr), steps
+					}
+					mem[addr] = regs[b8]
+					m.st.Touch(addr)
+					steps += 2
+					addr = regs[a8b].Val() + uimm8b
+					if addr >= m.limit[ri8b] {
+						return m.tRaise(pc8+1, kOver8b, throw, tb8, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc8+1, addr), steps
+					}
+					mem[addr] = regs[d8b]
+					m.st.Touch(addr)
+					m.ctr.disp[k9]++
+					regs[d9] = w9
+					steps += 2
+					addr = regs[a9b].Val() + uimm9b
+					if addr >= m.limit[ri9b] {
+						return m.tRaise(pc9+1, kOver9b, throw, tb9, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc9+1, addr), steps
+					}
+					mem[addr] = regs[d9b]
+					m.st.Touch(addr)
+					m.ctr.disp[k10]++
+					addr = regs[a10].Val() + uimm10
+					if addr >= m.limit[ri10] {
+						return m.tRaise(pc10, kOver10, throw, tb10, tSkipStSt), steps + 1
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc10, addr), steps
+					}
+					mem[addr] = regs[b10]
+					m.st.Touch(addr)
+					steps += 2
+					addr = regs[a10b].Val() + uimm10b
+					if addr >= m.limit[ri10b] {
+						return m.tRaise(pc10+1, kOver10b, throw, tb10, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc10+1, addr), steps
+					}
+					mem[addr] = regs[d10b]
+					m.st.Touch(addr)
+					steps++
+					m.ctr.disp[k11]++
+					addr = regs[a11].Val() + uimm11
+					if addr >= m.limit[ri11] {
+						return m.tRaise(pc11, kOver11, throw, tb11, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc11, addr), steps
+					}
+					mem[addr] = regs[b11]
+					m.st.Touch(addr)
+					steps++
+					m.ctr.disp[k12]++
+					regs[d12] = regs[a12]
+					steps++
+					m.ctr.disp[k13]++
+					if jback {
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pc13); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+					}
+					steps++
+					m.ctr.disp[k14]++
+					regs[d14] = regs[a14]
+					steps++
+					m.ctr.disp[kra0]++
+					if (regs[ara0].Tag() == tagra0) == !nera0 {
+						goto cladA
+					}
+					m.ctr.disp[kra1]++
+					addr = regs[ara1].Val() + uimmra1
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pcra1, addr), steps
+					}
+					regs[dra1] = mem[addr]
+					steps += 2
+					if (regs[dra1b] == regs[ara1b]) == wantEqra1 {
+						goto cladA
+					}
+					m.ctr.disp[kra2]++
+					regs[dra2] = regs[ara2]
+					steps += 2
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pcra2); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+					steps++
+					m.ctr.disp[kra0]++
+					if (regs[ara0].Tag() == tagra0) == !nera0 {
+						goto cladA
+					}
+					return exitA, steps
+				cladA:
+					return exitL, steps
+				}
+			}
+		}
+	}
+
+	// S3 — structure-copy store chain: load, two adds, nine stores (with
+	// an embedded conditional move and immediate moves), the closing
+	// move, the jump, and its landing move. Every catchable store
+	// overflow redirects with exactly the constituent count a per-op
+	// chain would have accumulated.
+	if dbgSuperMask&(1<<2) != 0 {
+		if isLd(at(i)) && at(i+1) == exec.XAddI && at(i+2) == exec.XAddR &&
+			at(i+3) == exec.XFStMovI && at(i+4) == exec.XFStSt && at(i+5) == exec.XFStSt &&
+			at(i+6) == exec.XSt && at(i+7) == exec.XFCMovR && at(i+8) == exec.XFStSt &&
+			at(i+9) == exec.XFMovISt && at(i+10) == exec.XFStSt && at(i+11) == exec.XSt &&
+			isMov(at(i+12)) && at(i+13) == exec.XJmp {
+			t := int(ops[i+13].Target)
+			if t >= 0 && t < n && isMov(at(t)) && t != i+13 {
+				op0 := &ops[i+0]
+				op1 := &ops[i+1]
+				op2 := &ops[i+2]
+				op3 := &ops[i+3]
+				op4 := &ops[i+4]
+				op5 := &ops[i+5]
+				op6 := &ops[i+6]
+				op7 := &ops[i+7]
+				op8 := &ops[i+8]
+				op9 := &ops[i+9]
+				op10 := &ops[i+10]
+				op11 := &ops[i+11]
+				op12 := &ops[i+12]
+				op13 := &ops[i+13]
+				op14 := &ops[t]
+				jback := t <= i+13
+				fall14 := fallTop(t)
+				d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+				d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+				uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+				w0, tag0 := op0.W, op0.Tag
+				ri0, ri0b := op0.Region, op0.Region2
+				kOver0, kOver0b := overflowKind(ri0), overflowKind(ri0b)
+				imm0, cond0 := op0.Imm, op0.Cond
+				pc0, k0 := int(op0.PC), op0.Code
+				_ = pc0
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, ri0, ri0b, kOver0, kOver0b, imm0, cond0
+				d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+				d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+				uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+				w1, tag1 := op1.W, op1.Tag
+				ri1, ri1b := op1.Region, op1.Region2
+				kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+				imm1, cond1 := op1.Imm, op1.Cond
+				pc1, k1 := int(op1.PC), op1.Code
+				_ = pc1
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, ri1, ri1b, kOver1, kOver1b, imm1, cond1
+				d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+				d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+				uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+				w2, tag2 := op2.W, op2.Tag
+				ri2, ri2b := op2.Region, op2.Region2
+				kOver2, kOver2b := overflowKind(ri2), overflowKind(ri2b)
+				imm2, cond2 := op2.Imm, op2.Cond
+				pc2, k2 := int(op2.PC), op2.Code
+				_ = pc2
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d2, a2, b2, d2b, a2b, uimm2, uimm2b, w2, tag2, ri2, ri2b, kOver2, kOver2b, imm2, cond2
+				d3, a3, b3 := uint8(op3.D), uint8(op3.A), uint8(op3.B)
+				d3b, a3b := uint8(op3.D2), uint8(op3.A2)
+				uimm3, uimm3b := uint64(op3.Imm), uint64(op3.Imm2)
+				w3, tag3 := op3.W, op3.Tag
+				ri3, ri3b := op3.Region, op3.Region2
+				kOver3, kOver3b := overflowKind(ri3), overflowKind(ri3b)
+				imm3, cond3 := op3.Imm, op3.Cond
+				pc3, k3 := int(op3.PC), op3.Code
+				_ = pc3
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d3, a3, b3, d3b, a3b, uimm3, uimm3b, w3, tag3, ri3, ri3b, kOver3, kOver3b, imm3, cond3
+				d4, a4, b4 := uint8(op4.D), uint8(op4.A), uint8(op4.B)
+				d4b, a4b := uint8(op4.D2), uint8(op4.A2)
+				uimm4, uimm4b := uint64(op4.Imm), uint64(op4.Imm2)
+				w4, tag4 := op4.W, op4.Tag
+				ri4, ri4b := op4.Region, op4.Region2
+				kOver4, kOver4b := overflowKind(ri4), overflowKind(ri4b)
+				imm4, cond4 := op4.Imm, op4.Cond
+				pc4, k4 := int(op4.PC), op4.Code
+				_ = pc4
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d4, a4, b4, d4b, a4b, uimm4, uimm4b, w4, tag4, ri4, ri4b, kOver4, kOver4b, imm4, cond4
+				d5, a5, b5 := uint8(op5.D), uint8(op5.A), uint8(op5.B)
+				d5b, a5b := uint8(op5.D2), uint8(op5.A2)
+				uimm5, uimm5b := uint64(op5.Imm), uint64(op5.Imm2)
+				w5, tag5 := op5.W, op5.Tag
+				ri5, ri5b := op5.Region, op5.Region2
+				kOver5, kOver5b := overflowKind(ri5), overflowKind(ri5b)
+				imm5, cond5 := op5.Imm, op5.Cond
+				pc5, k5 := int(op5.PC), op5.Code
+				_ = pc5
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d5, a5, b5, d5b, a5b, uimm5, uimm5b, w5, tag5, ri5, ri5b, kOver5, kOver5b, imm5, cond5
+				d6, a6, b6 := uint8(op6.D), uint8(op6.A), uint8(op6.B)
+				d6b, a6b := uint8(op6.D2), uint8(op6.A2)
+				uimm6, uimm6b := uint64(op6.Imm), uint64(op6.Imm2)
+				w6, tag6 := op6.W, op6.Tag
+				ri6, ri6b := op6.Region, op6.Region2
+				kOver6, kOver6b := overflowKind(ri6), overflowKind(ri6b)
+				imm6, cond6 := op6.Imm, op6.Cond
+				pc6, k6 := int(op6.PC), op6.Code
+				_ = pc6
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d6, a6, b6, d6b, a6b, uimm6, uimm6b, w6, tag6, ri6, ri6b, kOver6, kOver6b, imm6, cond6
+				d7, a7, b7 := uint8(op7.D), uint8(op7.A), uint8(op7.B)
+				d7b, a7b := uint8(op7.D2), uint8(op7.A2)
+				uimm7, uimm7b := uint64(op7.Imm), uint64(op7.Imm2)
+				w7, tag7 := op7.W, op7.Tag
+				ri7, ri7b := op7.Region, op7.Region2
+				kOver7, kOver7b := overflowKind(ri7), overflowKind(ri7b)
+				imm7, cond7 := op7.Imm, op7.Cond
+				pc7, k7 := int(op7.PC), op7.Code
+				_ = pc7
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d7, a7, b7, d7b, a7b, uimm7, uimm7b, w7, tag7, ri7, ri7b, kOver7, kOver7b, imm7, cond7
+				d8, a8, b8 := uint8(op8.D), uint8(op8.A), uint8(op8.B)
+				d8b, a8b := uint8(op8.D2), uint8(op8.A2)
+				uimm8, uimm8b := uint64(op8.Imm), uint64(op8.Imm2)
+				w8, tag8 := op8.W, op8.Tag
+				ri8, ri8b := op8.Region, op8.Region2
+				kOver8, kOver8b := overflowKind(ri8), overflowKind(ri8b)
+				imm8, cond8 := op8.Imm, op8.Cond
+				pc8, k8 := int(op8.PC), op8.Code
+				_ = pc8
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d8, a8, b8, d8b, a8b, uimm8, uimm8b, w8, tag8, ri8, ri8b, kOver8, kOver8b, imm8, cond8
+				d9, a9, b9 := uint8(op9.D), uint8(op9.A), uint8(op9.B)
+				d9b, a9b := uint8(op9.D2), uint8(op9.A2)
+				uimm9, uimm9b := uint64(op9.Imm), uint64(op9.Imm2)
+				w9, tag9 := op9.W, op9.Tag
+				ri9, ri9b := op9.Region, op9.Region2
+				kOver9, kOver9b := overflowKind(ri9), overflowKind(ri9b)
+				imm9, cond9 := op9.Imm, op9.Cond
+				pc9, k9 := int(op9.PC), op9.Code
+				_ = pc9
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d9, a9, b9, d9b, a9b, uimm9, uimm9b, w9, tag9, ri9, ri9b, kOver9, kOver9b, imm9, cond9
+				d10, a10, b10 := uint8(op10.D), uint8(op10.A), uint8(op10.B)
+				d10b, a10b := uint8(op10.D2), uint8(op10.A2)
+				uimm10, uimm10b := uint64(op10.Imm), uint64(op10.Imm2)
+				w10, tag10 := op10.W, op10.Tag
+				ri10, ri10b := op10.Region, op10.Region2
+				kOver10, kOver10b := overflowKind(ri10), overflowKind(ri10b)
+				imm10, cond10 := op10.Imm, op10.Cond
+				pc10, k10 := int(op10.PC), op10.Code
+				_ = pc10
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d10, a10, b10, d10b, a10b, uimm10, uimm10b, w10, tag10, ri10, ri10b, kOver10, kOver10b, imm10, cond10
+				d11, a11, b11 := uint8(op11.D), uint8(op11.A), uint8(op11.B)
+				d11b, a11b := uint8(op11.D2), uint8(op11.A2)
+				uimm11, uimm11b := uint64(op11.Imm), uint64(op11.Imm2)
+				w11, tag11 := op11.W, op11.Tag
+				ri11, ri11b := op11.Region, op11.Region2
+				kOver11, kOver11b := overflowKind(ri11), overflowKind(ri11b)
+				imm11, cond11 := op11.Imm, op11.Cond
+				pc11, k11 := int(op11.PC), op11.Code
+				_ = pc11
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d11, a11, b11, d11b, a11b, uimm11, uimm11b, w11, tag11, ri11, ri11b, kOver11, kOver11b, imm11, cond11
+				d12, a12, b12 := uint8(op12.D), uint8(op12.A), uint8(op12.B)
+				d12b, a12b := uint8(op12.D2), uint8(op12.A2)
+				uimm12, uimm12b := uint64(op12.Imm), uint64(op12.Imm2)
+				w12, tag12 := op12.W, op12.Tag
+				ri12, ri12b := op12.Region, op12.Region2
+				kOver12, kOver12b := overflowKind(ri12), overflowKind(ri12b)
+				imm12, cond12 := op12.Imm, op12.Cond
+				pc12, k12 := int(op12.PC), op12.Code
+				_ = pc12
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d12, a12, b12, d12b, a12b, uimm12, uimm12b, w12, tag12, ri12, ri12b, kOver12, kOver12b, imm12, cond12
+				d13, a13, b13 := uint8(op13.D), uint8(op13.A), uint8(op13.B)
+				d13b, a13b := uint8(op13.D2), uint8(op13.A2)
+				uimm13, uimm13b := uint64(op13.Imm), uint64(op13.Imm2)
+				w13, tag13 := op13.W, op13.Tag
+				ri13, ri13b := op13.Region, op13.Region2
+				kOver13, kOver13b := overflowKind(ri13), overflowKind(ri13b)
+				imm13, cond13 := op13.Imm, op13.Cond
+				pc13, k13 := int(op13.PC), op13.Code
+				_ = pc13
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d13, a13, b13, d13b, a13b, uimm13, uimm13b, w13, tag13, ri13, ri13b, kOver13, kOver13b, imm13, cond13
+				d14, a14, b14 := uint8(op14.D), uint8(op14.A), uint8(op14.B)
+				d14b, a14b := uint8(op14.D2), uint8(op14.A2)
+				uimm14, uimm14b := uint64(op14.Imm), uint64(op14.Imm2)
+				w14, tag14 := op14.W, op14.Tag
+				ri14, ri14b := op14.Region, op14.Region2
+				kOver14, kOver14b := overflowKind(ri14), overflowKind(ri14b)
+				imm14, cond14 := op14.Imm, op14.Cond
+				pc14, k14 := int(op14.PC), op14.Code
+				_ = pc14
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d14, a14, b14, d14b, a14b, uimm14, uimm14b, w14, tag14, ri14, ri14b, kOver14, kOver14b, imm14, cond14
+				tb0 := throwBack(i + 0)
+				_ = tb0
+				tb1 := throwBack(i + 1)
+				_ = tb1
+				tb2 := throwBack(i + 2)
+				_ = tb2
+				tb3 := throwBack(i + 3)
+				_ = tb3
+				tb4 := throwBack(i + 4)
+				_ = tb4
+				tb5 := throwBack(i + 5)
+				_ = tb5
+				tb6 := throwBack(i + 6)
+				_ = tb6
+				tb7 := throwBack(i + 7)
+				_ = tb7
+				tb8 := throwBack(i + 8)
+				_ = tb8
+				tb9 := throwBack(i + 9)
+				_ = tb9
+				tb10 := throwBack(i + 10)
+				_ = tb10
+				tb11 := throwBack(i + 11)
+				_ = tb11
+				tb12 := throwBack(i + 12)
+				_ = tb12
+				tb13 := throwBack(i + 13)
+				_ = tb13
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+22 > tmax {
+						return gen1, steps
+					}
+					steps++
+					m.ctr.disp[k0]++
+					addr := regs[a0].Val() + uimm0
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc0, addr), steps
+					}
+					regs[d0] = mem[addr]
+					steps++
+					m.ctr.disp[k1]++
+					av := regs[a1]
+					regs[d1] = word.Make(av.Tag(), uint64(av.Int()+imm1))
+					steps++
+					m.ctr.disp[k2]++
+					av = regs[a2]
+					regs[d2] = word.Make(av.Tag(), uint64(av.Int()+regs[b2].Int()))
+					m.ctr.disp[k3]++
+					addr = regs[a3].Val() + uimm3
+					if addr >= m.limit[ri3] {
+						return m.tRaise(pc3, kOver3, throw, tb3, tSkipStMovI), steps + 1
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc3, addr), steps
+					}
+					mem[addr] = regs[b3]
+					m.st.Touch(addr)
+					steps += 2
+					regs[d3b] = w3
+					m.ctr.disp[k4]++
+					addr = regs[a4].Val() + uimm4
+					if addr >= m.limit[ri4] {
+						return m.tRaise(pc4, kOver4, throw, tb4, tSkipStSt), steps + 1
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc4, addr), steps
+					}
+					mem[addr] = regs[b4]
+					m.st.Touch(addr)
+					steps += 2
+					addr = regs[a4b].Val() + uimm4b
+					if addr >= m.limit[ri4b] {
+						return m.tRaise(pc4+1, kOver4b, throw, tb4, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc4+1, addr), steps
+					}
+					mem[addr] = regs[d4b]
+					m.st.Touch(addr)
+					m.ctr.disp[k5]++
+					addr = regs[a5].Val() + uimm5
+					if addr >= m.limit[ri5] {
+						return m.tRaise(pc5, kOver5, throw, tb5, tSkipStSt), steps + 1
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc5, addr), steps
+					}
+					mem[addr] = regs[b5]
+					m.st.Touch(addr)
+					steps += 2
+					addr = regs[a5b].Val() + uimm5b
+					if addr >= m.limit[ri5b] {
+						return m.tRaise(pc5+1, kOver5b, throw, tb5, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc5+1, addr), steps
+					}
+					mem[addr] = regs[d5b]
+					m.st.Touch(addr)
+					steps++
+					m.ctr.disp[k6]++
+					addr = regs[a6].Val() + uimm6
+					if addr >= m.limit[ri6] {
+						return m.tRaise(pc6, kOver6, throw, tb6, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc6, addr), steps
+					}
+					mem[addr] = regs[b6]
+					m.st.Touch(addr)
+					steps++
+					m.ctr.disp[k7]++
+					if !exec.CmpW(regs[a7], regs[b7], cond7) {
+						steps++
+						m.ctr.cmovMoves++
+						regs[d7b] = regs[a7b]
+					}
+					m.ctr.disp[k8]++
+					addr = regs[a8].Val() + uimm8
+					if addr >= m.limit[ri8] {
+						return m.tRaise(pc8, kOver8, throw, tb8, tSkipStSt), steps + 1
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc8, addr), steps
+					}
+					mem[addr] = regs[b8]
+					m.st.Touch(addr)
+					steps += 2
+					addr = regs[a8b].Val() + uimm8b
+					if addr >= m.limit[ri8b] {
+						return m.tRaise(pc8+1, kOver8b, throw, tb8, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc8+1, addr), steps
+					}
+					mem[addr] = regs[d8b]
+					m.st.Touch(addr)
+					m.ctr.disp[k9]++
+					regs[d9] = w9
+					steps += 2
+					addr = regs[a9b].Val() + uimm9b
+					if addr >= m.limit[ri9b] {
+						return m.tRaise(pc9+1, kOver9b, throw, tb9, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc9+1, addr), steps
+					}
+					mem[addr] = regs[d9b]
+					m.st.Touch(addr)
+					m.ctr.disp[k10]++
+					addr = regs[a10].Val() + uimm10
+					if addr >= m.limit[ri10] {
+						return m.tRaise(pc10, kOver10, throw, tb10, tSkipStSt), steps + 1
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc10, addr), steps
+					}
+					mem[addr] = regs[b10]
+					m.st.Touch(addr)
+					steps += 2
+					addr = regs[a10b].Val() + uimm10b
+					if addr >= m.limit[ri10b] {
+						return m.tRaise(pc10+1, kOver10b, throw, tb10, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc10+1, addr), steps
+					}
+					mem[addr] = regs[d10b]
+					m.st.Touch(addr)
+					steps++
+					m.ctr.disp[k11]++
+					addr = regs[a11].Val() + uimm11
+					if addr >= m.limit[ri11] {
+						return m.tRaise(pc11, kOver11, throw, tb11, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc11, addr), steps
+					}
+					mem[addr] = regs[b11]
+					m.st.Touch(addr)
+					steps++
+					m.ctr.disp[k12]++
+					regs[d12] = regs[a12]
+					steps++
+					m.ctr.disp[k13]++
+					if jback {
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pc13); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+					}
+					steps++
+					m.ctr.disp[k14]++
+					regs[d14] = regs[a14]
+					return fall14, steps
+				}
+			}
+		}
+	}
+
+	// S4 — load tail: two double loads, a load, then the jump and, at its landing slot, a
+	// move and a tag branch (taken or not, both exits are exact).
+	if dbgSuperMask&(1<<3) != 0 {
+		if at(i+0) == exec.XFLdLd && at(i+1) == exec.XFLdLd && isLd(at(i+2)) && at(i+3) == exec.XJmp {
+			t := int(ops[i+3].Target)
+			if t >= 0 && t+1 < n && isMov(at(t)) && isBrTag(at(t+1)) && t != i+3 {
+				op0 := &ops[i+0]
+				op1 := &ops[i+1]
+				op2 := &ops[i+2]
+				opj := &ops[i+3]
+				opm, opb := &ops[t], &ops[t+1]
+				jback := t <= i+3
+				neb := opb.Code == exec.XBrTagNe
+				tgtb, tbackb := targetOf(t + 1)
+				fallb := fallTop(t + 1)
+				d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+				d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+				uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+				w0, tag0 := op0.W, op0.Tag
+				ri0, ri0b := op0.Region, op0.Region2
+				kOver0, kOver0b := overflowKind(ri0), overflowKind(ri0b)
+				imm0, cond0 := op0.Imm, op0.Cond
+				pc0, k0 := int(op0.PC), op0.Code
+				_ = pc0
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, ri0, ri0b, kOver0, kOver0b, imm0, cond0
+				d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+				d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+				uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+				w1, tag1 := op1.W, op1.Tag
+				ri1, ri1b := op1.Region, op1.Region2
+				kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+				imm1, cond1 := op1.Imm, op1.Cond
+				pc1, k1 := int(op1.PC), op1.Code
+				_ = pc1
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, ri1, ri1b, kOver1, kOver1b, imm1, cond1
+				d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+				d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+				uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+				w2, tag2 := op2.W, op2.Tag
+				ri2, ri2b := op2.Region, op2.Region2
+				kOver2, kOver2b := overflowKind(ri2), overflowKind(ri2b)
+				imm2, cond2 := op2.Imm, op2.Cond
+				pc2, k2 := int(op2.PC), op2.Code
+				_ = pc2
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d2, a2, b2, d2b, a2b, uimm2, uimm2b, w2, tag2, ri2, ri2b, kOver2, kOver2b, imm2, cond2
+				dj, aj, bj := uint8(opj.D), uint8(opj.A), uint8(opj.B)
+				djb, ajb := uint8(opj.D2), uint8(opj.A2)
+				uimmj, uimmjb := uint64(opj.Imm), uint64(opj.Imm2)
+				wj, tagj := opj.W, opj.Tag
+				rij, rijb := opj.Region, opj.Region2
+				kOverj, kOverjb := overflowKind(rij), overflowKind(rijb)
+				immj, condj := opj.Imm, opj.Cond
+				pcj, kj := int(opj.PC), opj.Code
+				_ = pcj
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = dj, aj, bj, djb, ajb, uimmj, uimmjb, wj, tagj, rij, rijb, kOverj, kOverjb, immj, condj
+				dm, am, bm := uint8(opm.D), uint8(opm.A), uint8(opm.B)
+				dmb, amb := uint8(opm.D2), uint8(opm.A2)
+				uimmm, uimmmb := uint64(opm.Imm), uint64(opm.Imm2)
+				wm, tagm := opm.W, opm.Tag
+				rim, rimb := opm.Region, opm.Region2
+				kOverm, kOvermb := overflowKind(rim), overflowKind(rimb)
+				immm, condm := opm.Imm, opm.Cond
+				pcm, km := int(opm.PC), opm.Code
+				_ = pcm
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = dm, am, bm, dmb, amb, uimmm, uimmmb, wm, tagm, rim, rimb, kOverm, kOvermb, immm, condm
+				db, ab, bb := uint8(opb.D), uint8(opb.A), uint8(opb.B)
+				dbb, abb := uint8(opb.D2), uint8(opb.A2)
+				uimmb, uimmbb := uint64(opb.Imm), uint64(opb.Imm2)
+				wb, tagb := opb.W, opb.Tag
+				rib, ribb := opb.Region, opb.Region2
+				kOverb, kOverbb := overflowKind(rib), overflowKind(ribb)
+				immb, condb := opb.Imm, opb.Cond
+				pcb, kb := int(opb.PC), opb.Code
+				_ = pcb
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = db, ab, bb, dbb, abb, uimmb, uimmbb, wb, tagb, rib, ribb, kOverb, kOverbb, immb, condb
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+8 > tmax {
+						return gen1, steps
+					}
+					m.ctr.disp[k0]++
+					addr := regs[a0].Val() + uimm0
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc0, addr), steps
+					}
+					regs[d0] = mem[addr]
+					steps += 2
+					addr = regs[a0b].Val() + uimm0b
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc0+1, addr), steps
+					}
+					regs[d0b] = mem[addr]
+					m.ctr.disp[k1]++
+					addr = regs[a1].Val() + uimm1
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc1, addr), steps
+					}
+					regs[d1] = mem[addr]
+					steps += 2
+					addr = regs[a1b].Val() + uimm1b
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc1+1, addr), steps
+					}
+					regs[d1b] = mem[addr]
+					steps++
+					m.ctr.disp[k2]++
+					addr = regs[a2].Val() + uimm2
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc2, addr), steps
+					}
+					regs[d2] = mem[addr]
+					steps++
+					m.ctr.disp[kj]++
+					if jback {
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pcj); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+					}
+					steps++
+					m.ctr.disp[km]++
+					regs[dm] = regs[am]
+					steps++
+					m.ctr.disp[kb]++
+					if (regs[ab].Tag() == tagb) == !neb {
+						if tbackb {
+							return m.tEdge(pcb, tgtb), steps
+						}
+						return tgtb, steps
+					}
+					return fallb, steps
+				}
+			}
+		}
+	}
+
+	// S5 — load tail: a double load, a load, a move-imm+store, then the jump and, at its landing slot, a
+	// move and a tag branch (taken or not, both exits are exact).
+	if dbgSuperMask&(1<<4) != 0 {
+		if at(i+0) == exec.XFLdLd && isLd(at(i+1)) && at(i+2) == exec.XFMovISt && at(i+3) == exec.XJmp {
+			t := int(ops[i+3].Target)
+			if t >= 0 && t+1 < n && isMov(at(t)) && isBrTag(at(t+1)) && t != i+3 {
+				op0 := &ops[i+0]
+				op1 := &ops[i+1]
+				op2 := &ops[i+2]
+				opj := &ops[i+3]
+				opm, opb := &ops[t], &ops[t+1]
+				jback := t <= i+3
+				neb := opb.Code == exec.XBrTagNe
+				tgtb, tbackb := targetOf(t + 1)
+				fallb := fallTop(t + 1)
+				d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+				d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+				uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+				w0, tag0 := op0.W, op0.Tag
+				ri0, ri0b := op0.Region, op0.Region2
+				kOver0, kOver0b := overflowKind(ri0), overflowKind(ri0b)
+				imm0, cond0 := op0.Imm, op0.Cond
+				pc0, k0 := int(op0.PC), op0.Code
+				_ = pc0
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, ri0, ri0b, kOver0, kOver0b, imm0, cond0
+				d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+				d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+				uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+				w1, tag1 := op1.W, op1.Tag
+				ri1, ri1b := op1.Region, op1.Region2
+				kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+				imm1, cond1 := op1.Imm, op1.Cond
+				pc1, k1 := int(op1.PC), op1.Code
+				_ = pc1
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, ri1, ri1b, kOver1, kOver1b, imm1, cond1
+				d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+				d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+				uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+				w2, tag2 := op2.W, op2.Tag
+				ri2, ri2b := op2.Region, op2.Region2
+				kOver2, kOver2b := overflowKind(ri2), overflowKind(ri2b)
+				imm2, cond2 := op2.Imm, op2.Cond
+				pc2, k2 := int(op2.PC), op2.Code
+				_ = pc2
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d2, a2, b2, d2b, a2b, uimm2, uimm2b, w2, tag2, ri2, ri2b, kOver2, kOver2b, imm2, cond2
+				dj, aj, bj := uint8(opj.D), uint8(opj.A), uint8(opj.B)
+				djb, ajb := uint8(opj.D2), uint8(opj.A2)
+				uimmj, uimmjb := uint64(opj.Imm), uint64(opj.Imm2)
+				wj, tagj := opj.W, opj.Tag
+				rij, rijb := opj.Region, opj.Region2
+				kOverj, kOverjb := overflowKind(rij), overflowKind(rijb)
+				immj, condj := opj.Imm, opj.Cond
+				pcj, kj := int(opj.PC), opj.Code
+				_ = pcj
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = dj, aj, bj, djb, ajb, uimmj, uimmjb, wj, tagj, rij, rijb, kOverj, kOverjb, immj, condj
+				dm, am, bm := uint8(opm.D), uint8(opm.A), uint8(opm.B)
+				dmb, amb := uint8(opm.D2), uint8(opm.A2)
+				uimmm, uimmmb := uint64(opm.Imm), uint64(opm.Imm2)
+				wm, tagm := opm.W, opm.Tag
+				rim, rimb := opm.Region, opm.Region2
+				kOverm, kOvermb := overflowKind(rim), overflowKind(rimb)
+				immm, condm := opm.Imm, opm.Cond
+				pcm, km := int(opm.PC), opm.Code
+				_ = pcm
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = dm, am, bm, dmb, amb, uimmm, uimmmb, wm, tagm, rim, rimb, kOverm, kOvermb, immm, condm
+				db, ab, bb := uint8(opb.D), uint8(opb.A), uint8(opb.B)
+				dbb, abb := uint8(opb.D2), uint8(opb.A2)
+				uimmb, uimmbb := uint64(opb.Imm), uint64(opb.Imm2)
+				wb, tagb := opb.W, opb.Tag
+				rib, ribb := opb.Region, opb.Region2
+				kOverb, kOverbb := overflowKind(rib), overflowKind(ribb)
+				immb, condb := opb.Imm, opb.Cond
+				pcb, kb := int(opb.PC), opb.Code
+				_ = pcb
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = db, ab, bb, dbb, abb, uimmb, uimmbb, wb, tagb, rib, ribb, kOverb, kOverbb, immb, condb
+				tb2 := throwBack(i + 2)
+				_ = tb2
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+8 > tmax {
+						return gen1, steps
+					}
+					m.ctr.disp[k0]++
+					addr := regs[a0].Val() + uimm0
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc0, addr), steps
+					}
+					regs[d0] = mem[addr]
+					steps += 2
+					addr = regs[a0b].Val() + uimm0b
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc0+1, addr), steps
+					}
+					regs[d0b] = mem[addr]
+					steps++
+					m.ctr.disp[k1]++
+					addr = regs[a1].Val() + uimm1
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pc1, addr), steps
+					}
+					regs[d1] = mem[addr]
+					m.ctr.disp[k2]++
+					regs[d2] = w2
+					steps += 2
+					addr = regs[a2b].Val() + uimm2b
+					if addr >= m.limit[ri2b] {
+						return m.tRaise(pc2+1, kOver2b, throw, tb2, tSkipNone), steps
+					}
+					if addr >= uint64(len(mem)) {
+						return m.tStoreErr(pc2+1, addr), steps
+					}
+					mem[addr] = regs[d2b]
+					m.st.Touch(addr)
+					steps++
+					m.ctr.disp[kj]++
+					if jback {
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pcj); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+					}
+					steps++
+					m.ctr.disp[km]++
+					regs[dm] = regs[am]
+					steps++
+					m.ctr.disp[kb]++
+					if (regs[ab].Tag() == tagb) == !neb {
+						if tbackb {
+							return m.tEdge(pcb, tgtb), steps
+						}
+						return tgtb, steps
+					}
+					return fallb, steps
+				}
+			}
+		}
+	}
+
+	// S15 — deref ladder: a six rung whose continuation heads two seven
+	// rungs; the whole descent runs in one dispatch.
+	if dbgSuperMask&(1<<14) != 0 {
+		if c0 := sixAt(i); c0 >= 0 {
+			if c1 := sevenAt(c0); c1 >= 0 {
+				if c2 := sevenAt(c1); c2 >= 0 {
+					exit2 := &tops[c2]
+					exitA := &tops[i+1]
+					exitB := &tops[c0+3]
+					exitC := &tops[c1+3]
+					dra0, ara0 := uint8((&ops[i+0]).D), uint8((&ops[i+0]).A)
+					dra0b, ara0b := uint8((&ops[i+0]).D2), uint8((&ops[i+0]).A2)
+					uimmra0 := uint64((&ops[i+0]).Imm)
+					wra0, tagra0 := (&ops[i+0]).W, (&ops[i+0]).Tag
+					pcra0, kra0 := int((&ops[i+0]).PC), (&ops[i+0]).Code
+					_, _, _, _, _, _, _ = dra0, ara0, dra0b, ara0b, uimmra0, wra0, tagra0
+					_ = pcra0
+					dra1, ara1 := uint8((&ops[i+1]).D), uint8((&ops[i+1]).A)
+					dra1b, ara1b := uint8((&ops[i+1]).D2), uint8((&ops[i+1]).A2)
+					uimmra1 := uint64((&ops[i+1]).Imm)
+					wra1, tagra1 := (&ops[i+1]).W, (&ops[i+1]).Tag
+					pcra1, kra1 := int((&ops[i+1]).PC), (&ops[i+1]).Code
+					_, _, _, _, _, _, _ = dra1, ara1, dra1b, ara1b, uimmra1, wra1, tagra1
+					_ = pcra1
+					dra2, ara2 := uint8((&ops[i+2]).D), uint8((&ops[i+2]).A)
+					dra2b, ara2b := uint8((&ops[i+2]).D2), uint8((&ops[i+2]).A2)
+					uimmra2 := uint64((&ops[i+2]).Imm)
+					wra2, tagra2 := (&ops[i+2]).W, (&ops[i+2]).Tag
+					pcra2, kra2 := int((&ops[i+2]).PC), (&ops[i+2]).Code
+					_, _, _, _, _, _, _ = dra2, ara2, dra2b, ara2b, uimmra2, wra2, tagra2
+					_ = pcra2
+					nera0 := ops[i].Code == exec.XBrTagNe
+					wantEqra1 := ops[i+1].Code == exec.XFLdBrCmpEqR
+					drb0, arb0 := uint8((&ops[c0+0]).D), uint8((&ops[c0+0]).A)
+					drb0b, arb0b := uint8((&ops[c0+0]).D2), uint8((&ops[c0+0]).A2)
+					uimmrb0 := uint64((&ops[c0+0]).Imm)
+					wrb0, tagrb0 := (&ops[c0+0]).W, (&ops[c0+0]).Tag
+					pcrb0, krb0 := int((&ops[c0+0]).PC), (&ops[c0+0]).Code
+					_, _, _, _, _, _, _ = drb0, arb0, drb0b, arb0b, uimmrb0, wrb0, tagrb0
+					_ = pcrb0
+					drb1, arb1 := uint8((&ops[c0+1]).D), uint8((&ops[c0+1]).A)
+					drb1b, arb1b := uint8((&ops[c0+1]).D2), uint8((&ops[c0+1]).A2)
+					uimmrb1 := uint64((&ops[c0+1]).Imm)
+					wrb1, tagrb1 := (&ops[c0+1]).W, (&ops[c0+1]).Tag
+					pcrb1, krb1 := int((&ops[c0+1]).PC), (&ops[c0+1]).Code
+					_, _, _, _, _, _, _ = drb1, arb1, drb1b, arb1b, uimmrb1, wrb1, tagrb1
+					_ = pcrb1
+					drb2, arb2 := uint8((&ops[c0+2]).D), uint8((&ops[c0+2]).A)
+					drb2b, arb2b := uint8((&ops[c0+2]).D2), uint8((&ops[c0+2]).A2)
+					uimmrb2 := uint64((&ops[c0+2]).Imm)
+					wrb2, tagrb2 := (&ops[c0+2]).W, (&ops[c0+2]).Tag
+					pcrb2, krb2 := int((&ops[c0+2]).PC), (&ops[c0+2]).Code
+					_, _, _, _, _, _, _ = drb2, arb2, drb2b, arb2b, uimmrb2, wrb2, tagrb2
+					_ = pcrb2
+					drb3, arb3 := uint8((&ops[c0+3]).D), uint8((&ops[c0+3]).A)
+					drb3b, arb3b := uint8((&ops[c0+3]).D2), uint8((&ops[c0+3]).A2)
+					uimmrb3 := uint64((&ops[c0+3]).Imm)
+					wrb3, tagrb3 := (&ops[c0+3]).W, (&ops[c0+3]).Tag
+					pcrb3, krb3 := int((&ops[c0+3]).PC), (&ops[c0+3]).Code
+					_, _, _, _, _, _, _ = drb3, arb3, drb3b, arb3b, uimmrb3, wrb3, tagrb3
+					_ = pcrb3
+					drb4, arb4 := uint8((&ops[c0+4]).D), uint8((&ops[c0+4]).A)
+					drb4b, arb4b := uint8((&ops[c0+4]).D2), uint8((&ops[c0+4]).A2)
+					uimmrb4 := uint64((&ops[c0+4]).Imm)
+					wrb4, tagrb4 := (&ops[c0+4]).W, (&ops[c0+4]).Tag
+					pcrb4, krb4 := int((&ops[c0+4]).PC), (&ops[c0+4]).Code
+					_, _, _, _, _, _, _ = drb4, arb4, drb4b, arb4b, uimmrb4, wrb4, tagrb4
+					_ = pcrb4
+					nerb0 := ops[c0].Code == exec.XBrTagNe
+					tgtrb0, tbackrb0 := targetOf(c0)
+					nerb2 := ops[c0+2].Code == exec.XBrTagNe
+					wantEqrb3 := ops[c0+3].Code == exec.XFLdBrCmpEqR
+					drc0, arc0 := uint8((&ops[c1+0]).D), uint8((&ops[c1+0]).A)
+					drc0b, arc0b := uint8((&ops[c1+0]).D2), uint8((&ops[c1+0]).A2)
+					uimmrc0 := uint64((&ops[c1+0]).Imm)
+					wrc0, tagrc0 := (&ops[c1+0]).W, (&ops[c1+0]).Tag
+					pcrc0, krc0 := int((&ops[c1+0]).PC), (&ops[c1+0]).Code
+					_, _, _, _, _, _, _ = drc0, arc0, drc0b, arc0b, uimmrc0, wrc0, tagrc0
+					_ = pcrc0
+					drc1, arc1 := uint8((&ops[c1+1]).D), uint8((&ops[c1+1]).A)
+					drc1b, arc1b := uint8((&ops[c1+1]).D2), uint8((&ops[c1+1]).A2)
+					uimmrc1 := uint64((&ops[c1+1]).Imm)
+					wrc1, tagrc1 := (&ops[c1+1]).W, (&ops[c1+1]).Tag
+					pcrc1, krc1 := int((&ops[c1+1]).PC), (&ops[c1+1]).Code
+					_, _, _, _, _, _, _ = drc1, arc1, drc1b, arc1b, uimmrc1, wrc1, tagrc1
+					_ = pcrc1
+					drc2, arc2 := uint8((&ops[c1+2]).D), uint8((&ops[c1+2]).A)
+					drc2b, arc2b := uint8((&ops[c1+2]).D2), uint8((&ops[c1+2]).A2)
+					uimmrc2 := uint64((&ops[c1+2]).Imm)
+					wrc2, tagrc2 := (&ops[c1+2]).W, (&ops[c1+2]).Tag
+					pcrc2, krc2 := int((&ops[c1+2]).PC), (&ops[c1+2]).Code
+					_, _, _, _, _, _, _ = drc2, arc2, drc2b, arc2b, uimmrc2, wrc2, tagrc2
+					_ = pcrc2
+					drc3, arc3 := uint8((&ops[c1+3]).D), uint8((&ops[c1+3]).A)
+					drc3b, arc3b := uint8((&ops[c1+3]).D2), uint8((&ops[c1+3]).A2)
+					uimmrc3 := uint64((&ops[c1+3]).Imm)
+					wrc3, tagrc3 := (&ops[c1+3]).W, (&ops[c1+3]).Tag
+					pcrc3, krc3 := int((&ops[c1+3]).PC), (&ops[c1+3]).Code
+					_, _, _, _, _, _, _ = drc3, arc3, drc3b, arc3b, uimmrc3, wrc3, tagrc3
+					_ = pcrc3
+					drc4, arc4 := uint8((&ops[c1+4]).D), uint8((&ops[c1+4]).A)
+					drc4b, arc4b := uint8((&ops[c1+4]).D2), uint8((&ops[c1+4]).A2)
+					uimmrc4 := uint64((&ops[c1+4]).Imm)
+					wrc4, tagrc4 := (&ops[c1+4]).W, (&ops[c1+4]).Tag
+					pcrc4, krc4 := int((&ops[c1+4]).PC), (&ops[c1+4]).Code
+					_, _, _, _, _, _, _ = drc4, arc4, drc4b, arc4b, uimmrc4, wrc4, tagrc4
+					_ = pcrc4
+					nerc0 := ops[c1].Code == exec.XBrTagNe
+					tgtrc0, tbackrc0 := targetOf(c1)
+					nerc2 := ops[c1+2].Code == exec.XBrTagNe
+					wantEqrc3 := ops[c1+3].Code == exec.XFLdBrCmpEqR
+					return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+						if steps+22 > tmax {
+							return gen1, steps
+						}
+						var addr uint64
+						steps++
+						m.ctr.disp[kra0]++
+						if (regs[ara0].Tag() == tagra0) == !nera0 {
+							goto ladA
+						}
+						m.ctr.disp[kra1]++
+						addr = regs[ara1].Val() + uimmra1
+						if addr >= uint64(len(mem)) {
+							return m.tLoadErr(pcra1, addr), steps
+						}
+						regs[dra1] = mem[addr]
+						steps += 2
+						if (regs[dra1b] == regs[ara1b]) == wantEqra1 {
+							goto ladA
+						}
+						m.ctr.disp[kra2]++
+						regs[dra2] = regs[ara2]
+						steps += 2
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pcra2); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+						steps++
+						m.ctr.disp[kra0]++
+						if (regs[ara0].Tag() == tagra0) == !nera0 {
+							goto ladA
+						}
+						return exitA, steps
+					ladA:
+						steps++
+						m.ctr.disp[krb0]++
+						if (regs[arb0].Tag() == tagrb0) == !nerb0 {
+							if tbackrb0 {
+								return m.tEdge(pcrb0, tgtrb0), steps
+							}
+							return tgtrb0, steps
+						}
+						steps++
+						m.ctr.disp[krb1]++
+						regs[drb1] = regs[arb1]
+						steps++
+						m.ctr.disp[krb2]++
+						if (regs[arb2].Tag() == tagrb2) == !nerb2 {
+							goto ladB
+						}
+						m.ctr.disp[krb3]++
+						addr = regs[arb3].Val() + uimmrb3
+						if addr >= uint64(len(mem)) {
+							return m.tLoadErr(pcrb3, addr), steps
+						}
+						regs[drb3] = mem[addr]
+						steps += 2
+						if (regs[drb3b] == regs[arb3b]) == wantEqrb3 {
+							goto ladB
+						}
+						m.ctr.disp[krb4]++
+						regs[drb4] = regs[arb4]
+						steps += 2
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pcrb4); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+						steps++
+						m.ctr.disp[krb2]++
+						if (regs[arb2].Tag() == tagrb2) == !nerb2 {
+							goto ladB
+						}
+						return exitB, steps
+					ladB:
+						steps++
+						m.ctr.disp[krc0]++
+						if (regs[arc0].Tag() == tagrc0) == !nerc0 {
+							if tbackrc0 {
+								return m.tEdge(pcrc0, tgtrc0), steps
+							}
+							return tgtrc0, steps
+						}
+						steps++
+						m.ctr.disp[krc1]++
+						regs[drc1] = regs[arc1]
+						steps++
+						m.ctr.disp[krc2]++
+						if (regs[arc2].Tag() == tagrc2) == !nerc2 {
+							goto ladC
+						}
+						m.ctr.disp[krc3]++
+						addr = regs[arc3].Val() + uimmrc3
+						if addr >= uint64(len(mem)) {
+							return m.tLoadErr(pcrc3, addr), steps
+						}
+						regs[drc3] = mem[addr]
+						steps += 2
+						if (regs[drc3b] == regs[arc3b]) == wantEqrc3 {
+							goto ladC
+						}
+						m.ctr.disp[krc4]++
+						regs[drc4] = regs[arc4]
+						steps += 2
+						m.tpoll--
+						if m.tpoll <= 0 {
+							m.tpoll = m.pollEvery()
+							if err := m.pollCheck(pcrc4); err != nil {
+								m.terr = err
+								return nil, steps
+							}
+						}
+						steps++
+						m.ctr.disp[krc2]++
+						if (regs[arc2].Tag() == tagrc2) == !nerc2 {
+							goto ladC
+						}
+						return exitC, steps
+					ladC:
+						return exit2, steps
+					}
+				}
+			}
+		}
+	}
+
+	// S16 — short ladder: two chained six rungs, with an optional leading
+	// move-immediate.
+	if dbgSuperMask&(1<<15) != 0 {
+		movPfx := at(i) == exec.XMovI
+		r0 := i
+		if movPfx {
+			r0 = i + 1
+		}
+		if c0 := sixAt(r0); c0 >= 0 {
+			if c1 := sixAt(c0); c1 >= 0 && sevenAt(c0) < 0 {
+				exit2 := &tops[c1]
+				exitA := &tops[r0+1]
+				exitB := &tops[c0+1]
+				op0 := &ops[i]
+				d0, w0, k0 := uint8(op0.D), op0.W, op0.Code
+				_, _, _ = d0, w0, k0
+				dra0, ara0 := uint8((&ops[r0+0]).D), uint8((&ops[r0+0]).A)
+				dra0b, ara0b := uint8((&ops[r0+0]).D2), uint8((&ops[r0+0]).A2)
+				uimmra0 := uint64((&ops[r0+0]).Imm)
+				wra0, tagra0 := (&ops[r0+0]).W, (&ops[r0+0]).Tag
+				pcra0, kra0 := int((&ops[r0+0]).PC), (&ops[r0+0]).Code
+				_, _, _, _, _, _, _ = dra0, ara0, dra0b, ara0b, uimmra0, wra0, tagra0
+				_ = pcra0
+				dra1, ara1 := uint8((&ops[r0+1]).D), uint8((&ops[r0+1]).A)
+				dra1b, ara1b := uint8((&ops[r0+1]).D2), uint8((&ops[r0+1]).A2)
+				uimmra1 := uint64((&ops[r0+1]).Imm)
+				wra1, tagra1 := (&ops[r0+1]).W, (&ops[r0+1]).Tag
+				pcra1, kra1 := int((&ops[r0+1]).PC), (&ops[r0+1]).Code
+				_, _, _, _, _, _, _ = dra1, ara1, dra1b, ara1b, uimmra1, wra1, tagra1
+				_ = pcra1
+				dra2, ara2 := uint8((&ops[r0+2]).D), uint8((&ops[r0+2]).A)
+				dra2b, ara2b := uint8((&ops[r0+2]).D2), uint8((&ops[r0+2]).A2)
+				uimmra2 := uint64((&ops[r0+2]).Imm)
+				wra2, tagra2 := (&ops[r0+2]).W, (&ops[r0+2]).Tag
+				pcra2, kra2 := int((&ops[r0+2]).PC), (&ops[r0+2]).Code
+				_, _, _, _, _, _, _ = dra2, ara2, dra2b, ara2b, uimmra2, wra2, tagra2
+				_ = pcra2
+				nera0 := ops[r0].Code == exec.XBrTagNe
+				wantEqra1 := ops[r0+1].Code == exec.XFLdBrCmpEqR
+				drb0, arb0 := uint8((&ops[c0+0]).D), uint8((&ops[c0+0]).A)
+				drb0b, arb0b := uint8((&ops[c0+0]).D2), uint8((&ops[c0+0]).A2)
+				uimmrb0 := uint64((&ops[c0+0]).Imm)
+				wrb0, tagrb0 := (&ops[c0+0]).W, (&ops[c0+0]).Tag
+				pcrb0, krb0 := int((&ops[c0+0]).PC), (&ops[c0+0]).Code
+				_, _, _, _, _, _, _ = drb0, arb0, drb0b, arb0b, uimmrb0, wrb0, tagrb0
+				_ = pcrb0
+				drb1, arb1 := uint8((&ops[c0+1]).D), uint8((&ops[c0+1]).A)
+				drb1b, arb1b := uint8((&ops[c0+1]).D2), uint8((&ops[c0+1]).A2)
+				uimmrb1 := uint64((&ops[c0+1]).Imm)
+				wrb1, tagrb1 := (&ops[c0+1]).W, (&ops[c0+1]).Tag
+				pcrb1, krb1 := int((&ops[c0+1]).PC), (&ops[c0+1]).Code
+				_, _, _, _, _, _, _ = drb1, arb1, drb1b, arb1b, uimmrb1, wrb1, tagrb1
+				_ = pcrb1
+				drb2, arb2 := uint8((&ops[c0+2]).D), uint8((&ops[c0+2]).A)
+				drb2b, arb2b := uint8((&ops[c0+2]).D2), uint8((&ops[c0+2]).A2)
+				uimmrb2 := uint64((&ops[c0+2]).Imm)
+				wrb2, tagrb2 := (&ops[c0+2]).W, (&ops[c0+2]).Tag
+				pcrb2, krb2 := int((&ops[c0+2]).PC), (&ops[c0+2]).Code
+				_, _, _, _, _, _, _ = drb2, arb2, drb2b, arb2b, uimmrb2, wrb2, tagrb2
+				_ = pcrb2
+				nerb0 := ops[c0].Code == exec.XBrTagNe
+				wantEqrb1 := ops[c0+1].Code == exec.XFLdBrCmpEqR
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+13 > tmax {
+						return gen1, steps
+					}
+					var addr uint64
+					if movPfx {
+						steps++
+						m.ctr.disp[k0]++
+						regs[d0] = w0
+					}
+					steps++
+					m.ctr.disp[kra0]++
+					if (regs[ara0].Tag() == tagra0) == !nera0 {
+						goto sladA
+					}
+					m.ctr.disp[kra1]++
+					addr = regs[ara1].Val() + uimmra1
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pcra1, addr), steps
+					}
+					regs[dra1] = mem[addr]
+					steps += 2
+					if (regs[dra1b] == regs[ara1b]) == wantEqra1 {
+						goto sladA
+					}
+					m.ctr.disp[kra2]++
+					regs[dra2] = regs[ara2]
+					steps += 2
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pcra2); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+					steps++
+					m.ctr.disp[kra0]++
+					if (regs[ara0].Tag() == tagra0) == !nera0 {
+						goto sladA
+					}
+					return exitA, steps
+				sladA:
+					steps++
+					m.ctr.disp[krb0]++
+					if (regs[arb0].Tag() == tagrb0) == !nerb0 {
+						goto sladB
+					}
+					m.ctr.disp[krb1]++
+					addr = regs[arb1].Val() + uimmrb1
+					if addr >= uint64(len(mem)) {
+						return m.tLoadErr(pcrb1, addr), steps
+					}
+					regs[drb1] = mem[addr]
+					steps += 2
+					if (regs[drb1b] == regs[arb1b]) == wantEqrb1 {
+						goto sladB
+					}
+					m.ctr.disp[krb2]++
+					regs[drb2] = regs[arb2]
+					steps += 2
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pcrb2); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+					steps++
+					m.ctr.disp[krb0]++
+					if (regs[arb0].Tag() == tagrb0) == !nerb0 {
+						goto sladB
+					}
+					return exitB, steps
+				sladB:
+					return exit2, steps
+				}
+			}
+		}
+	}
+
+	// S6 — dereference-loop step: a tag branch, a load+compare branch,
+	// and a move+jump whose target is the branch itself; the branch is
+	// re-inlined once after the back jump (with the poll in between), so
+	// the common bound-after-one-hop case runs in a single dispatch.
+	// Longer chains exit into the loop's own slots and re-enter.
+	if dbgSuperMask&(1<<5) != 0 {
+		if isBrTag(at(i)) && isFLdBr(at(i+1)) && at(i+2) == exec.XFMovJmp &&
+			int(ops[i+2].Target) == i {
+			op0, op1, op2 := &ops[i], &ops[i+1], &ops[i+2]
+			ne0 := op0.Code == exec.XBrTagNe
+			wantEq1 := op1.Code == exec.XFLdBrCmpEqR
+			tgt0, tback0 := targetOf(i)
+			tgt1, tback1 := targetOf(i + 1)
+			fall0 := fallTop(i)
+			d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+			d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+			uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+			w0, tag0 := op0.W, op0.Tag
+			ri0, ri0b := op0.Region, op0.Region2
+			kOver0, kOver0b := overflowKind(ri0), overflowKind(ri0b)
+			imm0, cond0 := op0.Imm, op0.Cond
+			pc0, k0 := int(op0.PC), op0.Code
+			_ = pc0
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, ri0, ri0b, kOver0, kOver0b, imm0, cond0
+			d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+			d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+			uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+			w1, tag1 := op1.W, op1.Tag
+			ri1, ri1b := op1.Region, op1.Region2
+			kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+			imm1, cond1 := op1.Imm, op1.Cond
+			pc1, k1 := int(op1.PC), op1.Code
+			_ = pc1
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, ri1, ri1b, kOver1, kOver1b, imm1, cond1
+			d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+			d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+			uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+			w2, tag2 := op2.W, op2.Tag
+			ri2, ri2b := op2.Region, op2.Region2
+			kOver2, kOver2b := overflowKind(ri2), overflowKind(ri2b)
+			imm2, cond2 := op2.Imm, op2.Cond
+			pc2, k2 := int(op2.PC), op2.Code
+			_ = pc2
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d2, a2, b2, d2b, a2b, uimm2, uimm2b, w2, tag2, ri2, ri2b, kOver2, kOver2b, imm2, cond2
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+6 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k0]++
+				if (regs[a0].Tag() == tag0) == !ne0 {
+					if tback0 {
+						return m.tEdge(pc0, tgt0), steps
+					}
+					return tgt0, steps
+				}
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1, addr), steps
+				}
+				regs[d1] = mem[addr]
+				steps += 2
+				if (regs[d1b] == regs[a1b]) == wantEq1 {
+					if tback1 {
+						return m.tEdge(pc1, tgt1), steps
+					}
+					return tgt1, steps
+				}
+				m.ctr.disp[k2]++
+				regs[d2] = regs[a2]
+				steps += 2
+				if true {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc2); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				steps++
+				m.ctr.disp[k0]++
+				if (regs[a0].Tag() == tag0) == !ne0 {
+					if tback0 {
+						return m.tEdge(pc0, tgt0), steps
+					}
+					return tgt0, steps
+				}
+				return fall0, steps
+			}
+		}
+	}
+
+	// S7 — guarded dereference step: a not-taken tag branch and a move in
+	// front of an S6-shaped loop over the NEXT branch; the inner branch is
+	// re-inlined once after the back jump.
+	if dbgSuperMask&(1<<6) != 0 {
+		if isBrTag(at(i)) && isMov(at(i+1)) && isBrTag(at(i+2)) && isFLdBr(at(i+3)) &&
+			at(i+4) == exec.XFMovJmp && int(ops[i+4].Target) == i+2 {
+			op0, op1, op2, op3, op4 := &ops[i], &ops[i+1], &ops[i+2], &ops[i+3], &ops[i+4]
+			ne0 := op0.Code == exec.XBrTagNe
+			ne2 := op2.Code == exec.XBrTagNe
+			wantEq3 := op3.Code == exec.XFLdBrCmpEqR
+			tgt0, tback0 := targetOf(i)
+			tgt2, tback2 := targetOf(i + 2)
+			tgt3, tback3 := targetOf(i + 3)
+			fall2 := fallTop(i + 2)
+			d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+			d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+			uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+			w0, tag0 := op0.W, op0.Tag
+			ri0, ri0b := op0.Region, op0.Region2
+			kOver0, kOver0b := overflowKind(ri0), overflowKind(ri0b)
+			imm0, cond0 := op0.Imm, op0.Cond
+			pc0, k0 := int(op0.PC), op0.Code
+			_ = pc0
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, ri0, ri0b, kOver0, kOver0b, imm0, cond0
+			d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+			d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+			uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+			w1, tag1 := op1.W, op1.Tag
+			ri1, ri1b := op1.Region, op1.Region2
+			kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+			imm1, cond1 := op1.Imm, op1.Cond
+			pc1, k1 := int(op1.PC), op1.Code
+			_ = pc1
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, ri1, ri1b, kOver1, kOver1b, imm1, cond1
+			d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+			d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+			uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+			w2, tag2 := op2.W, op2.Tag
+			ri2, ri2b := op2.Region, op2.Region2
+			kOver2, kOver2b := overflowKind(ri2), overflowKind(ri2b)
+			imm2, cond2 := op2.Imm, op2.Cond
+			pc2, k2 := int(op2.PC), op2.Code
+			_ = pc2
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d2, a2, b2, d2b, a2b, uimm2, uimm2b, w2, tag2, ri2, ri2b, kOver2, kOver2b, imm2, cond2
+			d3, a3, b3 := uint8(op3.D), uint8(op3.A), uint8(op3.B)
+			d3b, a3b := uint8(op3.D2), uint8(op3.A2)
+			uimm3, uimm3b := uint64(op3.Imm), uint64(op3.Imm2)
+			w3, tag3 := op3.W, op3.Tag
+			ri3, ri3b := op3.Region, op3.Region2
+			kOver3, kOver3b := overflowKind(ri3), overflowKind(ri3b)
+			imm3, cond3 := op3.Imm, op3.Cond
+			pc3, k3 := int(op3.PC), op3.Code
+			_ = pc3
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d3, a3, b3, d3b, a3b, uimm3, uimm3b, w3, tag3, ri3, ri3b, kOver3, kOver3b, imm3, cond3
+			d4, a4, b4 := uint8(op4.D), uint8(op4.A), uint8(op4.B)
+			d4b, a4b := uint8(op4.D2), uint8(op4.A2)
+			uimm4, uimm4b := uint64(op4.Imm), uint64(op4.Imm2)
+			w4, tag4 := op4.W, op4.Tag
+			ri4, ri4b := op4.Region, op4.Region2
+			kOver4, kOver4b := overflowKind(ri4), overflowKind(ri4b)
+			imm4, cond4 := op4.Imm, op4.Cond
+			pc4, k4 := int(op4.PC), op4.Code
+			_ = pc4
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d4, a4, b4, d4b, a4b, uimm4, uimm4b, w4, tag4, ri4, ri4b, kOver4, kOver4b, imm4, cond4
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+8 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k0]++
+				if (regs[a0].Tag() == tag0) == !ne0 {
+					if tback0 {
+						return m.tEdge(pc0, tgt0), steps
+					}
+					return tgt0, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				regs[d1] = regs[a1]
+				steps++
+				m.ctr.disp[k2]++
+				if (regs[a2].Tag() == tag2) == !ne2 {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				m.ctr.disp[k3]++
+				addr := regs[a3].Val() + uimm3
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc3, addr), steps
+				}
+				regs[d3] = mem[addr]
+				steps += 2
+				if (regs[d3b] == regs[a3b]) == wantEq3 {
+					if tback3 {
+						return m.tEdge(pc3, tgt3), steps
+					}
+					return tgt3, steps
+				}
+				m.ctr.disp[k4]++
+				regs[d4] = regs[a4]
+				steps += 2
+				if true {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc4); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				steps++
+				m.ctr.disp[k2]++
+				if (regs[a2].Tag() == tag2) == !ne2 {
+					if tback2 {
+						return m.tEdge(pc2, tgt2), steps
+					}
+					return tgt2, steps
+				}
+				return fall2, steps
+			}
+		}
+	}
+
+	// S8 — move-guard loop: a tag branch, a move, and a move+jump back to
+	// the branch, re-inlined once.
+	if dbgSuperMask&(1<<7) != 0 {
+		if isBrTag(at(i)) && isMov(at(i+1)) && at(i+2) == exec.XFMovJmp &&
+			int(ops[i+2].Target) == i {
+			op0, op1, op2 := &ops[i], &ops[i+1], &ops[i+2]
+			ne0 := op0.Code == exec.XBrTagNe
+			tgt0, tback0 := targetOf(i)
+			fall0 := fallTop(i)
+			d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+			d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+			uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+			w0, tag0 := op0.W, op0.Tag
+			ri0, ri0b := op0.Region, op0.Region2
+			kOver0, kOver0b := overflowKind(ri0), overflowKind(ri0b)
+			imm0, cond0 := op0.Imm, op0.Cond
+			pc0, k0 := int(op0.PC), op0.Code
+			_ = pc0
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, ri0, ri0b, kOver0, kOver0b, imm0, cond0
+			d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+			d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+			uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+			w1, tag1 := op1.W, op1.Tag
+			ri1, ri1b := op1.Region, op1.Region2
+			kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+			imm1, cond1 := op1.Imm, op1.Cond
+			pc1, k1 := int(op1.PC), op1.Code
+			_ = pc1
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, ri1, ri1b, kOver1, kOver1b, imm1, cond1
+			d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+			d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+			uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+			w2, tag2 := op2.W, op2.Tag
+			ri2, ri2b := op2.Region, op2.Region2
+			kOver2, kOver2b := overflowKind(ri2), overflowKind(ri2b)
+			imm2, cond2 := op2.Imm, op2.Cond
+			pc2, k2 := int(op2.PC), op2.Code
+			_ = pc2
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d2, a2, b2, d2b, a2b, uimm2, uimm2b, w2, tag2, ri2, ri2b, kOver2, kOver2b, imm2, cond2
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+5 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k0]++
+				if (regs[a0].Tag() == tag0) == !ne0 {
+					if tback0 {
+						return m.tEdge(pc0, tgt0), steps
+					}
+					return tgt0, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				regs[d1] = regs[a1]
+				m.ctr.disp[k2]++
+				regs[d2] = regs[a2]
+				steps += 2
+				if true {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc2); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				steps++
+				m.ctr.disp[k0]++
+				if (regs[a0].Tag() == tag0) == !ne0 {
+					if tback0 {
+						return m.tEdge(pc0, tgt0), steps
+					}
+					return tgt0, steps
+				}
+				return fall0, steps
+			}
+		}
+	}
+
+	// S9 — recursion tail: a not-taken tag branch, an add, four moves and
+	// the closing jump (usually a back edge into the store chain).
+	if dbgSuperMask&(1<<8) != 0 {
+		if isBrTag(at(i)) && at(i+1) == exec.XAddI && at(i+2) == exec.XFMovMov &&
+			at(i+3) == exec.XFMovMov && at(i+4) == exec.XJmp {
+			op0, op1, op2, op3, op4 := &ops[i], &ops[i+1], &ops[i+2], &ops[i+3], &ops[i+4]
+			ne0 := op0.Code == exec.XBrTagNe
+			tgt0, tback0 := targetOf(i)
+			tgt4, jback := targetOf(i + 4)
+			d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+			d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+			uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+			w0, tag0 := op0.W, op0.Tag
+			ri0, ri0b := op0.Region, op0.Region2
+			kOver0, kOver0b := overflowKind(ri0), overflowKind(ri0b)
+			imm0, cond0 := op0.Imm, op0.Cond
+			pc0, k0 := int(op0.PC), op0.Code
+			_ = pc0
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, ri0, ri0b, kOver0, kOver0b, imm0, cond0
+			d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+			d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+			uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+			w1, tag1 := op1.W, op1.Tag
+			ri1, ri1b := op1.Region, op1.Region2
+			kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+			imm1, cond1 := op1.Imm, op1.Cond
+			pc1, k1 := int(op1.PC), op1.Code
+			_ = pc1
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, ri1, ri1b, kOver1, kOver1b, imm1, cond1
+			d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+			d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+			uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+			w2, tag2 := op2.W, op2.Tag
+			ri2, ri2b := op2.Region, op2.Region2
+			kOver2, kOver2b := overflowKind(ri2), overflowKind(ri2b)
+			imm2, cond2 := op2.Imm, op2.Cond
+			pc2, k2 := int(op2.PC), op2.Code
+			_ = pc2
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d2, a2, b2, d2b, a2b, uimm2, uimm2b, w2, tag2, ri2, ri2b, kOver2, kOver2b, imm2, cond2
+			d3, a3, b3 := uint8(op3.D), uint8(op3.A), uint8(op3.B)
+			d3b, a3b := uint8(op3.D2), uint8(op3.A2)
+			uimm3, uimm3b := uint64(op3.Imm), uint64(op3.Imm2)
+			w3, tag3 := op3.W, op3.Tag
+			ri3, ri3b := op3.Region, op3.Region2
+			kOver3, kOver3b := overflowKind(ri3), overflowKind(ri3b)
+			imm3, cond3 := op3.Imm, op3.Cond
+			pc3, k3 := int(op3.PC), op3.Code
+			_ = pc3
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d3, a3, b3, d3b, a3b, uimm3, uimm3b, w3, tag3, ri3, ri3b, kOver3, kOver3b, imm3, cond3
+			d4, a4, b4 := uint8(op4.D), uint8(op4.A), uint8(op4.B)
+			d4b, a4b := uint8(op4.D2), uint8(op4.A2)
+			uimm4, uimm4b := uint64(op4.Imm), uint64(op4.Imm2)
+			w4, tag4 := op4.W, op4.Tag
+			ri4, ri4b := op4.Region, op4.Region2
+			kOver4, kOver4b := overflowKind(ri4), overflowKind(ri4b)
+			imm4, cond4 := op4.Imm, op4.Cond
+			pc4, k4 := int(op4.PC), op4.Code
+			_ = pc4
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d4, a4, b4, d4b, a4b, uimm4, uimm4b, w4, tag4, ri4, ri4b, kOver4, kOver4b, imm4, cond4
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+7 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k0]++
+				if (regs[a0].Tag() == tag0) == !ne0 {
+					if tback0 {
+						return m.tEdge(pc0, tgt0), steps
+					}
+					return tgt0, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				av := regs[a1]
+				regs[d1] = word.Make(av.Tag(), uint64(av.Int()+imm1))
+				m.ctr.disp[k2]++
+				regs[d2] = regs[a2]
+				steps += 2
+				regs[d2b] = regs[a2b]
+				m.ctr.disp[k3]++
+				regs[d3] = regs[a3]
+				steps += 2
+				regs[d3b] = regs[a3b]
+				steps++
+				m.ctr.disp[k4]++
+				if jback {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc4); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				return tgt4, steps
+			}
+		}
+	}
+
+	// S11 — counted inner loop: an ordered compare-branch whose TAKEN side
+	// exits the loop, then a subtract, a load, a store, and a jump back to
+	// the compare; unrolled once with the poll run on the back edge.
+	if dbgSuperMask&(1<<10) != 0 {
+		if at(i) == exec.XBrCmpOrdR && at(i+1) == exec.XSubI && isLd(at(i+2)) &&
+			at(i+3) == exec.XSt && at(i+4) == exec.XJmp && int(ops[i+4].Target) == i {
+			op0, op1, op2, op3, op4 := &ops[i], &ops[i+1], &ops[i+2], &ops[i+3], &ops[i+4]
+			tgt0, tback0 := targetOf(i)
+			self := &tops[i]
+			tb3 := throwBack(i + 3)
+			_ = tb3
+			d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+			d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+			uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+			w0, tag0 := op0.W, op0.Tag
+			ri0, ri0b := op0.Region, op0.Region2
+			kOver0, kOver0b := overflowKind(ri0), overflowKind(ri0b)
+			imm0, cond0 := op0.Imm, op0.Cond
+			pc0, k0 := int(op0.PC), op0.Code
+			_ = pc0
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, ri0, ri0b, kOver0, kOver0b, imm0, cond0
+			d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+			d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+			uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+			w1, tag1 := op1.W, op1.Tag
+			ri1, ri1b := op1.Region, op1.Region2
+			kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+			imm1, cond1 := op1.Imm, op1.Cond
+			pc1, k1 := int(op1.PC), op1.Code
+			_ = pc1
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, ri1, ri1b, kOver1, kOver1b, imm1, cond1
+			d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+			d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+			uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+			w2, tag2 := op2.W, op2.Tag
+			ri2, ri2b := op2.Region, op2.Region2
+			kOver2, kOver2b := overflowKind(ri2), overflowKind(ri2b)
+			imm2, cond2 := op2.Imm, op2.Cond
+			pc2, k2 := int(op2.PC), op2.Code
+			_ = pc2
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d2, a2, b2, d2b, a2b, uimm2, uimm2b, w2, tag2, ri2, ri2b, kOver2, kOver2b, imm2, cond2
+			d3, a3, b3 := uint8(op3.D), uint8(op3.A), uint8(op3.B)
+			d3b, a3b := uint8(op3.D2), uint8(op3.A2)
+			uimm3, uimm3b := uint64(op3.Imm), uint64(op3.Imm2)
+			w3, tag3 := op3.W, op3.Tag
+			ri3, ri3b := op3.Region, op3.Region2
+			kOver3, kOver3b := overflowKind(ri3), overflowKind(ri3b)
+			imm3, cond3 := op3.Imm, op3.Cond
+			pc3, k3 := int(op3.PC), op3.Code
+			_ = pc3
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d3, a3, b3, d3b, a3b, uimm3, uimm3b, w3, tag3, ri3, ri3b, kOver3, kOver3b, imm3, cond3
+			d4, a4, b4 := uint8(op4.D), uint8(op4.A), uint8(op4.B)
+			d4b, a4b := uint8(op4.D2), uint8(op4.A2)
+			uimm4, uimm4b := uint64(op4.Imm), uint64(op4.Imm2)
+			w4, tag4 := op4.W, op4.Tag
+			ri4, ri4b := op4.Region, op4.Region2
+			kOver4, kOver4b := overflowKind(ri4), overflowKind(ri4b)
+			imm4, cond4 := op4.Imm, op4.Cond
+			pc4, k4 := int(op4.PC), op4.Code
+			_ = pc4
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d4, a4, b4, d4b, a4b, uimm4, uimm4b, w4, tag4, ri4, ri4b, kOver4, kOver4b, imm4, cond4
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+10 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k0]++
+				if exec.OrdCmp(regs[a0].Int(), regs[b0].Int(), cond0) {
+					if tback0 {
+						return m.tEdge(pc0, tgt0), steps
+					}
+					return tgt0, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				av := regs[a1]
+				regs[d1] = word.Make(av.Tag(), uint64(av.Int()-imm1))
+				steps++
+				m.ctr.disp[k2]++
+				addr := regs[a2].Val() + uimm2
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2, addr), steps
+				}
+				regs[d2] = mem[addr]
+				steps++
+				m.ctr.disp[k3]++
+				addr = regs[a3].Val() + uimm3
+				if addr >= m.limit[ri3] {
+					return m.tRaise(pc3, kOver3, throw, tb3, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc3, addr), steps
+				}
+				mem[addr] = regs[b3]
+				m.st.Touch(addr)
+				steps++
+				m.ctr.disp[k4]++
+				if true {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc4); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				steps++
+				m.ctr.disp[k0]++
+				if exec.OrdCmp(regs[a0].Int(), regs[b0].Int(), cond0) {
+					if tback0 {
+						return m.tEdge(pc0, tgt0), steps
+					}
+					return tgt0, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				av = regs[a1]
+				regs[d1] = word.Make(av.Tag(), uint64(av.Int()-imm1))
+				steps++
+				m.ctr.disp[k2]++
+				addr = regs[a2].Val() + uimm2
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2, addr), steps
+				}
+				regs[d2] = mem[addr]
+				steps++
+				m.ctr.disp[k3]++
+				addr = regs[a3].Val() + uimm3
+				if addr >= m.limit[ri3] {
+					return m.tRaise(pc3, kOver3, throw, tb3, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc3, addr), steps
+				}
+				mem[addr] = regs[b3]
+				m.st.Touch(addr)
+				steps++
+				m.ctr.disp[k4]++
+				if true {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc4); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				return self, steps
+			}
+		}
+	}
+
+	// S12 — dispatch guard: an immediate compare-branch whose TAKEN target
+	// is a computed jump, run in one dispatch.
+	if dbgSuperMask&(1<<11) != 0 {
+		if at(i) == exec.XBrCmpEqI || at(i) == exec.XBrCmpNeI {
+			t := int(ops[i].Target)
+			if t > i && t < n && at(t) == exec.XJmpR {
+				op0, op1 := &ops[i], &ops[t]
+				ne0 := op0.Code == exec.XBrCmpNeI
+				fall0 := fallTop(i)
+				xof := s.XOf
+				selfx1 := t
+				d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+				d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+				uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+				w0, tag0 := op0.W, op0.Tag
+				ri0, ri0b := op0.Region, op0.Region2
+				kOver0, kOver0b := overflowKind(ri0), overflowKind(ri0b)
+				imm0, cond0 := op0.Imm, op0.Cond
+				pc0, k0 := int(op0.PC), op0.Code
+				_ = pc0
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, ri0, ri0b, kOver0, kOver0b, imm0, cond0
+				d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+				d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+				uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+				w1, tag1 := op1.W, op1.Tag
+				ri1, ri1b := op1.Region, op1.Region2
+				kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+				imm1, cond1 := op1.Imm, op1.Cond
+				pc1, k1 := int(op1.PC), op1.Code
+				_ = pc1
+				_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, ri1, ri1b, kOver1, kOver1b, imm1, cond1
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+2 > tmax {
+						return gen1, steps
+					}
+					steps++
+					m.ctr.disp[k0]++
+					if (regs[a0] == w0) == ne0 {
+						return fall0, steps
+					}
+					steps++
+					m.ctr.disp[k1]++
+					tv := int(regs[a1].Val())
+					if tv < 0 || tv >= len(xof) || xof[tv] < 0 {
+						return m.tFail(tv, "pc out of range"), steps
+					}
+					nx := int(xof[tv])
+					if nx <= selfx1 {
+						return m.tEdge(pc1, &tops[nx]), steps
+					}
+					return &tops[nx], steps
+				}
+			}
+		}
+	}
+
+	// S14 — trailing store tail: a fused double store, an add, and the
+	// closing jump.
+	if dbgSuperMask&(1<<13) != 0 {
+		if at(i) == exec.XFStSt && at(i+1) == exec.XAddI && at(i+2) == exec.XJmp {
+			op0, op1, op2 := &ops[i], &ops[i+1], &ops[i+2]
+			tgt2, jback := targetOf(i + 2)
+			tb0 := throwBack(i)
+			_ = tb0
+			d0, a0, b0 := uint8(op0.D), uint8(op0.A), uint8(op0.B)
+			d0b, a0b := uint8(op0.D2), uint8(op0.A2)
+			uimm0, uimm0b := uint64(op0.Imm), uint64(op0.Imm2)
+			w0, tag0 := op0.W, op0.Tag
+			ri0, ri0b := op0.Region, op0.Region2
+			kOver0, kOver0b := overflowKind(ri0), overflowKind(ri0b)
+			imm0, cond0 := op0.Imm, op0.Cond
+			pc0, k0 := int(op0.PC), op0.Code
+			_ = pc0
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d0, a0, b0, d0b, a0b, uimm0, uimm0b, w0, tag0, ri0, ri0b, kOver0, kOver0b, imm0, cond0
+			d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+			d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+			uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+			w1, tag1 := op1.W, op1.Tag
+			ri1, ri1b := op1.Region, op1.Region2
+			kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+			imm1, cond1 := op1.Imm, op1.Cond
+			pc1, k1 := int(op1.PC), op1.Code
+			_ = pc1
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d1, a1, b1, d1b, a1b, uimm1, uimm1b, w1, tag1, ri1, ri1b, kOver1, kOver1b, imm1, cond1
+			d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+			d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+			uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+			w2, tag2 := op2.W, op2.Tag
+			ri2, ri2b := op2.Region, op2.Region2
+			kOver2, kOver2b := overflowKind(ri2), overflowKind(ri2b)
+			imm2, cond2 := op2.Imm, op2.Cond
+			pc2, k2 := int(op2.PC), op2.Code
+			_ = pc2
+			_, _, _, _, _, _, _, _, _, _, _, _, _, _, _ = d2, a2, b2, d2b, a2b, uimm2, uimm2b, w2, tag2, ri2, ri2b, kOver2, kOver2b, imm2, cond2
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+4 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k0]++
+				addr := regs[a0].Val() + uimm0
+				if addr >= m.limit[ri0] {
+					return m.tRaise(pc0, kOver0, throw, tb0, tSkipStSt), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc0, addr), steps
+				}
+				mem[addr] = regs[b0]
+				m.st.Touch(addr)
+				steps += 2
+				addr = regs[a0b].Val() + uimm0b
+				if addr >= m.limit[ri0b] {
+					return m.tRaise(pc0+1, kOver0b, throw, tb0, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc0+1, addr), steps
+				}
+				mem[addr] = regs[d0b]
+				m.st.Touch(addr)
+				steps++
+				m.ctr.disp[k1]++
+				av := regs[a1]
+				regs[d1] = word.Make(av.Tag(), uint64(av.Int()+imm1))
+				steps++
+				m.ctr.disp[k2]++
+				if jback {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc2); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				return tgt2, steps
+			}
+		}
+	}
+
+	return nil
+}

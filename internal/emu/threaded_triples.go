@@ -1,0 +1,521 @@
+package emu
+
+import (
+	"symbol/internal/exec"
+	"symbol/internal/word"
+)
+
+// The triple pass: a second combining pass over the threaded program that
+// collapses three (and in one case four) consecutive fused ops into a
+// single closure. It follows exactly the pair pass's parity rules
+// (threaded_pairs.go): constituent step/dispatch/fault/poll accounting is
+// replayed verbatim, a near-budget entry delegates to the exact per-op
+// chain gens[i], and installation overlaps while execution never does —
+// slots i+1 and i+2 keep their own (possibly paired) closures for branches
+// that enter mid-sequence.
+//
+// The categories are the hot straight-line runs left after pairing: the
+// search loop's compare-load-compare head and its load/computed-jump tail,
+// the structure-building store chain, the tag-test ladders, and a move
+// whose unconditional jump lands on another move. Anything else keeps its
+// pair or per-op slot.
+
+// tripleFn returns a combined closure for the run starting at op i of s,
+// or nil when the category is not combined.
+func tripleFn(s *exec.Stream, tops, gens []top, stop *top, i int) tfn {
+	n := len(s.Ops)
+	if i+1 >= n {
+		return nil
+	}
+	op1, op2 := &s.Ops[i], &s.Ops[i+1]
+	k1, k2 := op1.Code, op2.Code
+
+	// The third op: the slot after the pair, or — when the second op is an
+	// unconditional jump — the op at the jump target, with the back-edge
+	// poll run between them just as the per-op chain would.
+	l := i + 2
+	if k2 == exec.XJmp {
+		if op2.Target < 0 || int(op2.Target) >= n ||
+			int(op2.Target) == i || int(op2.Target) == i+1 {
+			return nil
+		}
+		l = int(op2.Target)
+	}
+	if l >= n {
+		return nil
+	}
+	op3 := &s.Ops[l]
+	k3 := op3.Code
+	jback3 := l <= i+1
+
+	gen1 := &gens[i]
+	pc1, pc2, pc3 := int(op1.PC), int(op2.PC), int(op3.PC)
+	fall3 := stop
+	if l+1 < n {
+		fall3 = &tops[l+1]
+	}
+	tgt1, tback1 := stop, false
+	if op1.Target >= 0 && int(op1.Target) < n {
+		tgt1 = &tops[op1.Target]
+		tback1 = int(op1.Target) <= i
+	}
+	tgt3, tback3 := stop, false
+	if op3.Target >= 0 && int(op3.Target) < n {
+		tgt3 = &tops[op3.Target]
+		tback3 = int(op3.Target) <= l
+	}
+	var throw *top
+	throwBack1, throwBack2, throwBack3 := false, false, false
+	if s.Throw >= 0 {
+		throw = &tops[s.Throw]
+		throwBack1 = int(s.Throw) <= i
+		throwBack2 = int(s.Throw) <= i+1
+		throwBack3 = int(s.Throw) <= l
+	}
+
+	d1, a1, b1 := uint8(op1.D), uint8(op1.A), uint8(op1.B)
+	d1b, a1b := uint8(op1.D2), uint8(op1.A2)
+	uimm1, uimm1b := uint64(op1.Imm), uint64(op1.Imm2)
+	w1, tag1 := op1.W, op1.Tag
+	ri1, ri1b := op1.Region, op1.Region2
+	kOver1, kOver1b := overflowKind(ri1), overflowKind(ri1b)
+
+	d2, a2, b2 := uint8(op2.D), uint8(op2.A), uint8(op2.B)
+	d2b, a2b := uint8(op2.D2), uint8(op2.A2)
+	uimm2, uimm2b := uint64(op2.Imm), uint64(op2.Imm2)
+	ri2, ri2b := op2.Region, op2.Region2
+	kOver2, kOver2b := overflowKind(ri2), overflowKind(ri2b)
+
+	d3, a3, b3 := uint8(op3.D), uint8(op3.A), uint8(op3.B)
+	d3b, a3b := uint8(op3.D2), uint8(op3.A2)
+	uimm3, uimm3b := uint64(op3.Imm), uint64(op3.Imm2)
+	tag3 := op3.Tag
+	ri3, ri3b := op3.Region, op3.Region2
+	kOver3, kOver3b := overflowKind(ri3), overflowKind(ri3b)
+
+	imm2 := op2.Imm
+	cond2, cond3 := op2.Cond, op3.Cond
+
+	// (mov, jmp, mov-at-target): the only triple whose third op is reached
+	// through a jump.
+	if k2 == exec.XJmp {
+		if (k1 == exec.XMov || k1 == exec.XMovCP) &&
+			(k3 == exec.XMov || k3 == exec.XMovCP) {
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				regs[d1] = regs[a1]
+				steps++
+				m.ctr.disp[k2]++
+				if jback3 {
+					m.tpoll--
+					if m.tpoll <= 0 {
+						m.tpoll = m.pollEvery()
+						if err := m.pollCheck(pc2); err != nil {
+							m.terr = err
+							return nil, steps
+						}
+					}
+				}
+				steps++
+				m.ctr.disp[k3]++
+				regs[d3] = regs[a3]
+				return fall3, steps
+			}
+		}
+		return nil
+	}
+
+	switch k1 {
+	case exec.XBrCmpEqI, exec.XBrCmpNeI:
+		// Compare-branch head of the search loop: immediate compare (not
+		// taken), two loads, register compare-branch.
+		ne1 := k1 == exec.XBrCmpNeI
+		if k2 == exec.XFLdLd && k3 == exec.XBrCmpOrdR {
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+4 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				if (regs[a1] == w1) == !ne1 {
+					if tback1 {
+						return m.tEdge(pc1, tgt1), steps
+					}
+					return tgt1, steps
+				}
+				m.ctr.disp[k2]++
+				addr := regs[a2].Val() + uimm2
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2, addr), steps
+				}
+				regs[d2] = mem[addr]
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2+1, addr), steps
+				}
+				regs[d2b] = mem[addr]
+				steps++
+				m.ctr.disp[k3]++
+				if exec.OrdCmp(regs[a3].Int(), regs[b3].Int(), cond3) {
+					if tback3 {
+						return m.tEdge(pc3, tgt3), steps
+					}
+					return tgt3, steps
+				}
+				return fall3, steps
+			}
+		}
+
+	case exec.XFLdLd:
+		// Load tail of the search loop: four loads, one plain load, then
+		// the computed jump — six constituents in one dispatch.
+		if k2 == exec.XFLdLd && (k3 == exec.XLd || k3 == exec.XLdUndo) &&
+			i+3 < n && s.Ops[i+3].Code == exec.XJmpR && l == i+2 {
+			op4 := &s.Ops[i+3]
+			pc4, k4 := int(op4.PC), op4.Code
+			a4 := uint8(op4.A)
+			xof := s.XOf
+			selfx4 := i + 3
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+6 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1, addr), steps
+				}
+				regs[d1] = mem[addr]
+				steps += 2
+				addr = regs[a1b].Val() + uimm1b
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1+1, addr), steps
+				}
+				regs[d1b] = mem[addr]
+				m.ctr.disp[k2]++
+				addr = regs[a2].Val() + uimm2
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2, addr), steps
+				}
+				regs[d2] = mem[addr]
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc2+1, addr), steps
+				}
+				regs[d2b] = mem[addr]
+				steps++
+				m.ctr.disp[k3]++
+				addr = regs[a3].Val() + uimm3
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc3, addr), steps
+				}
+				regs[d3] = mem[addr]
+				steps++
+				m.ctr.disp[k4]++
+				tv := int(regs[a4].Val())
+				if tv < 0 || tv >= len(xof) || xof[tv] < 0 {
+					return m.tFail(tv, "pc out of range"), steps
+				}
+				nx := int(xof[tv])
+				if nx <= selfx4 {
+					return m.tEdge(pc4, &tops[nx]), steps
+				}
+				return &tops[nx], steps
+			}
+		}
+
+	case exec.XLd, exec.XLdUndo:
+		// Load and two adds: the head of the store chain.
+		if k2 == exec.XAddI && k3 == exec.XAddR {
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+3 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= uint64(len(mem)) {
+					return m.tLoadErr(pc1, addr), steps
+				}
+				regs[d1] = mem[addr]
+				steps++
+				m.ctr.disp[k2]++
+				av := regs[a2]
+				regs[d2] = word.Make(av.Tag(), uint64(av.Int()+imm2))
+				steps++
+				m.ctr.disp[k3]++
+				av = regs[a3]
+				regs[d3] = word.Make(av.Tag(), uint64(av.Int()+regs[b3].Int()))
+				return fall3, steps
+			}
+		}
+
+	case exec.XBrTagEq, exec.XBrTagNe:
+		// Tag-test ladders: a not-taken tag branch, a one-step middle op,
+		// and another branch.
+		ne1 := k1 == exec.XBrTagNe
+		switch k2 {
+		case exec.XMov, exec.XMovCP:
+			if k3 == exec.XBrTagEq || k3 == exec.XBrTagNe {
+				ne3 := k3 == exec.XBrTagNe
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+3 > tmax {
+						return gen1, steps
+					}
+					steps++
+					m.ctr.disp[k1]++
+					if (regs[a1].Tag() == tag1) == !ne1 {
+						if tback1 {
+							return m.tEdge(pc1, tgt1), steps
+						}
+						return tgt1, steps
+					}
+					steps++
+					m.ctr.disp[k2]++
+					regs[d2] = regs[a2]
+					steps++
+					m.ctr.disp[k3]++
+					if (regs[a3].Tag() == tag3) == !ne3 {
+						if tback3 {
+							return m.tEdge(pc3, tgt3), steps
+						}
+						return tgt3, steps
+					}
+					return fall3, steps
+				}
+			}
+		case exec.XAddR:
+			if k3 == exec.XBrCmpNeR {
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+3 > tmax {
+						return gen1, steps
+					}
+					steps++
+					m.ctr.disp[k1]++
+					if (regs[a1].Tag() == tag1) == !ne1 {
+						if tback1 {
+							return m.tEdge(pc1, tgt1), steps
+						}
+						return tgt1, steps
+					}
+					steps++
+					m.ctr.disp[k2]++
+					av := regs[a2]
+					regs[d2] = word.Make(av.Tag(), uint64(av.Int()+regs[b2].Int()))
+					steps++
+					m.ctr.disp[k3]++
+					if regs[a3] != regs[b3] {
+						if tback3 {
+							return m.tEdge(pc3, tgt3), steps
+						}
+						return tgt3, steps
+					}
+					return fall3, steps
+				}
+			}
+		case exec.XSubR:
+			if k3 == exec.XBrCmpNeR {
+				return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+					if steps+3 > tmax {
+						return gen1, steps
+					}
+					steps++
+					m.ctr.disp[k1]++
+					if (regs[a1].Tag() == tag1) == !ne1 {
+						if tback1 {
+							return m.tEdge(pc1, tgt1), steps
+						}
+						return tgt1, steps
+					}
+					steps++
+					m.ctr.disp[k2]++
+					av := regs[a2]
+					regs[d2] = word.Make(av.Tag(), uint64(av.Int()-regs[b2].Int()))
+					steps++
+					m.ctr.disp[k3]++
+					if regs[a3] != regs[b3] {
+						if tback3 {
+							return m.tEdge(pc3, tgt3), steps
+						}
+						return tgt3, steps
+					}
+					return fall3, steps
+				}
+			}
+		}
+
+	case exec.XFStMovI:
+		// Store chain body: store+move-imm, then four more stores.
+		if k2 == exec.XFStSt && k3 == exec.XFStSt {
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+6 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= m.limit[ri1] {
+					return m.tRaise(pc1, kOver1, throw, throwBack1, tSkipStMovI), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1, addr), steps
+				}
+				mem[addr] = regs[b1]
+				m.st.Touch(addr)
+				steps += 2
+				regs[d1b] = w1
+				m.ctr.disp[k2]++
+				addr = regs[a2].Val() + uimm2
+				if addr >= m.limit[ri2] {
+					return m.tRaise(pc2, kOver2, throw, throwBack2, tSkipStSt), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2, addr), steps
+				}
+				mem[addr] = regs[b2]
+				m.st.Touch(addr)
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= m.limit[ri2b] {
+					return m.tRaise(pc2+1, kOver2b, throw, throwBack2, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2+1, addr), steps
+				}
+				mem[addr] = regs[d2b]
+				m.st.Touch(addr)
+				m.ctr.disp[k3]++
+				addr = regs[a3].Val() + uimm3
+				if addr >= m.limit[ri3] {
+					return m.tRaise(pc3, kOver3, throw, throwBack3, tSkipStSt), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc3, addr), steps
+				}
+				mem[addr] = regs[b3]
+				m.st.Touch(addr)
+				steps += 2
+				addr = regs[a3b].Val() + uimm3b
+				if addr >= m.limit[ri3b] {
+					return m.tRaise(pc3+1, kOver3b, throw, throwBack3, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc3+1, addr), steps
+				}
+				mem[addr] = regs[d3b]
+				m.st.Touch(addr)
+				return fall3, steps
+			}
+		}
+
+	case exec.XSt:
+		// Store, conditional move, double store.
+		if k2 == exec.XFCMovR && k3 == exec.XFStSt {
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+5 > tmax {
+					return gen1, steps
+				}
+				steps++
+				m.ctr.disp[k1]++
+				addr := regs[a1].Val() + uimm1
+				if addr >= m.limit[ri1] {
+					return m.tRaise(pc1, kOver1, throw, throwBack1, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1, addr), steps
+				}
+				mem[addr] = regs[b1]
+				m.st.Touch(addr)
+				steps++
+				m.ctr.disp[k2]++
+				if !exec.CmpW(regs[a2], regs[b2], cond2) {
+					steps++
+					m.ctr.cmovMoves++
+					regs[d2b] = regs[a2b]
+				}
+				m.ctr.disp[k3]++
+				addr = regs[a3].Val() + uimm3
+				if addr >= m.limit[ri3] {
+					return m.tRaise(pc3, kOver3, throw, throwBack3, tSkipStSt), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc3, addr), steps
+				}
+				mem[addr] = regs[b3]
+				m.st.Touch(addr)
+				steps += 2
+				addr = regs[a3b].Val() + uimm3b
+				if addr >= m.limit[ri3b] {
+					return m.tRaise(pc3+1, kOver3b, throw, throwBack3, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc3+1, addr), steps
+				}
+				mem[addr] = regs[d3b]
+				m.st.Touch(addr)
+				return fall3, steps
+			}
+		}
+
+	case exec.XFMovISt:
+		// Move-imm + store, double store, store — the chain's tail before
+		// the closing move/jump pair.
+		if k2 == exec.XFStSt && k3 == exec.XSt {
+			return func(m *Machine, regs *tregs, mem []word.W, steps, tmax int64) (*top, int64) {
+				if steps+5 > tmax {
+					return gen1, steps
+				}
+				m.ctr.disp[k1]++
+				regs[d1] = w1
+				steps += 2
+				addr := regs[a1b].Val() + uimm1b
+				if addr >= m.limit[ri1b] {
+					return m.tRaise(pc1+1, kOver1b, throw, throwBack1, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc1+1, addr), steps
+				}
+				mem[addr] = regs[d1b]
+				m.st.Touch(addr)
+				m.ctr.disp[k2]++
+				addr = regs[a2].Val() + uimm2
+				if addr >= m.limit[ri2] {
+					return m.tRaise(pc2, kOver2, throw, throwBack2, tSkipStSt), steps + 1
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2, addr), steps
+				}
+				mem[addr] = regs[b2]
+				m.st.Touch(addr)
+				steps += 2
+				addr = regs[a2b].Val() + uimm2b
+				if addr >= m.limit[ri2b] {
+					return m.tRaise(pc2+1, kOver2b, throw, throwBack2, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc2+1, addr), steps
+				}
+				mem[addr] = regs[d2b]
+				m.st.Touch(addr)
+				steps++
+				m.ctr.disp[k3]++
+				addr = regs[a3].Val() + uimm3
+				if addr >= m.limit[ri3] {
+					return m.tRaise(pc3, kOver3, throw, throwBack3, tSkipNone), steps
+				}
+				if addr >= uint64(len(mem)) {
+					return m.tStoreErr(pc3, addr), steps
+				}
+				mem[addr] = regs[b3]
+				m.st.Touch(addr)
+				return fall3, steps
+			}
+		}
+	}
+	return nil
+}

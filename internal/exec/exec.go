@@ -21,6 +21,8 @@
 package exec
 
 import (
+	"sync"
+
 	"symbol/internal/ic"
 	"symbol/internal/word"
 )
@@ -301,6 +303,20 @@ type Program struct {
 	Plain Stream
 	Fused Stream
 	Stats Stats
+
+	// threadOnce/threadCache hold a derived execution form built lazily on
+	// top of the streams by a higher layer (the emulator's closure-threaded
+	// core), mirroring ic.Program.ExecCache one level up. The slot is opaque
+	// here so exec stays free of emulator types.
+	threadOnce sync.Once
+	threadThis any
+}
+
+// ThreadCache returns the cached derived execution form, calling build to
+// create it on first use. Safe for concurrent use; build runs at most once.
+func (p *Program) ThreadCache(build func() any) any {
+	p.threadOnce.Do(func() { p.threadThis = build() })
+	return p.threadThis
 }
 
 // Stats summarizes the fusion pass over the static code.

@@ -114,6 +114,66 @@ func guard(err *error) {
 	}
 }
 
+// Dispatch selects the sequential emulator's execution core. The modes are
+// observationally identical — same output, Steps, stats, fault points and
+// suspend/resume behaviour, enforced differentially — and differ only in
+// throughput; see the README's dispatch-mode table for measurements.
+type Dispatch uint8
+
+const (
+	// DispatchAuto uses the default core. Auto tracks whatever the best
+	// general-purpose core is rather than pinning one; today it selects
+	// the fused switch loop (threaded is opt-in while it soaks).
+	DispatchAuto Dispatch = iota
+	// DispatchLegacy is the original non-predecoded reference interpreter,
+	// the semantic baseline (and the only core that supports tracing).
+	DispatchLegacy
+	// DispatchNoFuse runs the plain predecoded stream, one internal op per
+	// ICI, with superinstruction fusion disabled.
+	DispatchNoFuse
+	// DispatchFused runs the fused predecoded stream (superinstructions).
+	DispatchFused
+	// DispatchThreaded runs the closure-threaded core: the fused stream
+	// compiled to per-op closures with operands pre-resolved at build time,
+	// chained to their successors with no central dispatch switch.
+	DispatchThreaded
+)
+
+// String returns the flag-compatible name of the mode.
+func (d Dispatch) String() string {
+	switch d {
+	case DispatchAuto:
+		return "auto"
+	case DispatchLegacy:
+		return "legacy"
+	case DispatchNoFuse:
+		return "nofuse"
+	case DispatchFused:
+		return "fused"
+	case DispatchThreaded:
+		return "threaded"
+	}
+	return fmt.Sprintf("Dispatch(%d)", uint8(d))
+}
+
+// ParseDispatch maps a -dispatch flag value onto the enum. The empty string
+// means DispatchAuto.
+func ParseDispatch(s string) (Dispatch, error) {
+	switch s {
+	case "", "auto":
+		return DispatchAuto, nil
+	case "legacy":
+		return DispatchLegacy, nil
+	case "nofuse":
+		return DispatchNoFuse, nil
+	case "fused":
+		return DispatchFused, nil
+	case "threaded":
+		return DispatchThreaded, nil
+	}
+	return DispatchAuto, fmt.Errorf("symbol: unknown dispatch mode %q (want legacy, nofuse, fused or threaded)", s)
+}
+
 // RunOptions bound one execution (sequential or simulated): resource
 // budgets, a wall-clock deadline, and per-area memory sizes in words. Zero
 // fields mean the defaults; area sizes are clamped to the compile-time
@@ -128,10 +188,19 @@ type RunOptions struct {
 	CPWords    int64
 	TrailWords int64
 	PDLWords   int64
+	// Dispatch selects the sequential emulator's execution core (legacy,
+	// plain predecoded, fused, or closure-threaded). Observable behaviour is
+	// identical across all of them; the knob exists for benchmarking the
+	// dispatch layers and for pinning down a miscompare. DispatchAuto (the
+	// zero value) defers to NoFuse for compatibility, then to the default
+	// core. TraceEvents overrides any choice here: tracing requires the
+	// legacy interpreter.
+	Dispatch Dispatch
 	// NoFuse disables superinstruction fusion in the sequential emulator,
-	// running the plain predecoded stream instead. Observable behaviour is
-	// identical either way; the switch exists for benchmarking the fusion
-	// layer and for pinning down a miscompare to it.
+	// running the plain predecoded stream instead.
+	//
+	// Deprecated: set Dispatch to DispatchNoFuse. NoFuse remains as an
+	// alias; setting both to conflicting values is a validation error.
 	NoFuse bool
 	// TraceEvents, when positive, records the run's last TraceEvents
 	// executor milestones (calls, fails, choice-point pushes/pops,
@@ -171,7 +240,13 @@ func WithTrailWords(n int64) RunOption { return func(o *RunOptions) { o.TrailWor
 func WithPDLWords(n int64) RunOption { return func(o *RunOptions) { o.PDLWords = n } }
 
 // WithNoFuse disables superinstruction fusion for the run.
+//
+// Deprecated: use WithDispatch(DispatchNoFuse).
 func WithNoFuse() RunOption { return func(o *RunOptions) { o.NoFuse = true } }
+
+// WithDispatch selects the sequential emulator's execution core for the run
+// (see Dispatch).
+func WithDispatch(d Dispatch) RunOption { return func(o *RunOptions) { o.Dispatch = d } }
 
 // WithTrace keeps the run's last n executor milestone events (see
 // RunOptions.TraceEvents).
@@ -203,6 +278,18 @@ func (e *OptionError) Error() string {
 	return fmt.Sprintf("symbol: invalid RunOptions.%s: %d", e.Field, e.Value)
 }
 
+// DispatchConflictError reports RunOptions naming two different execution
+// cores at once: the deprecated NoFuse alias set alongside a Dispatch other
+// than DispatchNoFuse. Like *OptionError it is returned before any machine
+// state is touched.
+type DispatchConflictError struct {
+	Dispatch Dispatch
+}
+
+func (e *DispatchConflictError) Error() string {
+	return fmt.Sprintf("symbol: conflicting RunOptions: NoFuse with Dispatch %s (drop the deprecated NoFuse alias)", e.Dispatch)
+}
+
 // Validate checks the options. Zero values are always valid (they mean the
 // defaults); negative budgets and negative area sizes are rejected with a
 // *OptionError. Oversized areas are not an error — ic.Layout clamps them to
@@ -225,7 +312,32 @@ func (o RunOptions) Validate() error {
 			return &OptionError{Field: f.name, Value: f.v}
 		}
 	}
+	if o.NoFuse && o.Dispatch != DispatchAuto && o.Dispatch != DispatchNoFuse {
+		return &DispatchConflictError{Dispatch: o.Dispatch}
+	}
 	return nil
+}
+
+// dispatch resolves the effective execution core: the enum wins, with the
+// deprecated NoFuse alias filling in while the enum is DispatchAuto.
+func (o RunOptions) dispatch() Dispatch {
+	if o.Dispatch == DispatchAuto && o.NoFuse {
+		return DispatchNoFuse
+	}
+	return o.Dispatch
+}
+
+// emuMode expands the resolved dispatch into the emulator's mode flags.
+func (o RunOptions) emuMode() (legacy, noFuse, threaded bool) {
+	switch o.dispatch() {
+	case DispatchLegacy:
+		legacy = true
+	case DispatchNoFuse:
+		noFuse = true
+	case DispatchThreaded:
+		threaded = true
+	}
+	return
 }
 
 func (o RunOptions) layout() ic.Layout {
@@ -373,11 +485,14 @@ func (p *Program) RunWith(opts RunOptions) (_ *Result, err error) {
 	if opts.TraceEvents > 0 {
 		trace = obs.NewTrace(opts.TraceEvents)
 	}
+	legacy, noFuse, threaded := opts.emuMode()
 	res, err := emu.Run(p.icp, emu.Options{
 		MaxSteps: maxSteps,
 		Layout:   opts.layout(),
 		Deadline: opts.Deadline,
-		NoFuse:   opts.NoFuse,
+		Legacy:   legacy,
+		NoFuse:   noFuse,
+		Threaded: threaded,
 		Events:   trace,
 	})
 	if err != nil {
