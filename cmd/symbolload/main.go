@@ -1,15 +1,24 @@
 // Command symbolload drives load at a symbolserve instance and reports a
 // latency/shed profile: queries per second, p50/p99/p999, status classes,
-// and the shed rate. It doubles as the CI smoke harness (-min-qps /
-// -max-5xx turn the report into assertions) and as a chaos generator
-// (-chaos mixes in slow queries, budget-exhausting queries, and client
-// disconnects to exercise the server's failure paths).
+// the shed rate, and qps_at_p99 — throughput discounted when the p99
+// latency exceeds its target, the serving figure of merit the CI trend
+// gate tracks. It doubles as the CI smoke harness (-min-qps / -max-5xx /
+// -min-speedup / -compare turn the report into assertions) and as a chaos
+// generator (-chaos mixes in slow queries, budget-exhausting queries, and
+// client disconnects to exercise the server's failure paths).
 //
 // Usage:
 //
 //	symbolload -self -d 5s -c 8                  # in-process server, embedded suite
 //	symbolload -url http://host:8080 -kb qsort   # remote server
 //	symbolload -self -chaos -json                # failure-path mix, JSON report
+//	symbolload -self -ab -warmup 1s -c 8         # unbatched vs batched A/B
+//
+// With -ab the harness serves the suite twice in one process — first with
+// request coalescing disabled, then enabled — under identical load, and
+// reports both profiles plus the batching speedup. Because both phases run
+// on the same machine seconds apart, the speedup is robust to host noise
+// in a way absolute qps floors are not.
 package main
 
 import (
@@ -22,38 +31,54 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"symbol"
 	"symbol/internal/benchprog"
 	"symbol/internal/serve"
 )
 
 // Report is the JSON shape of a load run (committed as BENCH_serve.json).
+// QPSAtP99 is qps scaled by min(1, p99_target/p99): pure throughput while
+// the p99 meets its target, discounted in proportion once it does not — so
+// a change cannot buy throughput by letting tail latency collapse. The
+// Unbatched* fields and BatchSpeedup are present only for -ab runs; the
+// speedup is the ratio of the two phases' QPSAtP99.
 type Report struct {
-	Target     string         `json:"target"`
-	KB         string         `json:"kb"`
-	Mode       string         `json:"mode"`
-	Chaos      bool           `json:"chaos"`
-	Workers    int            `json:"workers"`
-	DurationS  float64        `json:"duration_s"`
-	Requests   int            `json:"requests"`
-	QPS        float64        `json:"qps"`
-	P50MS      float64        `json:"p50_ms"`
-	P99MS      float64        `json:"p99_ms"`
-	P999MS     float64        `json:"p999_ms"`
-	Statuses   map[string]int `json:"statuses"`
-	Proven     int            `json:"proven"`      // 200s whose goal succeeded
-	NoSolution int            `json:"no_solution"` // 200s that answered a clean "no"
-	Sheds      int            `json:"sheds"`
-	ShedRate   float64        `json:"shed_rate"`
-	ShedReason map[string]int `json:"shed_reasons,omitempty"`
-	Faults     map[string]int `json:"faults,omitempty"`
-	Disconnect int            `json:"client_disconnects,omitempty"`
-	Errors     int            `json:"transport_errors"`
-	FiveXX     int            `json:"non_shed_5xx"`
+	Target      string         `json:"target"`
+	KB          string         `json:"kb"`
+	Mode        string         `json:"mode"`
+	Dispatch    string         `json:"dispatch,omitempty"`
+	Chaos       bool           `json:"chaos"`
+	Workers     int            `json:"workers"`
+	WarmupS     float64        `json:"warmup_s,omitempty"`
+	DurationS   float64        `json:"duration_s"`
+	Requests    int            `json:"requests"`
+	QPS         float64        `json:"qps"`
+	P50MS       float64        `json:"p50_ms"`
+	P99MS       float64        `json:"p99_ms"`
+	P999MS      float64        `json:"p999_ms"`
+	P99TargetMS float64        `json:"p99_target_ms,omitempty"`
+	QPSAtP99    float64        `json:"qps_at_p99,omitempty"`
+	Statuses    map[string]int `json:"statuses"`
+	Proven      int            `json:"proven"`      // 200s whose goal succeeded
+	NoSolution  int            `json:"no_solution"` // 200s that answered a clean "no"
+	Sheds       int            `json:"sheds"`
+	ShedRate    float64        `json:"shed_rate"`
+	ShedReason  map[string]int `json:"shed_reasons,omitempty"`
+	Faults      map[string]int `json:"faults,omitempty"`
+	Disconnect  int            `json:"client_disconnects,omitempty"`
+	Errors      int            `json:"transport_errors"`
+	FiveXX      int            `json:"non_shed_5xx"`
+
+	UnbatchedQPS      float64 `json:"unbatched_qps,omitempty"`
+	UnbatchedP99MS    float64 `json:"unbatched_p99_ms,omitempty"`
+	UnbatchedQPSAtP99 float64 `json:"unbatched_qps_at_p99,omitempty"`
+	BatchSpeedup      float64 `json:"batch_speedup,omitempty"`
 }
 
 type sample struct {
@@ -65,6 +90,17 @@ type sample struct {
 	transport  bool // transport-level failure (includes chaos disconnects)
 }
 
+// loadSpec is everything one measured phase needs.
+type loadSpec struct {
+	kb       string
+	mode     string
+	goal     string
+	workers  int
+	warmup   time.Duration
+	duration time.Duration
+	chaos    bool
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "symbolload:", err)
@@ -74,45 +110,30 @@ func main() {
 
 func run() error {
 	var (
-		url      = flag.String("url", "", "target symbolserve base URL")
-		self     = flag.Bool("self", false, "serve the embedded suite in-process and load that")
-		kb       = flag.String("kb", "", "knowledge base to query (default: first runnable)")
-		mode     = flag.String("mode", "run", "request mode: run (KB's main/0) or query (posted goal)")
-		goal     = flag.String("goal", "", "goal for -mode query (required with that mode)")
-		workers  = flag.Int("c", 8, "concurrent workers")
-		duration = flag.Duration("d", 5*time.Second, "load duration")
-		chaos    = flag.Bool("chaos", false, "mix in slow queries, budget bombs, and client disconnects")
-		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
-		minQPS   = flag.Float64("min-qps", 0, "fail unless achieved QPS is at least this")
-		max5xx   = flag.Int("max-5xx", -1, "fail if non-shed 5xx responses exceed this (-1 = no assertion)")
+		url        = flag.String("url", "", "target symbolserve base URL")
+		self       = flag.Bool("self", false, "serve the embedded suite in-process and load that")
+		kb         = flag.String("kb", "", "knowledge base to query (default: first runnable)")
+		mode       = flag.String("mode", "run", "request mode: run (KB's main/0) or query (posted goal)")
+		goal       = flag.String("goal", "", "goal for -mode query (required with that mode)")
+		workers    = flag.Int("c", 8, "concurrent workers")
+		warmup     = flag.Duration("warmup", 0, "warm the target before measuring; warmup requests are excluded from the report")
+		duration   = flag.Duration("d", 5*time.Second, "measured load duration")
+		dispatchF  = flag.String("dispatch", "", "execution core for the -self server: legacy, nofuse, fused, threaded (default auto)")
+		ab         = flag.Bool("ab", false, "A/B: run the load twice in-process (-self), unbatched then batched, and report the speedup")
+		chaos      = flag.Bool("chaos", false, "mix in slow queries, budget bombs, and client disconnects")
+		jsonOut    = flag.Bool("json", false, "emit the report as JSON")
+		p99Target  = flag.Duration("p99-target", 50*time.Millisecond, "p99 target for the qps_at_p99 figure of merit")
+		minQPS     = flag.Float64("min-qps", 0, "fail unless achieved QPS is at least this")
+		max5xx     = flag.Int("max-5xx", -1, "fail if non-shed 5xx responses exceed this (-1 = no assertion)")
+		minSpeedup = flag.Float64("min-speedup", 0, "with -ab: fail unless batched qps_at_p99 is at least this multiple of unbatched")
+		compare    = flag.String("compare", "", "committed report JSON to trend-gate qps_at_p99 against")
+		tolerance  = flag.Float64("tolerance", 30, "with -compare: allowed qps_at_p99 regression, percent")
 	)
 	flag.Parse()
 
-	base := *url
-	if *self {
-		var kbs []serve.KB
-		for _, b := range benchprog.All() {
-			kbs = append(kbs, serve.KB{Name: b.Name, Source: b.Source})
-		}
-		s, err := serve.New(serve.Config{}, kbs...)
-		if err != nil {
-			return err
-		}
-		ts := httptest.NewServer(s)
-		defer ts.Close()
-		defer s.Close()
-		base = ts.URL
-	}
-	if base == "" {
-		return fmt.Errorf("no target: pass -url or -self")
-	}
-	base = strings.TrimRight(base, "/")
-	if *kb == "" {
-		name, err := firstRunnableKB(base)
-		if err != nil {
-			return err
-		}
-		*kb = name
+	disp, err := symbol.ParseDispatch(*dispatchF)
+	if err != nil {
+		return err
 	}
 	if *mode != "run" && *mode != "query" {
 		return fmt.Errorf("unknown -mode %q", *mode)
@@ -120,9 +141,56 @@ func run() error {
 	if *mode == "query" && *goal == "" {
 		return fmt.Errorf("-mode query needs -goal (a goal against the kb's own predicates)")
 	}
+	if *ab && !*self {
+		return fmt.Errorf("-ab compares two in-process server configurations: pass -self")
+	}
+	if *dispatchF != "" && !*self {
+		return fmt.Errorf("-dispatch configures the in-process server: pass -self (a remote server picks its own core)")
+	}
 
-	samples := fire(base, *kb, *mode, *goal, *workers, *duration, *chaos)
-	rep := summarize(samples, base, *kb, *mode, *chaos, *workers, *duration)
+	spec := loadSpec{
+		kb: *kb, mode: *mode, goal: *goal,
+		workers: *workers, warmup: *warmup, duration: *duration, chaos: *chaos,
+	}
+
+	var rep Report
+	if *ab {
+		unbatched, err := phase(disp, false, &spec)
+		if err != nil {
+			return fmt.Errorf("unbatched phase: %w", err)
+		}
+		batched, err := phase(disp, true, &spec)
+		if err != nil {
+			return fmt.Errorf("batched phase: %w", err)
+		}
+		finishReport(&unbatched, *p99Target)
+		finishReport(&batched, *p99Target)
+		rep = batched
+		rep.UnbatchedQPS = unbatched.QPS
+		rep.UnbatchedP99MS = unbatched.P99MS
+		rep.UnbatchedQPSAtP99 = unbatched.QPSAtP99
+		if unbatched.QPSAtP99 > 0 {
+			rep.BatchSpeedup = batched.QPSAtP99 / unbatched.QPSAtP99
+		}
+	} else if *self {
+		rep, err = phase(disp, true, &spec)
+		if err != nil {
+			return err
+		}
+		finishReport(&rep, *p99Target)
+	} else {
+		if *url == "" {
+			return fmt.Errorf("no target: pass -url or -self")
+		}
+		base := strings.TrimRight(*url, "/")
+		if err := resolveKB(base, &spec); err != nil {
+			return err
+		}
+		samples := fire(base, &spec)
+		rep = summarize(samples, base, &spec)
+		finishReport(&rep, *p99Target)
+	}
+	rep.Dispatch = *dispatchF
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -140,6 +208,102 @@ func run() error {
 	if *max5xx >= 0 && rep.FiveXX > *max5xx {
 		return fmt.Errorf("assertion failed: %d non-shed 5xx responses > max-5xx %d", rep.FiveXX, *max5xx)
 	}
+	if *minSpeedup > 0 {
+		if !*ab {
+			return fmt.Errorf("-min-speedup needs -ab")
+		}
+		if rep.BatchSpeedup < *minSpeedup {
+			return fmt.Errorf("assertion failed: batch speedup %.2fx < min-speedup %.2fx (batched %.1f vs unbatched %.1f qps_at_p99)",
+				rep.BatchSpeedup, *minSpeedup, rep.QPSAtP99, rep.UnbatchedQPSAtP99)
+		}
+	}
+	if *compare != "" {
+		if err := trendGate(*compare, *tolerance, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// phase serves the embedded suite in-process — MaxInFlight at least the
+// worker count, so a coalescing window can gather every concurrent request
+// into one batch — and runs the configured load against it.
+func phase(disp symbol.Dispatch, batched bool, spec *loadSpec) (Report, error) {
+	inFlight := spec.workers
+	if g := runtime.GOMAXPROCS(0); g > inFlight {
+		inFlight = g
+	}
+	var kbs []serve.KB
+	for _, b := range benchprog.All() {
+		kbs = append(kbs, serve.KB{Name: b.Name, Source: b.Source})
+	}
+	s, err := serve.New(serve.Config{
+		MaxInFlight:     inFlight,
+		Dispatch:        disp,
+		DisableBatching: !batched,
+	}, kbs...)
+	if err != nil {
+		return Report{}, err
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer s.Close()
+	if err := resolveKB(ts.URL, spec); err != nil {
+		return Report{}, err
+	}
+	samples := fire(ts.URL, spec)
+	rep := summarize(samples, ts.URL, spec)
+	if !batched {
+		rep.Target += " (unbatched)"
+	}
+	return rep, nil
+}
+
+// finishReport derives the qps_at_p99 figure of merit: throughput taken at
+// face value while the p99 meets its target, discounted proportionally
+// once it exceeds it.
+func finishReport(rep *Report, p99Target time.Duration) {
+	rep.P99TargetMS = float64(p99Target) / float64(time.Millisecond)
+	rep.QPSAtP99 = rep.QPS
+	if rep.P99MS > rep.P99TargetMS && rep.P99MS > 0 {
+		rep.QPSAtP99 = rep.QPS * rep.P99TargetMS / rep.P99MS
+	}
+}
+
+// trendGate asserts the run's qps_at_p99 against a committed report's,
+// within a noise tolerance. The committed figure is the floor of record:
+// a regression past the tolerance fails CI; improvements pass silently
+// (refresh the committed file to raise the floor).
+func trendGate(path string, tolerancePct float64, rep Report) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("trend gate: %w", err)
+	}
+	var committed Report
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("trend gate: %s: %w", path, err)
+	}
+	if committed.QPSAtP99 <= 0 {
+		return fmt.Errorf("trend gate: %s has no qps_at_p99 figure; regenerate it with this harness", path)
+	}
+	floor := committed.QPSAtP99 * (1 - tolerancePct/100)
+	if rep.QPSAtP99 < floor {
+		return fmt.Errorf("trend gate failed: qps_at_p99 %.1f < floor %.1f (committed %.1f - %.0f%% tolerance)",
+			rep.QPSAtP99, floor, committed.QPSAtP99, tolerancePct)
+	}
+	return nil
+}
+
+// resolveKB fills spec.kb from the target's /kbs listing when unset.
+func resolveKB(base string, spec *loadSpec) error {
+	if spec.kb != "" {
+		return nil
+	}
+	name, err := firstRunnableKB(base)
+	if err != nil {
+		return err
+	}
+	spec.kb = name
 	return nil
 }
 
@@ -165,21 +329,27 @@ func firstRunnableKB(base string) (string, error) {
 	return "", fmt.Errorf("target serves no runnable kb")
 }
 
-// fire runs the worker pool for the configured duration and collects one
-// sample per request.
-func fire(base, kb, mode, goal string, workers int, duration time.Duration, chaos bool) []sample {
-	deadline := time.Now().Add(duration)
+// fire runs the worker pool and collects one sample per measured request.
+// Requests issued during the warmup window are driven identically but
+// discarded: they exist to populate the engine caches and state pools, and
+// their cold-path latencies must not pollute the percentiles.
+func fire(base string, spec *loadSpec) []sample {
+	warmupEnd := time.Now().Add(spec.warmup)
+	deadline := warmupEnd.Add(spec.duration)
 	var mu sync.Mutex
 	var samples []sample
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < spec.workers; w++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			var local []sample
 			for time.Now().Before(deadline) {
-				local = append(local, oneRequest(base, kb, mode, goal, chaos, rng))
+				s := oneRequest(base, spec.kb, spec.mode, spec.goal, spec.chaos, rng)
+				if time.Now().After(warmupEnd) {
+					local = append(local, s)
+				}
 			}
 			mu.Lock()
 			samples = append(samples, local...)
@@ -243,14 +413,15 @@ func oneRequest(base, kb, mode, goal string, chaos bool, rng *rand.Rand) sample 
 	}
 }
 
-func summarize(samples []sample, base, kb, mode string, chaos bool, workers int, duration time.Duration) Report {
+func summarize(samples []sample, base string, spec *loadSpec) Report {
 	rep := Report{
 		Target:     base,
-		KB:         kb,
-		Mode:       mode,
-		Chaos:      chaos,
-		Workers:    workers,
-		DurationS:  duration.Seconds(),
+		KB:         spec.kb,
+		Mode:       spec.mode,
+		Chaos:      spec.chaos,
+		Workers:    spec.workers,
+		WarmupS:    spec.warmup.Seconds(),
+		DurationS:  spec.duration.Seconds(),
 		Requests:   len(samples),
 		Statuses:   map[string]int{},
 		ShedReason: map[string]int{},
@@ -293,8 +464,8 @@ func summarize(samples []sample, base, kb, mode string, chaos bool, workers int,
 		}
 		rep.P50MS, rep.P99MS, rep.P999MS = q(0.50), q(0.99), q(0.999)
 	}
-	if duration > 0 {
-		rep.QPS = float64(len(samples)) / duration.Seconds()
+	if spec.duration > 0 {
+		rep.QPS = float64(len(samples)) / spec.duration.Seconds()
 	}
 	if answered := len(lats); answered > 0 {
 		rep.ShedRate = float64(rep.Sheds) / float64(answered)
@@ -304,9 +475,12 @@ func summarize(samples []sample, base, kb, mode string, chaos bool, workers int,
 
 func printReport(r Report) {
 	fmt.Printf("target     %s  kb=%s mode=%s chaos=%v\n", r.Target, r.KB, r.Mode, r.Chaos)
-	fmt.Printf("load       %d workers x %.1fs\n", r.Workers, r.DurationS)
+	fmt.Printf("load       %d workers x %.1fs (warmup %.1fs)\n", r.Workers, r.DurationS, r.WarmupS)
 	fmt.Printf("requests   %d (%.1f q/s)\n", r.Requests, r.QPS)
 	fmt.Printf("latency    p50 %.2fms  p99 %.2fms  p999 %.2fms\n", r.P50MS, r.P99MS, r.P999MS)
+	if r.QPSAtP99 > 0 {
+		fmt.Printf("merit      qps_at_p99 %.1f (target p99 %.0fms)\n", r.QPSAtP99, r.P99TargetMS)
+	}
 	var keys []string
 	for k := range r.Statuses {
 		keys = append(keys, k)
@@ -326,4 +500,8 @@ func printReport(r Report) {
 		fmt.Printf("aborted    %d client disconnects, %d transport errors\n", r.Disconnect, r.Errors)
 	}
 	fmt.Printf("non-shed 5xx %d\n", r.FiveXX)
+	if r.BatchSpeedup > 0 {
+		fmt.Printf("batching   %.2fx qps_at_p99 vs unbatched (%.1f vs %.1f; p99 %.2fms vs %.2fms)\n",
+			r.BatchSpeedup, r.QPSAtP99, r.UnbatchedQPSAtP99, r.P99MS, r.UnbatchedP99MS)
+	}
 }

@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"symbol"
 	"symbol/internal/benchprog"
 	"symbol/internal/serve"
 )
@@ -65,20 +66,34 @@ func run() error {
 		tenantsPath = flag.String("tenants", "", "JSON file of named tenant budget envelopes")
 		cursorTTL   = flag.Duration("cursor-ttl", 0, "idle lifetime of a paginated query's resume cursor (0 = 30s)")
 		negTTL      = flag.Duration("neg-cache-ttl", 0, "how long a failed query compile stays cached (0 = 5s)")
+		dispatch    = flag.String("dispatch", "", "execution core for every query: legacy, nofuse, fused, threaded (default auto)")
+		batchWindow = flag.Duration("batch-window", 0, "request-coalescing window (0 = 2ms)")
+		maxBatch    = flag.Int("max-batch", 0, "max requests per coalesced batch (0 = max-inflight)")
+		noBatch     = flag.Bool("no-batch", false, "disable request coalescing")
+		cacheBudget = flag.Int64("cache-budget-mb", 0, "query-engine cache budget in MiB of estimated resident bytes (0 = 2048)")
 	)
 	flag.Parse()
 
+	disp, err := symbol.ParseDispatch(*dispatch)
+	if err != nil {
+		return err
+	}
 	cfg := serve.Config{
-		MaxInFlight:    *maxInFlight,
-		MaxQueue:       *maxQueue,
-		QueueTimeout:   *queueWait,
-		RequestTimeout: *reqTimeout,
-		DrainTimeout:   *drain,
-		ShedP99:        *shedP99,
-		CursorTTL:      *cursorTTL,
-		NegCacheTTL:    *negTTL,
-		DefaultTenant:  serve.Tenant{MaxSteps: *maxSteps},
-		Logf:           log.Printf,
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		QueueTimeout:     *queueWait,
+		RequestTimeout:   *reqTimeout,
+		DrainTimeout:     *drain,
+		ShedP99:          *shedP99,
+		CursorTTL:        *cursorTTL,
+		NegCacheTTL:      *negTTL,
+		Dispatch:         disp,
+		BatchWindow:      *batchWindow,
+		MaxBatch:         *maxBatch,
+		DisableBatching:  *noBatch,
+		CacheBudgetBytes: *cacheBudget << 20,
+		DefaultTenant:    serve.Tenant{MaxSteps: *maxSteps},
+		Logf:             log.Printf,
 	}
 	if *tenantsPath != "" {
 		data, err := os.ReadFile(*tenantsPath)

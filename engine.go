@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"symbol/internal/emu"
+	"symbol/internal/exec"
 	"symbol/internal/fault"
 	"symbol/internal/ic"
 	"symbol/internal/obs"
@@ -37,6 +38,12 @@ type Engine struct {
 	pool sync.Pool // *ic.State
 	met  obs.Metrics
 
+	// states counts machine states ever allocated for the pool (pool
+	// misses). It only grows — sync.Pool may drop states under GC pressure
+	// without telling us — so Footprint reads it as a deliberate
+	// overestimate: the safe direction for a cache evicting by bytes.
+	states atomic.Int64
+
 	schedOnce sync.Once
 	sched     *Scheduled
 	schedErr  error
@@ -55,9 +62,28 @@ func NewEngineConfig(p *Program, conf MachineConfig, sopts ScheduleOptions) *Eng
 	e := &Engine{prog: p, conf: conf, sops: sopts}
 	e.pool.New = func() any {
 		e.met.RecordPoolMiss()
+		e.states.Add(1)
 		return ic.NewState()
 	}
 	return e
+}
+
+// Footprint estimates the engine's resident bytes: every machine state ever
+// allocated for the pool (the dominant term — one state is the full
+// simulated memory image) plus the compiled code and, once a run has built
+// them, the predecoded and threaded execution streams. It is intentionally
+// an upper bound — sync.Pool may have released states to the GC — because
+// its consumer is budget-based cache eviction, where overestimating evicts
+// early and underestimating blows the budget.
+func (e *Engine) Footprint() int64 {
+	n := e.states.Load() * ic.StateBytes()
+	n += int64(len(e.prog.icp.Code)) * 64 // ic.Inst stream + symbol tables, nominal
+	if img := e.prog.icp.ExecCached(); img != nil {
+		if xp, ok := img.(*exec.Program); ok {
+			n += xp.SizeBytes()
+		}
+	}
+	return n
 }
 
 // Program returns the compiled program the engine serves.
@@ -403,6 +429,18 @@ type BatchResult struct {
 	Err    error
 }
 
+// BatchRun is one entry of an Engine.RunBatch fan-out: the run's options
+// plus an optional per-run context. A nil Ctx means the run is bounded only
+// by the batch context; a non-nil Ctx cancels this run alone (the run
+// aborts when either context is done). The serving layer's request
+// coalescer uses per-run contexts to keep each coalesced class of requests
+// individually cancellable — a client abandoning its class must not drag
+// down siblings that still want their answer.
+type BatchRun struct {
+	Ctx  context.Context
+	Opts RunOptions
+}
+
 // RunAll answers runs[i] for every i, fanning the batch out across
 // min(GOMAXPROCS, len(runs)) workers that share the engine's state pool.
 // Each run keeps its own RunOptions semantics (budgets, deadlines, area
@@ -410,13 +448,34 @@ type BatchResult struct {
 // ErrCanceled and marks unstarted ones the same way; the returned slice
 // always has len(runs) entries, index-aligned with the input.
 func (e *Engine) RunAll(ctx context.Context, runs []RunOptions) []BatchResult {
-	out := make([]BatchResult, len(runs))
-	if len(runs) == 0 {
+	batch := make([]BatchRun, len(runs))
+	for i, o := range runs {
+		batch[i] = BatchRun{Opts: o}
+	}
+	return e.RunBatch(ctx, batch)
+}
+
+// RunBatch is the batch entry point RunAll is built on: it answers every
+// entry, fanning out across min(GOMAXPROCS, len(batch)) workers that share
+// the engine's state pool, with per-entry contexts honoured alongside the
+// batch context. Because the engine is deterministic — the same program on
+// a fresh state under the same budgets computes the same answer — a caller
+// may execute one entry per *distinct* budget class and share the result
+// across every request that posed it; that coalescing contract is what the
+// serving layer's batcher relies on, and it is only sound because each run
+// starts from a zeroed pooled state.
+//
+// The returned slice always has len(batch) entries, index-aligned with the
+// input. Cancelling ctx aborts every run; cancelling an entry's own Ctx
+// aborts just that entry, either way as typed ErrCanceled.
+func (e *Engine) RunBatch(ctx context.Context, batch []BatchRun) []BatchResult {
+	out := make([]BatchResult, len(batch))
+	if len(batch) == 0 {
 		return out
 	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(runs) {
-		workers = len(runs)
+	if workers > len(batch) {
+		workers = len(batch)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -426,20 +485,42 @@ func (e *Engine) RunAll(ctx context.Context, runs []RunOptions) []BatchResult {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(runs) {
+				if i >= len(batch) {
 					return
 				}
-				if ctx != nil && ctx.Err() != nil {
-					out[i] = BatchResult{Err: ErrCanceled}
+				runCtx := batch[i].Ctx
+				if runCtx == nil {
+					runCtx = ctx
+				} else if ctx != nil {
+					// The run must stop when either context is done. Derive
+					// a child of the entry's context and chain the batch
+					// context's cancellation into it.
+					var cancel context.CancelFunc
+					runCtx, cancel = context.WithCancel(runCtx)
+					stop := context.AfterFunc(ctx, cancel)
+					res, err := e.runBatchOne(runCtx, batch[i].Opts)
+					stop()
+					cancel()
+					out[i] = BatchResult{Result: res, Err: err}
 					continue
 				}
-				res, err := e.Run(ctx, runs[i])
+				res, err := e.runBatchOne(runCtx, batch[i].Opts)
 				out[i] = BatchResult{Result: res, Err: err}
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// runBatchOne runs one batch entry, short-circuiting runs whose context is
+// already dead so a cancelled batch drains in O(len) without touching the
+// pool.
+func (e *Engine) runBatchOne(ctx context.Context, opts RunOptions) (*Result, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return nil, ErrCanceled
+	}
+	return e.Run(ctx, opts)
 }
 
 // RunN answers the same query n times under opts — the batched load shape

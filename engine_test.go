@@ -309,3 +309,57 @@ main :- loop.
 		t.Fatalf("err=%v, want deadline or canceled fault", err)
 	}
 }
+
+// TestRunBatchPerEntryCancel: a batch entry's own context cancels that
+// entry alone; siblings in the same RunBatch still get their answers.
+func TestRunBatchPerEntryCancel(t *testing.T) {
+	prog, err := Compile(engineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(prog)
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	batch := []BatchRun{
+		{Ctx: dead, Opts: RunOptions{}},
+		{Opts: RunOptions{}},
+		{Ctx: context.Background(), Opts: RunOptions{}},
+	}
+	out := eng.RunBatch(context.Background(), batch)
+	if !errors.Is(out[0].Err, ErrCanceled) {
+		t.Errorf("entry 0: err=%v, want ErrCanceled", out[0].Err)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Err != nil || out[i].Result == nil || !out[i].Result.Succeeded {
+			t.Errorf("entry %d: res=%+v err=%v, want success", i, out[i].Result, out[i].Err)
+		}
+	}
+}
+
+// TestEngineFootprint: a never-run engine's footprint is code-only; the
+// first run faults in a pooled machine state, which dominates the
+// estimate, and the figure never decreases across runs.
+func TestEngineFootprint(t *testing.T) {
+	prog, err := Compile(engineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(prog)
+	cold := eng.Footprint()
+	if cold <= 0 {
+		t.Fatalf("cold footprint = %d, want > 0 (code bytes)", cold)
+	}
+	if _, err := eng.Run(context.Background(), RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	warm := eng.Footprint()
+	if warm <= cold {
+		t.Fatalf("warm footprint = %d, want > cold %d (a pooled state was allocated)", warm, cold)
+	}
+	if _, err := eng.Run(context.Background(), RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if again := eng.Footprint(); again < warm {
+		t.Fatalf("footprint decreased %d -> %d; the estimate must be monotone", warm, again)
+	}
+}

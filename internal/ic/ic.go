@@ -13,6 +13,7 @@ package ic
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"symbol/internal/term"
 	"symbol/internal/word"
@@ -310,6 +311,7 @@ type Program struct {
 
 	execOnce  sync.Once
 	execCache any
+	execBuilt atomic.Bool
 }
 
 // ExecCache returns the program's predecoded execution image, building it
@@ -319,8 +321,21 @@ type Program struct {
 // opaque to this package because the predecoder (internal/exec) sits above
 // ic in the import graph. Code must not be mutated after the first call.
 func (p *Program) ExecCache(build func() any) any {
-	p.execOnce.Do(func() { p.execCache = build() })
+	p.execOnce.Do(func() {
+		p.execCache = build()
+		p.execBuilt.Store(true)
+	})
 	return p.execCache
+}
+
+// ExecCached returns the predecoded execution image if one has been built,
+// without forcing the build (nil otherwise). Size estimators use it to
+// account for the image only when a run has actually paid for it.
+func (p *Program) ExecCached() any {
+	if p.execBuilt.Load() {
+		return p.execCache
+	}
+	return nil
 }
 
 // MaxReg returns the highest register number named anywhere in the program,

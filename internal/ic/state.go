@@ -49,6 +49,18 @@ func NewState() *State {
 // Mem returns the simulated memory image (always MemWords long).
 func (s *State) Mem() []word.W { return s.mem }
 
+// StateBytes estimates the resident size of one State in bytes: the full
+// memory image (the dominant term, ~19M words), the per-page dirty table,
+// and a nominal allowance for the register and ready arrays. Budget-aware
+// caches use it to convert "engines × pooled states" into a byte figure
+// they can evict against; it is an estimate of steady-state residency, not
+// an exact accounting (a fresh State's image is untouched zero pages until
+// a run faults them in).
+func StateBytes() int64 {
+	const wordBytes = 8 // word.W is a uint64
+	return int64(MemWords)*wordBytes + numPages + 4096
+}
+
 // Regs returns a zeroed register file of at least n registers, reusing the
 // previous run's backing array when it is large enough. (Reset already
 // zeroed it; growth allocates fresh, which is zero by construction.)

@@ -27,12 +27,15 @@ const (
 	ShedPressure
 	// ShedDraining: the server is shutting down and no longer admits work.
 	ShedDraining
+	// ShedTenantQuota: the request's tenant already had its full provisioned
+	// concurrency in flight; the global gate never saw the request.
+	ShedTenantQuota
 
 	NumShedReasons
 )
 
 var shedNames = [NumShedReasons]string{
-	"queue_full", "queue_timeout", "pressure", "draining",
+	"queue_full", "queue_timeout", "pressure", "draining", "tenant_quota",
 }
 
 func (r ShedReason) String() string {
@@ -62,8 +65,29 @@ type ServerMetrics struct {
 
 	histRegress atomic.Int64
 
+	batches      atomic.Int64
+	batchMembers atomic.Int64
+	batchRuns    atomic.Int64
+	batchSize    [batchSizeBuckets + 1]atomic.Int64
+
 	queueWait [latencyBuckets + 1]atomic.Int64
 	status    [6]atomic.Int64 // responses by status class (index 2..5 used)
+}
+
+// batchSizeBuckets covers coalesced-batch sizes 1, 2, 4, ... 2^9 (the +1
+// overflow bucket catches anything larger).
+const batchSizeBuckets = 10
+
+// RecordBatch notes one coalesced batch executing: how many admitted
+// requests it carried and how many distinct engine runs (budget classes) it
+// took to answer them. members - runs is the work coalescing saved; the
+// size histogram shows whether the batching window is actually gathering
+// traffic or just adding latency to singletons.
+func (m *ServerMetrics) RecordBatch(members, runs int) {
+	m.batches.Add(1)
+	m.batchMembers.Add(int64(members))
+	m.batchRuns.Add(int64(runs))
+	m.batchSize[bucketPow2(int64(members), batchSizeBuckets)].Add(1)
 }
 
 // RecordEnqueue notes a request joining the admission queue and returns the
@@ -176,6 +200,14 @@ type ServerSnapshot struct {
 
 	Responses map[string]int64 `json:"responses,omitempty"` // by status class ("2xx".."5xx")
 
+	// Coalescing: batches executed, admitted requests they carried, and the
+	// distinct engine runs it took to answer them (members - runs is the work
+	// coalescing saved).
+	BatchesTotal      int64     `json:"batches_total"`
+	BatchMembersTotal int64     `json:"batch_members_total"`
+	BatchRunsTotal    int64     `json:"batch_runs_total"`
+	BatchSize         Histogram `json:"batch_size"`
+
 	QueueWaitSeconds Histogram `json:"queue_wait_seconds"`
 }
 
@@ -220,6 +252,17 @@ func (m *ServerMetrics) Snapshot() ServerSnapshot {
 			}
 			s.Responses[classes[c]] = n
 		}
+	}
+	s.BatchesTotal = m.batches.Load()
+	s.BatchMembersTotal = m.batchMembers.Load()
+	s.BatchRunsTotal = m.batchRuns.Load()
+	s.BatchSize.Bounds = make([]float64, batchSizeBuckets)
+	s.BatchSize.Counts = make([]int64, batchSizeBuckets+1)
+	for i := 0; i < batchSizeBuckets; i++ {
+		s.BatchSize.Bounds[i] = float64(int64(1) << uint(i))
+	}
+	for i := range m.batchSize {
+		s.BatchSize.Counts[i] = m.batchSize[i].Load()
 	}
 	s.QueueWaitSeconds.Bounds = make([]float64, latencyBuckets)
 	s.QueueWaitSeconds.Counts = make([]int64, latencyBuckets+1)
@@ -270,6 +313,18 @@ func (s ServerSnapshot) WriteTo(w io.Writer) (int64, error) {
 	for _, c := range []string{"2xx", "3xx", "4xx", "5xx"} {
 		p("symbolserve_responses_total{class=%q} %d\n", c, s.Responses[c])
 	}
+	counter("batches_total", "Coalesced batches executed.", s.BatchesTotal)
+	counter("batch_members_total", "Admitted requests carried by coalesced batches.", s.BatchMembersTotal)
+	counter("batch_runs_total", "Distinct engine runs executed on behalf of batches.", s.BatchRunsTotal)
+	p("# HELP symbolserve_batch_size Members per coalesced batch.\n# TYPE symbolserve_batch_size histogram\n")
+	var bcum int64
+	for i, b := range s.BatchSize.Bounds {
+		bcum += s.BatchSize.Counts[i]
+		p("symbolserve_batch_size_bucket{le=\"%g\"} %d\n", b, bcum)
+	}
+	bcum += s.BatchSize.Counts[len(s.BatchSize.Bounds)]
+	p("symbolserve_batch_size_bucket{le=\"+Inf\"} %d\n", bcum)
+	p("symbolserve_batch_size_count %d\n", bcum)
 	p("# HELP symbolserve_queue_wait_seconds Admission-queue wait of dequeued requests.\n# TYPE symbolserve_queue_wait_seconds histogram\n")
 	var cum int64
 	for i, b := range s.QueueWaitSeconds.Bounds {

@@ -24,9 +24,18 @@ import (
 // window, producing garbage quantiles. So eviction retires the engine's
 // final snapshot into an accumulator that stays merged into every future
 // read (see retired).
+// Capacity is bounded twice: by entry count (the original LRU cap) and by
+// estimated resident bytes. Entry count is a poor proxy for memory — one
+// engine whose pool has faulted in a few machine states holds hundreds of
+// megabytes while a never-run engine holds kilobytes — so eviction also
+// sums Engine.Footprint over the live entries and evicts from the LRU tail
+// while the total exceeds the byte budget (always keeping at least one
+// entry: evicting the engine a request is about to use would just force an
+// immediate recompile).
 type engineCache struct {
 	mu      sync.Mutex
 	cap     int
+	budget  int64 // estimated resident bytes; 0 = unbounded
 	negTTL  time.Duration
 	entries map[string]*list.Element
 	lru     list.List // front = most recent; values are *cacheEntry
@@ -51,10 +60,22 @@ type cacheEntry struct {
 	// err, release via the Store) for the TTL check in get. 0 while the
 	// compile is running or after it succeeded.
 	failedAt atomic.Int64
+	// bytes is the entry's footprint as of the last budget check (guarded
+	// by the cache mutex; observability only — the check re-reads
+	// Engine.Footprint each pass).
+	bytes int64
+	// pins counts requests currently using this entry's engine (guarded by
+	// the cache mutex). Eviction skips pinned entries: retiring an
+	// engine's metrics snapshot while requests are still parked on it —
+	// the coalescer holds members for a batching window before their runs
+	// start — would lose those runs from the server's merged, monotone
+	// view. The pin is taken inside the cache lock at lookup, so there is
+	// no window between handing out the engine and protecting it.
+	pins int
 }
 
-func newEngineCache(capacity int, negTTL time.Duration) *engineCache {
-	return &engineCache{cap: capacity, negTTL: negTTL, entries: map[string]*list.Element{}}
+func newEngineCache(capacity int, budgetBytes int64, negTTL time.Duration) *engineCache {
+	return &engineCache{cap: capacity, budget: budgetBytes, negTTL: negTTL, entries: map[string]*list.Element{}}
 }
 
 // get returns the engine for (kb, goal), compiling it on first use. A goal
@@ -66,6 +87,18 @@ func newEngineCache(capacity int, negTTL time.Duration) *engineCache {
 // replacement carries a fresh sync.Once, so the retry keeps the
 // one-compile-per-burst guarantee.
 func (c *engineCache) get(kbName, kbSrc, goal string) (*symbol.Engine, error) {
+	eng, unpin, err := c.getPinned(kbName, kbSrc, goal)
+	unpin()
+	return eng, err
+}
+
+// getPinned is get plus a pin on the entry for the caller's lifetime: the
+// engine cannot be evicted (its metrics cannot be retired) until the
+// returned unpin runs. Callers that park the engine in the coalescer hold
+// the pin until their run's outcome has been recorded on the engine, which
+// keeps the server's merged metrics complete. unpin is never nil and must
+// be called exactly once.
+func (c *engineCache) getPinned(kbName, kbSrc, goal string) (*symbol.Engine, func(), error) {
 	key := kbName + "\x00" + goal
 	c.mu.Lock()
 	el, ok := c.entries[key]
@@ -80,20 +113,10 @@ func (c *engineCache) get(kbName, kbSrc, goal string) (*symbol.Engine, error) {
 	} else {
 		el = c.lru.PushFront(&cacheEntry{key: key})
 		c.entries[key] = el
-		for c.lru.Len() > c.cap {
-			oldest := c.lru.Back()
-			c.lru.Remove(oldest)
-			old := oldest.Value.(*cacheEntry)
-			delete(c.entries, old.key)
-			if e := old.eng.Load(); e != nil {
-				snap := e.Metrics()
-				snap.InFlight = 0
-				c.retired.Merge(snap)
-				c.retiredCount++
-			}
-		}
 	}
 	e := el.Value.(*cacheEntry)
+	e.pins++
+	c.evictLocked()
 	c.mu.Unlock()
 
 	e.once.Do(func() {
@@ -105,7 +128,69 @@ func (c *engineCache) get(kbName, kbSrc, goal string) (*symbol.Engine, error) {
 		}
 		e.eng.Store(symbol.NewEngine(prog))
 	})
-	return e.eng.Load(), e.err
+	unpin := func() {
+		c.mu.Lock()
+		if e.pins--; e.pins < 0 {
+			e.pins = 0
+		}
+		c.evictLocked()
+		c.mu.Unlock()
+	}
+	return e.eng.Load(), unpin, e.err
+}
+
+// evictLocked trims the LRU tail while either bound is exceeded: entry
+// count past cap, or estimated resident bytes past budget (never evicting
+// the last entry on bytes alone). Footprints are re-read on every pass —
+// an engine's pool grows as runs fault states in, so the estimate is only
+// current at the moment of the check. Pinned engines are skipped; when
+// only pinned entries remain the bounds are temporarily exceeded and the
+// next get or unpin retries. Called with c.mu held.
+func (c *engineCache) evictLocked() {
+	for c.lru.Len() > c.cap || (c.budget > 0 && c.lru.Len() > 1 && c.bytesLocked() > c.budget) {
+		evicted := false
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			old := el.Value.(*cacheEntry)
+			if old.pins > 0 {
+				continue
+			}
+			c.lru.Remove(el)
+			delete(c.entries, old.key)
+			if e := old.eng.Load(); e != nil {
+				snap := e.Metrics()
+				snap.InFlight = 0
+				c.retired.Merge(snap)
+				c.retiredCount++
+			}
+			evicted = true
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// bytesLocked sums the live entries' estimated footprints, refreshing each
+// entry's cached figure. Called with c.mu held.
+func (c *engineCache) bytesLocked() int64 {
+	var n int64
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if eng := e.eng.Load(); eng != nil {
+			b := eng.Footprint()
+			e.bytes = b
+			n += b
+		}
+	}
+	return n
+}
+
+// bytes reports the cache's current estimated resident footprint.
+func (c *engineCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytesLocked()
 }
 
 // engines lists every compiled engine currently cached, for metrics

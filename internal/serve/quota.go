@@ -1,0 +1,56 @@
+package serve
+
+import "sync/atomic"
+
+// quotaTable enforces per-tenant concurrency ceilings ahead of the global
+// admission gate. The global gate protects the process; quotas protect
+// tenants from each other — a tenant already running its full provision is
+// shed with its own reason (tenant_quota) before it can occupy queue or
+// execution capacity another tenant could use. The table is built
+// immutably at server construction (tenant configuration is static), so
+// admission costs one map lookup and one atomic add, lock-free.
+type quotaTable struct {
+	byName map[string]*tenantSlots
+}
+
+type tenantSlots struct {
+	limit int64
+	used  atomic.Int64
+}
+
+func newQuotaTable(cfg Config) *quotaTable {
+	q := &quotaTable{byName: map[string]*tenantSlots{}}
+	add := func(name string, limit int) {
+		if limit > 0 {
+			q.byName[name] = &tenantSlots{limit: int64(limit)}
+		}
+	}
+	add(cfg.DefaultTenant.Name, cfg.DefaultTenant.MaxConcurrent)
+	for name, t := range cfg.Tenants {
+		add(name, t.MaxConcurrent)
+	}
+	return q
+}
+
+// tryAcquire claims one of the tenant's provisioned slots, returning the
+// matching release (call exactly once). Tenants without a MaxConcurrent
+// are unlimited and get a no-op release. The slot is held for the
+// request's whole admitted life — a parked paginated cursor keeps counting
+// against its tenant until the stream finishes or expires, exactly like it
+// keeps holding its global execution slot.
+func (q *quotaTable) tryAcquire(name string) (func(), bool) {
+	ts, ok := q.byName[name]
+	if !ok {
+		return func() {}, true
+	}
+	if ts.used.Add(1) > ts.limit {
+		ts.used.Add(-1)
+		return nil, false
+	}
+	var released atomic.Bool
+	return func() {
+		if !released.Swap(true) {
+			ts.used.Add(-1)
+		}
+	}, true
+}

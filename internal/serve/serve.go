@@ -72,6 +72,29 @@ type Config struct {
 	// QueryCache is the LRU capacity of compiled (kb, goal) engines
 	// (default 64).
 	QueryCache int
+	// CacheBudgetBytes bounds the estimated resident footprint of the
+	// compiled-query engine cache (default 2 GiB): machine-image words held
+	// by each engine's state pool plus its code and predecoded streams. The
+	// LRU evicts past the budget even when the entry count is still under
+	// QueryCache — entry count is a poor proxy for memory when one engine's
+	// pool holds multi-hundred-megabyte states.
+	CacheBudgetBytes int64
+	// Dispatch selects the execution core every query runs under
+	// (legacy, nofuse, fused, threaded; default auto).
+	Dispatch symbol.Dispatch
+	// BatchWindow is how long an admitted single-shot query may park
+	// waiting for coalescing company (default 2ms). A window closes early
+	// when its batch fills (MaxBatch); when every admitted request is
+	// already parked it closes after a short linger (a small fraction of
+	// the window), so an idle server answers a lone query in well under
+	// the full window's latency.
+	BatchWindow time.Duration
+	// MaxBatch bounds the members of one coalesced batch (default
+	// MaxInFlight).
+	MaxBatch int
+	// DisableBatching turns request coalescing off: every single-shot query
+	// gets its own engine run.
+	DisableBatching bool
 	// NegCacheTTL bounds how long a (kb, goal) compile error stays
 	// negatively cached (default 5s). After it a retry recompiles, so a
 	// fixed KB reload or a transient resource-shaped failure cannot poison
@@ -118,6 +141,15 @@ func (c Config) withDefaults() Config {
 	if c.QueryCache <= 0 {
 		c.QueryCache = 64
 	}
+	if c.CacheBudgetBytes <= 0 {
+		c.CacheBudgetBytes = 2 << 30
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = c.MaxInFlight
+	}
 	if c.NegCacheTTL <= 0 {
 		c.NegCacheTTL = 5 * time.Second
 	}
@@ -158,6 +190,8 @@ type Server struct {
 	mon     *monitor
 	cache   *engineCache
 	cursors *cursorTable
+	quotas  *quotaTable
+	batch   *batcher // nil when batching is disabled
 
 	draining    atomic.Bool
 	drainCtx    context.Context
@@ -192,11 +226,15 @@ func New(cfg Config, kbs ...KB) (*Server, error) {
 	}
 	sort.Strings(s.names)
 	s.gate = newGate(cfg.MaxInFlight, cfg.MaxQueue, &s.met)
-	s.cache = newEngineCache(cfg.QueryCache, cfg.NegCacheTTL)
+	s.cache = newEngineCache(cfg.QueryCache, cfg.CacheBudgetBytes, cfg.NegCacheTTL)
 	s.mon = newMonitor(s.EngineMetrics, &s.met, cfg.ShedP99, cfg.PressureInterval)
 	s.cursors = newCursorTable(cfg.CursorTTL, &s.met)
+	s.quotas = newQuotaTable(cfg)
 	s.flight = newInflightTracker()
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+	if !cfg.DisableBatching {
+		s.batch = newBatcher(s)
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.protect(s.handleHealthz))
@@ -458,7 +496,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	s.serveQuery(w, r, kb.name, func() (*symbol.Engine, error) { return kb.eng, nil })
+	s.serveQuery(w, r, kb.name, func() (*symbol.Engine, func(), error) { return kb.eng, func() {}, nil })
 }
 
 // handleQuery compiles an arbitrary goal against the KB (through the LRU of
@@ -490,19 +528,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, Response{KB: kb.name, Error: "empty query (POST a goal, or use ?q=)"})
 		return
 	}
-	getEngine := func() (*symbol.Engine, error) {
-		return s.cache.get(kb.name, kb.source, goal)
-	}
 	if ls := r.URL.Query().Get("limit"); ls != "" {
 		limit, err := strconv.Atoi(ls)
 		if err != nil || limit <= 0 {
 			s.writeJSON(w, http.StatusBadRequest, Response{KB: kb.name, Error: "limit must be a positive integer"})
 			return
 		}
-		s.servePaged(w, r, kb.name, limit, getEngine)
+		s.servePaged(w, r, kb.name, limit, func() (*symbol.Engine, error) {
+			return s.cache.get(kb.name, kb.source, goal)
+		})
 		return
 	}
-	s.serveQuery(w, r, kb.name, getEngine)
+	// Single-shot queries pin their cache entry for the handler's lifetime:
+	// a coalesced request parks for a batching window before its run starts,
+	// and eviction retiring the engine's metrics in that window would lose
+	// the run from the merged view.
+	s.serveQuery(w, r, kb.name, func() (*symbol.Engine, func(), error) {
+		return s.cache.getPinned(kb.name, kb.source, goal)
+	})
 }
 
 // admission is what admit hands a handler that made it past every gate:
@@ -546,8 +589,17 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, kbName string) (a
 		s.shed(w, http.StatusServiceUnavailable, obs.ShedPressure)
 		return
 	}
+	// Tenant quota sits above the global gate: a tenant already running its
+	// full provision sheds here, before it can consume queue or execution
+	// capacity other tenants are entitled to.
+	relQuota, quotaOK := s.quotas.tryAcquire(tenant.Name)
+	if !quotaOK {
+		s.shed(w, http.StatusTooManyRequests, obs.ShedTenantQuota)
+		return
+	}
 	release, err := s.gate.acquire(r.Context(), s.cfg.QueueTimeout)
 	if err != nil {
+		relQuota()
 		switch {
 		case errors.Is(err, errQueueFull):
 			s.shed(w, http.StatusTooManyRequests, obs.ShedQueueFull)
@@ -564,15 +616,20 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, kbName string) (a
 	// instead of slipping past the drain wait.
 	if !s.flight.enter() {
 		release()
+		relQuota()
 		s.shed(w, http.StatusServiceUnavailable, obs.ShedDraining)
 		return
 	}
-	return admission{tenant: tenant, opts: opts, timeout: timeout, release: release}, true
+	rel := func() {
+		release()
+		relQuota()
+	}
+	return admission{tenant: tenant, opts: opts, timeout: timeout, release: rel}, true
 }
 
 // serveQuery is the admission → budget → run → respond state machine shared
 // by /run and single-solution /query.
-func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kbName string, getEngine func() (*symbol.Engine, error)) {
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kbName string, getEngine func() (*symbol.Engine, func(), error)) {
 	adm, ok := s.admit(w, r, kbName)
 	if !ok {
 		return
@@ -582,9 +639,32 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, kbName strin
 		s.flight.exit()
 	}()
 
-	eng, err := getEngine()
+	eng, unpin, err := getEngine()
+	defer unpin()
 	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, Response{KB: kbName, Tenant: adm.tenant.Name, Error: err.Error()})
+		return
+	}
+
+	if s.batch != nil {
+		// Coalesced path: park in the engine's batch and wait for the
+		// shared run's answer. The wall budget travels in the run options
+		// (so a timeout is the typed fault.Deadline), and drain hard-cancel
+		// reaches the run through the batch context, so the background
+		// runCtx below never owes writeRunError a deadline.
+		res, err := s.batch.submit(r.Context(), eng, adm.opts, adm.timeout)
+		if err != nil {
+			s.writeRunError(w, r, context.Background(), kbName, adm.tenant.Name, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, Response{
+			OK:     res.Succeeded,
+			KB:     kbName,
+			Tenant: adm.tenant.Name,
+			Output: res.Output,
+			Steps:  res.Steps,
+			WallNS: int64(res.Stats.Wall),
+		})
 		return
 	}
 

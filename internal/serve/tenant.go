@@ -19,6 +19,11 @@ type Tenant struct {
 
 	// MaxSteps bounds the sequential ICI budget per query.
 	MaxSteps int64 `json:"max_steps,omitempty"`
+	// MaxConcurrent bounds how many of this tenant's requests may hold
+	// admission slots at once (0 = unlimited). Checked before the global
+	// admission gate; past it requests shed with 429 tenant_quota. Parked
+	// paginated cursors keep counting until their stream finishes.
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
 	// Timeout bounds one query's wall clock (also the ceiling for the
 	// X-Symbol-Timeout header). Zero falls back to the server's
 	// RequestTimeout.
@@ -88,6 +93,7 @@ func (s *Server) budget(r *http.Request, t Tenant) (symbol.RunOptions, time.Dura
 		CPWords:    t.CPWords,
 		TrailWords: t.TrailWords,
 		PDLWords:   t.PDLWords,
+		Dispatch:   s.cfg.Dispatch,
 	}
 	timeout := t.Timeout
 	if timeout <= 0 {
