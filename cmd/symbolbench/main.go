@@ -57,6 +57,9 @@ func main() {
 	compare := flag.String("compare", "", "with -emubench: committed -benchjson baseline; fail if best steps/s drops below it by more than -tolerance")
 	tolerance := flag.Float64("tolerance", 5, "allowed throughput drop vs -compare baseline, in percent")
 	smoke := flag.Bool("smoke", false, "with -emubench: measure nofuse, fused and threaded; fail if fusion lost throughput or threaded missed -threadedfloor")
+	snapbench := flag.Bool("snapbench", false, "snapshot mode: measure snapshot sizes and cold-start load vs compile across the corpus")
+	snapReps := flag.Int("snapreps", 9, "timed repetitions per path in -snapbench mode")
+	speedupFloor := flag.Float64("speedupfloor", 0, "with -snapbench: minimum median cold-start speedup (0 disables the gate)")
 	threadedFloor := flag.Float64("threadedfloor", 1.15, "with -smoke: minimum threaded/fused steps/s ratio")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
@@ -74,6 +77,14 @@ func main() {
 	}
 	if modes == "" {
 		modes = "all"
+	}
+
+	if *snapbench {
+		if err := benchSnapshots(*snapReps, *benchJSON, *compare, *tolerance, *speedupFloor); err != nil {
+			fmt.Fprintln(os.Stderr, "symbolbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *emubench || *smoke {

@@ -7,8 +7,14 @@
 // Usage:
 //
 //	symbolserve -addr :8080 -bench            # serve the embedded suite
-//	symbolserve -addr :8080 kb1.pl kb2.pl     # serve Prolog files
+//	symbolserve -addr :8080 kb1.pl kb2.sym    # serve Prolog files and/or snapshots
+//	symbolserve -snapshot-dir ./snaps         # preload a directory of .sym snapshots
 //	symbolserve -bench -tenants tenants.json  # named budget envelopes
+//
+// Snapshot files (symbolc -o) load in one validated read — no parsing, no
+// compilation — so a server fronting many KBs is ready in milliseconds;
+// per-file load times are logged at boot. Query-kind snapshots in
+// -snapshot-dir pre-warm the compiled-query cache instead of becoming KBs.
 //
 // Endpoints:
 //
@@ -71,6 +77,7 @@ func run() error {
 		maxBatch    = flag.Int("max-batch", 0, "max requests per coalesced batch (0 = max-inflight)")
 		noBatch     = flag.Bool("no-batch", false, "disable request coalescing")
 		cacheBudget = flag.Int64("cache-budget-mb", 0, "query-engine cache budget in MiB of estimated resident bytes (0 = 2048)")
+		snapDir     = flag.String("snapshot-dir", "", "directory of .sym snapshots preloaded at boot (program snapshots become KBs, query snapshots pre-warm the query cache)")
 	)
 	flag.Parse()
 
@@ -92,6 +99,7 @@ func run() error {
 		MaxBatch:         *maxBatch,
 		DisableBatching:  *noBatch,
 		CacheBudgetBytes: *cacheBudget << 20,
+		SnapshotDir:      *snapDir,
 		DefaultTenant:    serve.Tenant{MaxSteps: *maxSteps},
 		Logf:             log.Printf,
 	}
@@ -117,10 +125,14 @@ func run() error {
 			return err
 		}
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		kbs = append(kbs, serve.KB{Name: name, Source: string(src)})
+		if symbol.IsSnapshot(src) {
+			kbs = append(kbs, serve.KB{Name: name, Snapshot: src})
+		} else {
+			kbs = append(kbs, serve.KB{Name: name, Source: string(src)})
+		}
 	}
-	if len(kbs) == 0 {
-		return errors.New("no knowledge bases: pass -bench and/or Prolog files")
+	if len(kbs) == 0 && *snapDir == "" {
+		return errors.New("no knowledge bases: pass -bench, Prolog/.sym files, and/or -snapshot-dir")
 	}
 
 	s, err := serve.New(cfg, kbs...)
@@ -128,7 +140,7 @@ func run() error {
 		return err
 	}
 	s.PublishExpvar("symbolserve")
-	log.Printf("symbolserve: %d knowledge bases loaded, listening on %s", len(kbs), *addr)
+	log.Printf("symbolserve: %d knowledge bases loaded, listening on %s", len(s.KBNames()), *addr)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: s}
 	errc := make(chan error, 1)

@@ -258,7 +258,7 @@ func (e *Engine) QueryContext(ctx context.Context, opts ...RunOption) (*Solution
 // first use), so callers can inspect the code the Simulate path runs.
 func (e *Engine) Scheduled() (*Scheduled, error) {
 	e.schedOnce.Do(func() {
-		e.sched, e.schedErr = e.prog.Schedule(e.conf, e.sops)
+		e.sched, e.schedErr = e.prog.ScheduleWith(e.conf, WithScheduleOptions(e.sops))
 	})
 	return e.sched, e.schedErr
 }

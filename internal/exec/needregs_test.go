@@ -1,0 +1,138 @@
+package exec
+
+import (
+	"testing"
+
+	"symbol/internal/ic"
+	"symbol/internal/word"
+)
+
+// TestNeedRegsMatchesPredecode cross-checks the snapshot validator's
+// required-register table against the real production paths (Decode1 and
+// fusePair): every register field those paths populate must be marked
+// needed in needRegs, or a snapshot could smuggle an out-of-range register
+// into a field the bounds-check-free run loops index with.
+//
+// Every sample below uses distinct temp registers (all nonzero), so a
+// populated field is distinguishable from a defaulted one; samples are
+// predecoded through mkProg exactly like real programs.
+func TestNeedRegsMatchesPredecode(t *testing.T) {
+	halt := ic.Inst{Op: ic.Halt}
+	// Single instructions, one per plain opcode family.
+	singles := []ic.Inst{
+		{Op: ic.Nop},
+		{Op: ic.Ld, D: t0, A: t1, Imm: 2},
+		{Op: ic.Ld, D: t0, A: t1, Imm: 2, Mark: ic.MarkTrailUndo},
+		{Op: ic.St, A: t0, B: t1, Reg: ic.RegionHeap},
+		{Op: ic.Add, D: t0, A: t1, B: t2},
+		{Op: ic.Add, D: t0, A: t1, HasImm: true, Imm: 1},
+		{Op: ic.Sub, D: t0, A: t1, B: t2},
+		{Op: ic.Sub, D: t0, A: t1, HasImm: true, Imm: 1},
+		{Op: ic.Mul, D: t0, A: t1, B: t2},
+		{Op: ic.Mul, D: t0, A: t1, HasImm: true, Imm: 2},
+		{Op: ic.Div, D: t0, A: t1, B: t2},
+		{Op: ic.Div, D: t0, A: t1, HasImm: true, Imm: 2},
+		{Op: ic.Mod, D: t0, A: t1, B: t2},
+		{Op: ic.Mod, D: t0, A: t1, HasImm: true, Imm: 2},
+		{Op: ic.And, D: t0, A: t1, B: t2},
+		{Op: ic.And, D: t0, A: t1, HasImm: true, Imm: 1},
+		{Op: ic.Or, D: t0, A: t1, B: t2},
+		{Op: ic.Or, D: t0, A: t1, HasImm: true, Imm: 1},
+		{Op: ic.Xor, D: t0, A: t1, B: t2},
+		{Op: ic.Xor, D: t0, A: t1, HasImm: true, Imm: 1},
+		{Op: ic.Shl, D: t0, A: t1, B: t2},
+		{Op: ic.Shl, D: t0, A: t1, HasImm: true, Imm: 1},
+		{Op: ic.Shr, D: t0, A: t1, B: t2},
+		{Op: ic.Shr, D: t0, A: t1, HasImm: true, Imm: 1},
+		{Op: ic.MkTag, D: t0, A: t1, Tag: word.Lst},
+		{Op: ic.GetTag, D: t0, A: t1},
+		{Op: ic.Lea, D: t0, A: t1, Imm: 3},
+		{Op: ic.Mov, D: t0, A: t1},
+		{Op: ic.Mov, D: t0, A: t1, Mark: ic.MarkCPPush},
+		{Op: ic.MovI, D: t0, Word: word.MakeInt(7)},
+		{Op: ic.BrTag, A: t0, Tag: word.Ref, Target: 0},
+		{Op: ic.BrTag, A: t0, Cond: ic.CondNe, Tag: word.Ref, Target: 0},
+		{Op: ic.BrCmp, A: t0, B: t1, Cond: ic.CondEq, Target: 0},
+		{Op: ic.BrCmp, A: t0, B: t1, Cond: ic.CondNe, Target: 0},
+		{Op: ic.BrCmp, A: t0, B: t1, Cond: ic.CondLt, Target: 0},
+		{Op: ic.BrCmp, A: t0, Cond: ic.CondEq, HasImm: true, Word: word.MakeInt(1), Target: 0},
+		{Op: ic.BrCmp, A: t0, Cond: ic.CondNe, HasImm: true, Word: word.MakeInt(1), Target: 0},
+		{Op: ic.BrCmp, A: t0, Cond: ic.CondGe, HasImm: true, Imm: 1, Target: 0},
+		{Op: ic.Jmp, Target: 0},
+		{Op: ic.JmpR, A: t0},
+		{Op: ic.Jsr, D: t0, Target: 0},
+		{Op: ic.SysOp, Sys: ic.SysWrite, A: t0},
+		{Op: ic.SysOp, Sys: ic.SysNl},
+		{Op: ic.SysOp, Sys: ic.SysWriteCode, A: t0},
+		{Op: ic.SysOp, Sys: ic.SysCompare, A: t0, B: t1},
+		{Op: ic.SysOp, Sys: ic.SysBallPut, A: t0},
+		{Op: ic.SysOp, Sys: ic.SysFault, Imm: 1},
+	}
+	// Fusable pairs, one per superinstruction (registers all temps so every
+	// populated field is visibly nonzero).
+	pairs := [][2]ic.Inst{
+		{{Op: ic.Ld, D: t0, A: t1, Imm: 2}, {Op: ic.BrTag, A: t0, Tag: word.Ref, Target: 3}},
+		{{Op: ic.Ld, D: t0, A: t1}, {Op: ic.BrTag, A: t0, Cond: ic.CondNe, Tag: word.Ref, Target: 3}},
+		{{Op: ic.Ld, D: t0, A: t1}, {Op: ic.BrCmp, A: t0, Cond: ic.CondEq, B: t1, Target: 3}},
+		{{Op: ic.Ld, D: t0, A: t1}, {Op: ic.BrCmp, A: t0, Cond: ic.CondNe, B: t1, Target: 3}},
+		{{Op: ic.Ld, D: t0, A: t1, Imm: 2}, {Op: ic.Ld, D: t1, A: t0, Imm: 3}},
+		{{Op: ic.Ld, D: t0, A: t1, Imm: 2}, {Op: ic.Mov, D: t1, A: t0}},
+		{{Op: ic.GetTag, D: t0, A: t1},
+			{Op: ic.BrCmp, A: t0, Cond: ic.CondEq, HasImm: true, Word: word.MakeInt(int64(word.Lst)), Target: 3}},
+		{{Op: ic.GetTag, D: t0, A: t1},
+			{Op: ic.BrCmp, A: t0, Cond: ic.CondNe, HasImm: true, Word: word.MakeInt(int64(word.Lst)), Target: 3}},
+		{{Op: ic.St, A: t2, B: t0, Reg: ic.RegionHeap},
+			{Op: ic.Add, D: t2, A: t2, HasImm: true, Imm: 1}},
+		{{Op: ic.St, A: t2, B: t0, Reg: ic.RegionHeap},
+			{Op: ic.St, A: t2, B: t1, Imm: 1, Reg: ic.RegionHeap}},
+		{{Op: ic.St, A: t2, B: t0, Reg: ic.RegionHeap},
+			{Op: ic.MovI, D: t1, Word: word.MakeInt(7)}},
+		{{Op: ic.MovI, D: t0, Word: word.MakeInt(7)},
+			{Op: ic.St, A: t2, B: t0, Reg: ic.RegionHeap}},
+		{{Op: ic.Mov, D: t0, A: t1}, {Op: ic.Jmp, Target: 0}},
+		{{Op: ic.Mov, D: t0, A: t1}, {Op: ic.Mov, D: t1, A: t0}},
+		{{Op: ic.Mov, D: t0, A: t1}, {Op: ic.BrTag, A: t0, Tag: word.Ref, Target: 3}},
+		{{Op: ic.Mov, D: t0, A: t1}, {Op: ic.BrTag, A: t0, Cond: ic.CondNe, Tag: word.Ref, Target: 3}},
+		{{Op: ic.BrCmp, A: t0, Cond: ic.CondGe, B: t1, Target: 3}, {Op: ic.Mov, D: t0, A: t1}},
+	}
+
+	var progs [][]ic.Inst
+	for _, in := range singles {
+		progs = append(progs, []ic.Inst{{Op: ic.Nop}, in, halt})
+	}
+	for _, pr := range pairs {
+		progs = append(progs, []ic.Inst{{Op: ic.Nop}, pr[0], pr[1], halt})
+	}
+
+	covered := map[XCode]bool{}
+	for pi, code := range progs {
+		xp := Predecode(mkProg(code))
+		for _, s := range []*Stream{&xp.Plain, &xp.Fused} {
+			for i := range s.Ops {
+				op := &s.Ops[i]
+				covered[op.Code] = true
+				need := NeedRegs(op.Code)
+				check := func(name string, v ic.Reg, bit uint8) {
+					if v != 0 && need&bit == 0 {
+						t.Errorf("prog %d: %s populates %s=%d but needRegs does not validate it",
+							pi, op.Code, name, v)
+					}
+				}
+				check("d", op.D, needD)
+				check("a", op.A, needA)
+				check("b", op.B, needB)
+				check("d2", op.D2, needD2)
+				check("a2", op.A2, needA2)
+			}
+		}
+	}
+
+	// Coverage: every opcode the table knows must have been produced by a
+	// sample above, except the decode-failure sentinel (XUnknown) and the
+	// invalid-syscall sentinel (XSysBad), which no valid program emits.
+	for c := XCode(0); c < NumCodes; c++ {
+		if !covered[c] && c != XUnknown && c != XSysBad {
+			t.Errorf("no sample produced %s; its needRegs entry is untested", c)
+		}
+	}
+}

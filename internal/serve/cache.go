@@ -2,6 +2,9 @@ package serve
 
 import (
 	"container/list"
+	"context"
+	"crypto/sha256"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +50,45 @@ type engineCache struct {
 	// phantom in-flight count would be worse than the small undercount.
 	retired      obs.Snapshot
 	retiredCount int64
+
+	// warm holds pre-built query snapshots keyed by source hash + goal
+	// (see warmKey): a cold cache entry for a warmed (kb, goal) loads its
+	// snapshot — ICI code, atom table, predecoded streams — instead of
+	// compiling from scratch. The map stores bytes, not engines, so a
+	// warmed goal that is never asked costs its snapshot's size and
+	// nothing else, and eviction/metrics invariants of the LRU are
+	// untouched: the warm tier only changes how an entry's engine is
+	// born. Written only at boot (addWarm), read under warmMu thereafter.
+	warmMu sync.RWMutex
+	warm   map[string][]byte
+}
+
+// warmKey addresses the warm tier by content, not KB name: the hash of
+// the knowledge-base source plus the normalized goal ("?-" and surrounding
+// space stripped, matching what a query snapshot records as its Goal). A
+// renamed KB with identical source still hits its warmed queries.
+func warmKey(kbSrc, goal string) string {
+	h := sha256.Sum256([]byte(kbSrc))
+	goal = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(goal), "?-"))
+	return string(h[:]) + "\x00" + goal
+}
+
+// addWarm registers a query snapshot for (kbSrc, goal). Boot-time only.
+func (c *engineCache) addWarm(kbSrc, goal string, snap []byte) {
+	c.warmMu.Lock()
+	if c.warm == nil {
+		c.warm = map[string][]byte{}
+	}
+	c.warm[warmKey(kbSrc, goal)] = snap
+	c.warmMu.Unlock()
+}
+
+// lookupWarm returns the warmed snapshot for (kbSrc, goal), nil if none.
+func (c *engineCache) lookupWarm(kbSrc, goal string) []byte {
+	c.warmMu.RLock()
+	snap := c.warm[warmKey(kbSrc, goal)]
+	c.warmMu.RUnlock()
+	return snap
 }
 
 type cacheEntry struct {
@@ -120,6 +162,16 @@ func (c *engineCache) getPinned(kbName, kbSrc, goal string) (*symbol.Engine, fun
 	c.mu.Unlock()
 
 	e.once.Do(func() {
+		// Snapshot-warmed fast path: a pre-built query snapshot for this
+		// (source, goal) skips parse/compile/predecode entirely. A corrupt
+		// warm snapshot falls through to the normal compile — warming is an
+		// optimization, never a new failure mode.
+		if snap := c.lookupWarm(kbSrc, goal); snap != nil {
+			if prog, err := symbol.Load(context.Background(), snap); err == nil {
+				e.eng.Store(symbol.NewEngine(prog))
+				return
+			}
+		}
 		prog, err := symbol.CompileQuery(kbSrc, goal)
 		if err != nil {
 			e.err = err

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -105,6 +107,13 @@ type Config struct {
 	// its admission slot and a pooled machine state, so expiry is the
 	// backstop against clients that never fetch the rest.
 	CursorTTL time.Duration
+	// SnapshotDir names a directory of .sym snapshot files preloaded at
+	// boot (see symbol.Load). Program snapshots become knowledge bases
+	// named after their file; query snapshots pre-warm the compiled-query
+	// tier, so the first request for that (kb, goal) loads the snapshot
+	// instead of compiling. Files that fail to load are logged and
+	// skipped — a corrupt snapshot must not keep the server down.
+	SnapshotDir string
 	// DefaultTenant is the budget envelope of requests without an
 	// X-Symbol-Tenant header; Tenants maps named envelopes.
 	DefaultTenant Tenant
@@ -165,9 +174,16 @@ func (c Config) withDefaults() Config {
 // KB is one preloaded knowledge base: a named Prolog source served at
 // /run/{name} (its own main/0, pooled engine) and queryable at
 // /query/{name} (arbitrary goals, compiled-query LRU).
+//
+// Snapshot, when set, is a binary program snapshot (symbol.Load format):
+// the KB loads from it instead of compiling Source, and the snapshot's
+// embedded source backfills Source when the latter is empty so /query
+// still works. If the snapshot fails to load and Source is non-empty, the
+// KB falls back to compiling Source.
 type KB struct {
-	Name   string
-	Source string
+	Name     string
+	Source   string
+	Snapshot []byte
 }
 
 type kbEntry struct {
@@ -208,6 +224,7 @@ func New(cfg Config, kbs ...KB) (*Server, error) {
 		cfg: cfg,
 		kbs: map[string]*kbEntry{},
 	}
+	s.cache = newEngineCache(cfg.QueryCache, cfg.CacheBudgetBytes, cfg.NegCacheTTL)
 	for _, kb := range kbs {
 		if kb.Name == "" {
 			return nil, fmt.Errorf("serve: knowledge base with empty name")
@@ -216,7 +233,24 @@ func New(cfg Config, kbs ...KB) (*Server, error) {
 			return nil, fmt.Errorf("serve: duplicate knowledge base %q", kb.Name)
 		}
 		e := &kbEntry{name: kb.Name, source: kb.Source}
-		if prog, err := symbol.Compile(kb.Source); err != nil {
+		var prog *symbol.Program
+		var err error
+		if len(kb.Snapshot) > 0 {
+			start := time.Now()
+			prog, err = symbol.Load(context.Background(), kb.Snapshot)
+			if err == nil {
+				if e.source == "" {
+					e.source = prog.Source()
+				}
+				cfg.Logf("serve: kb %s: snapshot loaded in %.2fms", kb.Name, msSince(start))
+			} else if kb.Source != "" {
+				cfg.Logf("serve: kb %s: snapshot rejected (%v), compiling source", kb.Name, err)
+				prog, err = symbol.Load(context.Background(), []byte(kb.Source))
+			}
+		} else {
+			prog, err = symbol.Load(context.Background(), []byte(kb.Source))
+		}
+		if err != nil {
 			e.runErr = err
 		} else {
 			e.eng = symbol.NewEngine(prog)
@@ -224,9 +258,13 @@ func New(cfg Config, kbs ...KB) (*Server, error) {
 		s.kbs[kb.Name] = e
 		s.names = append(s.names, kb.Name)
 	}
+	if cfg.SnapshotDir != "" {
+		if err := s.loadSnapshotDir(cfg.SnapshotDir); err != nil {
+			return nil, err
+		}
+	}
 	sort.Strings(s.names)
 	s.gate = newGate(cfg.MaxInFlight, cfg.MaxQueue, &s.met)
-	s.cache = newEngineCache(cfg.QueryCache, cfg.CacheBudgetBytes, cfg.NegCacheTTL)
 	s.mon = newMonitor(s.EngineMetrics, &s.met, cfg.ShedP99, cfg.PressureInterval)
 	s.cursors = newCursorTable(cfg.CursorTTL, &s.met)
 	s.quotas = newQuotaTable(cfg)
@@ -250,6 +288,57 @@ func New(cfg Config, kbs ...KB) (*Server, error) {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// KBNames lists the preloaded knowledge bases (sorted), including those
+// loaded from Config.SnapshotDir.
+func (s *Server) KBNames() []string { return append([]string(nil), s.names...) }
+
+// loadSnapshotDir preloads every .sym file under dir at boot: program
+// snapshots become knowledge bases named after their file, query snapshots
+// pre-warm the compiled-query tier for their (source, goal). Each file's
+// load time is logged — the whole point of snapshots is cold-start, so the
+// cost is worth a line. A file that fails to load is logged and skipped:
+// one corrupt snapshot must not keep the server from starting.
+func (s *Server) loadSnapshotDir(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("serve: snapshot dir: %w", err)
+	}
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".sym") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			s.cfg.Logf("serve: snapshot %s: %v (skipped)", ent.Name(), err)
+			continue
+		}
+		start := time.Now()
+		prog, err := symbol.Load(context.Background(), data)
+		if err != nil {
+			s.cfg.Logf("serve: snapshot %s: %v (skipped)", ent.Name(), err)
+			continue
+		}
+		if goal := prog.Goal(); goal != "" {
+			s.cache.addWarm(prog.Source(), goal, data)
+			s.cfg.Logf("serve: snapshot %s: query %q warmed in %.2fms", ent.Name(), goal, msSince(start))
+			continue
+		}
+		name := strings.TrimSuffix(ent.Name(), ".sym")
+		if _, dup := s.kbs[name]; dup {
+			return fmt.Errorf("serve: snapshot %s: duplicate knowledge base %q", ent.Name(), name)
+		}
+		s.kbs[name] = &kbEntry{name: name, source: prog.Source(), eng: symbol.NewEngine(prog)}
+		s.names = append(s.names, name)
+		s.cfg.Logf("serve: snapshot %s: kb %s loaded in %.2fms", ent.Name(), name, msSince(start))
+	}
+	return nil
+}
+
+// msSince is time since start in milliseconds, for load-time log lines.
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}
 
 // engines lists every live engine (preloaded KBs plus cached query
 // engines), for metrics merging and the pressure monitor.

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"symbol"
+)
+
+// mustSnapshot compiles src (posing goal when non-empty) and returns its
+// snapshot bytes — the fixture builder for the snapshot-fed serve paths.
+func mustSnapshot(t *testing.T, src, goal string) []byte {
+	t.Helper()
+	var opts []symbol.LoadOption
+	if goal != "" {
+		opts = append(opts, symbol.WithGoal(goal))
+	}
+	prog, err := symbol.Load(context.Background(), []byte(src), opts...)
+	if err != nil {
+		t.Fatalf("compiling snapshot fixture: %v", err)
+	}
+	return prog.Snapshot()
+}
+
+func TestKBFromSnapshot(t *testing.T) {
+	snap := mustSnapshot(t, appKB, "")
+	_, ts := newTestServer(t, Config{}, KB{Name: "app", Snapshot: snap})
+
+	r, err := http.Get(ts.URL + "/run/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := decode(t, r)
+	if r.StatusCode != http.StatusOK || resp.Output != "[1,2,3]\n" {
+		t.Fatalf("run = %d %q", r.StatusCode, resp.Output)
+	}
+
+	// The snapshot's embedded source must back /query.
+	r, err = http.Post(ts.URL+"/query/app", "text/plain", strings.NewReader("app([9],[],X)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = decode(t, r)
+	if r.StatusCode != http.StatusOK || resp.Output != "X = [9]\n" {
+		t.Fatalf("query = %d %q", r.StatusCode, resp.Output)
+	}
+}
+
+func TestSnapshotDirPreload(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "app.sym"), mustSnapshot(t, appKB, ""), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A query snapshot warms the compiled-query tier instead of adding a KB.
+	if err := os.WriteFile(filepath.Join(dir, "warm.sym"), mustSnapshot(t, appKB, "app([7],[],X)"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt file must be skipped, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "bad.sym"), []byte("SYMSNAP\x1agarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Non-.sym files are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logged []string
+	cfg := Config{SnapshotDir: dir, Logf: func(f string, a ...any) { logged = append(logged, fmt.Sprintf(f, a...)) }}
+	s, ts := newTestServer(t, cfg)
+
+	if _, ok := s.kbs["app"]; !ok {
+		t.Fatalf("snapshot dir did not register kb app; names=%v", s.names)
+	}
+	if _, ok := s.kbs["bad"]; ok {
+		t.Fatal("corrupt snapshot registered as a kb")
+	}
+	if s.cache.lookupWarm(appKB, "app([7],[],X)") == nil {
+		t.Fatal("query snapshot did not warm the cache")
+	}
+
+	r, err := http.Get(ts.URL + "/run/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := decode(t, r)
+	if r.StatusCode != http.StatusOK || resp.Output != "[1,2,3]\n" {
+		t.Fatalf("run = %d %q", r.StatusCode, resp.Output)
+	}
+
+	// The warmed (kb, goal) must answer through the snapshot-fed entry.
+	r, err = http.Post(ts.URL+"/query/app", "text/plain", strings.NewReader("app([7],[],X)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = decode(t, r)
+	if r.StatusCode != http.StatusOK || resp.Output != "X = [7]\n" {
+		t.Fatalf("warmed query = %d %q", r.StatusCode, resp.Output)
+	}
+
+	var loadLines, skipLines int
+	for _, l := range logged {
+		if strings.Contains(l, "ms") && strings.Contains(l, "snapshot") {
+			loadLines++
+		}
+		if strings.Contains(l, "skipped") {
+			skipLines++
+		}
+	}
+	if loadLines < 2 {
+		t.Errorf("expected per-file load-ms log lines, got %q", logged)
+	}
+	if skipLines != 1 {
+		t.Errorf("expected one skip line for bad.sym, got %q", logged)
+	}
+}
+
+// A corrupt warm entry must degrade to a normal compile, not an error.
+func TestWarmTierFallsBackOnCorruption(t *testing.T) {
+	s, ts := newTestServer(t, Config{}, KB{Name: "app", Source: appKB})
+	s.cache.addWarm(appKB, "app([5],[],X)", []byte("SYMSNAP\x1abroken"))
+
+	r, err := http.Post(ts.URL+"/query/app", "text/plain", strings.NewReader("app([5],[],X)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := decode(t, r)
+	if r.StatusCode != http.StatusOK || resp.Output != "X = [5]\n" {
+		t.Fatalf("query = %d %q", r.StatusCode, resp.Output)
+	}
+}

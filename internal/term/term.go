@@ -295,3 +295,11 @@ func (t *Table) Names() []string {
 	sort.Strings(out)
 	return out
 }
+
+// Ordered returns the interned names in intern order, so index i of the
+// result is the atom with runtime index i. Serialization must use this
+// (not Names, which sorts): atom indices are baked into compiled code as
+// immediates, so a rebuilt table has to assign identical indices.
+func (t *Table) Ordered() []string {
+	return append([]string(nil), t.names...)
+}

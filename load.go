@@ -1,0 +1,316 @@
+package symbol
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"symbol/internal/emu"
+	"symbol/internal/exec"
+	"symbol/internal/parse"
+	"symbol/internal/snapshot"
+)
+
+// LoadOption configures Load.
+type LoadOption func(*loadConfig)
+
+type loadConfig struct {
+	opts       Options
+	goal       string
+	cacheDir   string
+	noFallback bool
+}
+
+// WithCompileOptions sets the compile options for source inputs. Snapshot
+// inputs ignore it: a snapshot records the options it was compiled with,
+// and those win (they shaped the code being loaded).
+func WithCompileOptions(opts Options) LoadOption {
+	return func(c *loadConfig) { c.opts = opts }
+}
+
+// WithGoal compiles src as a knowledge base posed one query: the goal
+// becomes the body of a synthetic main/0 clause that, on success, writes
+// one "Var = value" line per named goal variable (or "yes" when the goal
+// has none). Prolog failure surfaces as Result.Succeeded == false, not as
+// an error; RunContext gives the first solution and Engine.Query streams
+// them all. Any main/0 clauses the knowledge base itself defines are
+// dropped first — the posed goal is the query, and must not be shadowed by
+// the program's own entry point. The goal may be written with or without
+// the "?-" prefix and the final ".".
+//
+// WithGoal applies only to Prolog source inputs. Combining it with a
+// snapshot input is an error: a query snapshot already has its goal baked
+// in at build time (see Program.Goal).
+func WithGoal(goal string) LoadOption {
+	return func(c *loadConfig) { c.goal = goal }
+}
+
+// WithSnapshotCache makes Load keep a content-addressed snapshot cache for
+// source inputs under dir (created if missing). The key hashes the source,
+// the goal, the compile options and the snapshot format version, so any
+// input change misses cleanly. A hit skips parse/compile/predecode
+// entirely; corrupt or stale cache files are ignored and overwritten. The
+// cache is best-effort: I/O failures fall back to a normal compile.
+func WithSnapshotCache(dir string) LoadOption {
+	return func(c *loadConfig) { c.cacheDir = dir }
+}
+
+// WithoutRecompileFallback disables the version-skew fallback: by default,
+// loading a snapshot written by a different format version recompiles from
+// the source embedded in the snapshot. With this option Load instead
+// returns the *SnapshotVersionError, for callers that must never pay
+// compile latency (for example a serving tier that would rather reject
+// than stall).
+func WithoutRecompileFallback() LoadOption {
+	return func(c *loadConfig) { c.noFallback = true }
+}
+
+// Load is the single compile/load entry point: it accepts either Prolog
+// source text or a binary snapshot (distinguished by the snapshot magic,
+// see IsSnapshot) and returns a runnable Program.
+//
+//   - Source input is parsed and compiled, honoring WithCompileOptions and
+//     WithGoal; WithSnapshotCache adds a content-addressed snapshot cache
+//     so repeated loads of the same source skip compilation.
+//   - Snapshot input is decoded and validated in one pass — no parsing, no
+//     compilation, no predecoding — and fails with typed errors:
+//     *SnapshotFormatError or *SnapshotChecksumError for corruption,
+//     *SnapshotVersionError for a format-version mismatch. Version skew
+//     falls back to recompiling the snapshot's embedded source unless
+//     WithoutRecompileFallback is set.
+//
+// Snapshots are produced by Program.Snapshot / Program.WriteSnapshot, or
+// offline with symbolc -o.
+func Load(ctx context.Context, src []byte, opts ...LoadOption) (_ *Program, err error) {
+	defer guard(&err)
+	cfg := loadConfig{opts: DefaultOptions()}
+	for _, f := range opts {
+		f(&cfg)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if snapshot.Sniff(src) {
+		if cfg.goal != "" {
+			return nil, fmt.Errorf("symbol: WithGoal does not apply to snapshot inputs (the goal is baked in at snapshot build time)")
+		}
+		return loadSnapshot(src, cfg)
+	}
+	return loadSource(string(src), cfg)
+}
+
+// IsSnapshot reports whether data begins with the snapshot magic, i.e.
+// whether Load would treat it as a binary snapshot rather than source.
+func IsSnapshot(data []byte) bool { return snapshot.Sniff(data) }
+
+// loadSnapshot decodes a snapshot container into a Program, recompiling
+// from the embedded source on version skew (unless disabled).
+func loadSnapshot(data []byte, cfg loadConfig) (*Program, error) {
+	img, err := snapshot.Decode(data)
+	if err != nil {
+		var vErr *snapshot.VersionError
+		if errors.As(err, &vErr) && vErr.Source != "" && !cfg.noFallback {
+			// The snapshot's recorded compile options win over
+			// WithCompileOptions, matching the load-success path.
+			opts := Options{ArithChecks: vErr.Arith, MaxSteps: vErr.MaxSteps}
+			goal := ""
+			if vErr.Kind == snapshot.KindQuery {
+				goal = vErr.Goal
+			}
+			return compileText(vErr.Source, opts, goal)
+		}
+		return nil, err
+	}
+	return programFromImage(img), nil
+}
+
+// programFromImage wraps a decoded snapshot image as a Program, installing
+// the predecoded exec streams and the embedded profile so later RunContext
+// and ScheduleWith calls skip that work too.
+func programFromImage(img *snapshot.Image) *Program {
+	p := &Program{
+		opts:      Options{ArithChecks: img.Arith, MaxSteps: img.MaxSteps},
+		icp:       img.Prog,
+		undefined: img.Undefined,
+		src:       img.Source,
+		goal:      img.Goal,
+	}
+	if img.Exec != nil {
+		p.icp.ExecCache(func() any { return img.Exec })
+	}
+	if img.ProfExpect != nil {
+		p.profOnce.Do(func() {
+			p.profile = &emu.Profile{Expect: img.ProfExpect, Taken: img.ProfTaken}
+		})
+		p.profBuilt.Store(true)
+	}
+	return p
+}
+
+// loadSource compiles Prolog source, going through the snapshot cache when
+// one is configured.
+func loadSource(src string, cfg loadConfig) (*Program, error) {
+	var cachePath string
+	if cfg.cacheDir != "" {
+		cachePath = filepath.Join(cfg.cacheDir, cacheKey(src, cfg)+".sym")
+		if data, err := os.ReadFile(cachePath); err == nil {
+			if img, err := snapshot.Decode(data); err == nil {
+				return programFromImage(img), nil
+			}
+			// Corrupt or version-skewed cache entry: recompile below and
+			// overwrite it. The key includes the format version, so skew
+			// here means a truncated write, not a format upgrade.
+		}
+	}
+	p, err := compileText(src, cfg.opts, cfg.goal)
+	if err != nil {
+		return nil, err
+	}
+	if cachePath != "" {
+		writeCacheFile(cfg.cacheDir, cachePath, p.Snapshot())
+	}
+	return p, nil
+}
+
+// compileText is the source-input back half of Load: parse (plain or as a
+// knowledge base + goal) and compile.
+func compileText(src string, opts Options, goal string) (*Program, error) {
+	if goal == "" {
+		clauses, err := parse.All(src)
+		if err != nil {
+			return nil, fmt.Errorf("symbol: %w", err)
+		}
+		return compileClauses(clauses, opts, src, "")
+	}
+	clauses, norm, err := queryClauses(src, goal)
+	if err != nil {
+		return nil, err
+	}
+	return compileClauses(clauses, opts, src, norm)
+}
+
+// cacheKey derives the content address of a compile: source, goal, options
+// and format version all feed the hash, so the cache never has to be
+// invalidated by hand.
+func cacheKey(src string, cfg loadConfig) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "symsnap\x00v%d\x00arith=%t\x00maxsteps=%d\x00goal=%s\x00",
+		snapshot.Version, cfg.opts.ArithChecks, cfg.opts.MaxSteps, cfg.goal)
+	io.WriteString(h, src)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeCacheFile writes data to path atomically (tmp + rename), creating
+// dir if needed. Best-effort: errors are swallowed, the cache is an
+// optimization.
+func writeCacheFile(dir, path string, data []byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".sym-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+	}
+}
+
+// Snapshot serializes the program as a versioned binary snapshot: the ICI
+// code and atom table, the predecoded execution streams, the source text
+// (fuel for the version-skew recompile fallback) and — if Profile has
+// already been computed — the execution profile, so a scheduling consumer
+// of the snapshot skips the profiling run as well. Load accepts the result
+// directly; symbolserve preloads directories of them at boot.
+func (p *Program) Snapshot() []byte {
+	img := &snapshot.Image{
+		Kind:      snapshot.KindProgram,
+		Source:    p.src,
+		Goal:      p.goal,
+		Arith:     p.opts.ArithChecks,
+		MaxSteps:  p.opts.MaxSteps,
+		Undefined: p.undefined,
+		Prog:      p.icp,
+		Exec:      exec.Of(p.icp),
+	}
+	if p.goal != "" {
+		img.Kind = snapshot.KindQuery
+	}
+	if p.profBuilt.Load() {
+		img.ProfExpect = p.profile.Expect
+		img.ProfTaken = p.profile.Taken
+	}
+	return snapshot.Encode(img)
+}
+
+// WriteSnapshot writes Snapshot() to w, returning the byte count written.
+func (p *Program) WriteSnapshot(w io.Writer) (int64, error) {
+	n, err := w.Write(p.Snapshot())
+	return int64(n), err
+}
+
+// Snapshot error types, re-exported so callers can match them without
+// importing an internal package.
+var (
+	// ErrNotSnapshot is returned by SnapshotInfo when data does not start
+	// with the snapshot magic. (Load never returns it: non-snapshot input
+	// is treated as Prolog source.)
+	ErrNotSnapshot = snapshot.ErrNotSnapshot
+)
+
+type (
+	// SnapshotFormatError reports a structurally invalid snapshot: a
+	// malformed section, an out-of-range operand, a truncated payload.
+	SnapshotFormatError = snapshot.FormatError
+	// SnapshotChecksumError reports a section whose checksum does not
+	// match its payload (bit rot, torn write).
+	SnapshotChecksumError = snapshot.ChecksumError
+	// SnapshotVersionError reports a snapshot written by a different
+	// format version. Load recovers from it automatically when the
+	// snapshot embeds its source (see WithoutRecompileFallback).
+	SnapshotVersionError = snapshot.VersionError
+)
+
+// SnapshotSection is one section's size in a snapshot container.
+type SnapshotSection struct {
+	Name  string
+	Bytes int
+}
+
+// SnapshotDetails summarizes a snapshot container without decoding its
+// payloads: format version and per-section sizes. It works on
+// version-skewed snapshots (tooling must be able to describe what it
+// cannot load).
+type SnapshotDetails struct {
+	Version  uint32
+	Sections []SnapshotSection
+}
+
+// SnapshotInfo summarizes snapshot bytes (see SnapshotDetails). It returns
+// ErrNotSnapshot when data is not a snapshot container.
+func SnapshotInfo(data []byte) (*SnapshotDetails, error) {
+	info, err := snapshot.ReadInfo(data)
+	if err != nil {
+		return nil, err
+	}
+	d := &SnapshotDetails{Version: info.Version}
+	for _, s := range info.Sections {
+		d.Sections = append(d.Sections, SnapshotSection{Name: s.Name, Bytes: s.Len})
+	}
+	return d, nil
+}

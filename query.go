@@ -8,26 +8,21 @@ import (
 	"symbol/internal/term"
 )
 
-// CompileQuery compiles a knowledge base together with one goal into a
-// runnable Program: the goal becomes the body of a synthetic main/0 clause
-// that, on success, writes one "Var = value" line per named goal variable
-// (or "yes" when the goal has none). It is the serving-layer counterpart of
-// typing the goal at the cmd/prolog top level: the returned Program answers
-// the goal against the knowledge base, and Prolog failure surfaces as
-// Result.Succeeded == false, not as an error. Run gives the first solution;
-// Engine.Query streams them all — the binding write-out sits after the goal
-// in the synthetic clause body, so every backtracked solution re-renders
-// its own bindings into that segment's Output.
+// queryClauses is the compile-side half of query handling: it parses the
+// knowledge base, drops any main/0 clauses it defines (the posed goal is
+// the query, and must not be shadowed by the program's own entry point),
+// and appends a synthetic main/0 clause whose body runs the goal and, on
+// success, writes one "Var = value" line per named goal variable (or "yes"
+// when the goal has none). It returns the clauses ready for compileClauses
+// together with the normalized goal text (the "?-" prefix stripped), which
+// the Program records for snapshots.
 //
 // The goal may be written with or without the "?-" prefix and the final
-// ".". Any main/0 clauses the knowledge base itself defines are dropped
-// first — the posed goal is the query, and must not be shadowed by the
-// program's own entry point (run that directly via Compile instead).
-func CompileQuery(kbSrc, goal string) (_ *Program, err error) {
-	defer guard(&err)
+// ".".
+func queryClauses(kbSrc, goal string) ([]term.Term, string, error) {
 	parsed, err := parse.All(kbSrc)
 	if err != nil {
-		return nil, fmt.Errorf("symbol: knowledge base: %w", err)
+		return nil, "", fmt.Errorf("symbol: knowledge base: %w", err)
 	}
 	clauses := parsed[:0]
 	for _, cl := range parsed {
@@ -37,7 +32,7 @@ func CompileQuery(kbSrc, goal string) (_ *Program, err error) {
 	}
 	goal = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(goal), "?-"))
 	if goal == "" {
-		return nil, fmt.Errorf("symbol: empty query")
+		return nil, "", fmt.Errorf("symbol: empty query")
 	}
 	// Normalize the terminating "." through the parser, not by looking at
 	// the final byte: a goal can end in a quoted atom ('it ends here.') or a
@@ -54,10 +49,10 @@ func CompileQuery(kbSrc, goal string) (_ *Program, err error) {
 		}
 	}
 	if perr != nil {
-		return nil, fmt.Errorf("symbol: query: %w", perr)
+		return nil, "", fmt.Errorf("symbol: query: %w", perr)
 	}
 	if len(goals) != 1 {
-		return nil, fmt.Errorf("symbol: expected exactly one query, got %d", len(goals))
+		return nil, "", fmt.Errorf("symbol: expected exactly one query, got %d", len(goals))
 	}
 
 	// Named query variables, in first-occurrence order.
@@ -87,12 +82,12 @@ func CompileQuery(kbSrc, goal string) (_ *Program, err error) {
 		Functor: ":-",
 		Args:    []term.Term{term.Atom("main"), body},
 	})
-	return compileClauses(clauses, DefaultOptions())
+	return clauses, goal, nil
 }
 
 // definesMain reports whether a clause defines main/0 (as a fact or a
-// rule), so CompileQuery can replace the knowledge base's entry point with
-// the posed goal.
+// rule), so query programs can replace the knowledge base's entry point
+// with the posed goal.
 func definesMain(cl term.Term) bool {
 	head := cl
 	if c, ok := cl.(*term.Compound); ok && c.Functor == ":-" && len(c.Args) == 2 {

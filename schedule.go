@@ -87,20 +87,16 @@ type Scheduled struct {
 //
 //	sched, err := prog.ScheduleWith(symbol.DefaultMachine(3),
 //	    symbol.WithMaxTraceBlocks(8))
-func (p *Program) ScheduleWith(conf MachineConfig, opts ...ScheduleOption) (*Scheduled, error) {
+func (p *Program) ScheduleWith(conf MachineConfig, opts ...ScheduleOption) (_ *Scheduled, err error) {
+	defer guard(&err)
 	var o ScheduleOptions
 	for _, f := range opts {
 		f(&o)
 	}
-	return p.Schedule(conf, o)
+	return p.scheduleOpts(conf, o)
 }
 
-// Schedule profiles the program (if needed) and compacts it for conf.
-//
-// Deprecated: use ScheduleWith, which takes functional options instead of a
-// bare option struct. Schedule remains and behaves identically.
-func (p *Program) Schedule(conf MachineConfig, opts ScheduleOptions) (_ *Scheduled, err error) {
-	defer guard(&err)
+func (p *Program) scheduleOpts(conf MachineConfig, opts ScheduleOptions) (*Scheduled, error) {
 	prof, err := p.Profile()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,411 @@
+package symbol_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"symbol"
+	"symbol/internal/benchprog"
+)
+
+// loadCorpus returns the benchmark programs used by the snapshot tests
+// (the Heavy ones are skipped under -short).
+func snapshotCorpus(t *testing.T) []*benchprog.Benchmark {
+	t.Helper()
+	var out []*benchprog.Benchmark
+	for _, b := range benchprog.All() {
+		if testing.Short() && b.Heavy {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestSnapshotRoundTripCorpus compiles every benchmark, snapshots it,
+// loads the snapshot back, and checks the loaded program is observably
+// identical: same ICI listing, code size, undefined set, source, and the
+// same run output.
+func TestSnapshotRoundTripCorpus(t *testing.T) {
+	ctx := context.Background()
+	for _, b := range snapshotCorpus(t) {
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			orig, err := symbol.Load(ctx, []byte(b.Source))
+			if err != nil {
+				t.Fatalf("Load source: %v", err)
+			}
+			data := orig.Snapshot()
+			if !symbol.IsSnapshot(data) {
+				t.Fatal("Snapshot() bytes not recognized by IsSnapshot")
+			}
+			loaded, err := symbol.Load(ctx, data)
+			if err != nil {
+				t.Fatalf("Load snapshot: %v", err)
+			}
+			if got, want := loaded.ICListing(), orig.ICListing(); got != want {
+				t.Fatal("ICListing differs after round trip")
+			}
+			if loaded.CodeSize() != orig.CodeSize() {
+				t.Fatalf("CodeSize = %d, want %d", loaded.CodeSize(), orig.CodeSize())
+			}
+			if !reflect.DeepEqual(loaded.Undefined(), orig.Undefined()) {
+				t.Fatalf("Undefined = %v, want %v", loaded.Undefined(), orig.Undefined())
+			}
+			if loaded.Source() != b.Source {
+				t.Fatal("embedded source differs")
+			}
+			if loaded.Goal() != "" {
+				t.Fatalf("program snapshot has goal %q", loaded.Goal())
+			}
+			res, err := loaded.RunContext(ctx)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Output != b.Expect {
+				t.Fatalf("output %q, want %q", res.Output, b.Expect)
+			}
+		})
+	}
+}
+
+// TestSnapshotDifferential runs each corpus program twice — compiled from
+// source and loaded from its snapshot — under every dispatch mode, and
+// requires identical observable results: success, output, steps, and every
+// Stats counter except wall time.
+func TestSnapshotDifferential(t *testing.T) {
+	ctx := context.Background()
+	modes := []symbol.Dispatch{
+		symbol.DispatchLegacy, symbol.DispatchNoFuse,
+		symbol.DispatchFused, symbol.DispatchThreaded,
+	}
+	for _, b := range snapshotCorpus(t) {
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			orig, err := symbol.Load(ctx, []byte(b.Source))
+			if err != nil {
+				t.Fatalf("Load source: %v", err)
+			}
+			loaded, err := symbol.Load(ctx, orig.Snapshot())
+			if err != nil {
+				t.Fatalf("Load snapshot: %v", err)
+			}
+			for _, mode := range modes {
+				want, err := orig.RunContext(ctx, symbol.WithDispatch(mode))
+				if err != nil {
+					t.Fatalf("%v compiled run: %v", mode, err)
+				}
+				got, err := loaded.RunContext(ctx, symbol.WithDispatch(mode))
+				if err != nil {
+					t.Fatalf("%v snapshot run: %v", mode, err)
+				}
+				if got.Succeeded != want.Succeeded || got.Output != want.Output || got.Steps != want.Steps {
+					t.Fatalf("%v: result differs: got ok=%v steps=%d, want ok=%v steps=%d",
+						mode, got.Succeeded, got.Steps, want.Succeeded, want.Steps)
+				}
+				gs, ws := got.Stats, want.Stats
+				gs.Wall, ws.Wall = 0, 0
+				if gs != ws {
+					t.Fatalf("%v: stats differ:\ngot  %+v\nwant %+v", mode, gs, ws)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotQueryRoundTrip checks the query (WithGoal) path: kind, goal
+// and knowledge base survive the round trip and keep answering.
+func TestSnapshotQueryRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	const kb = "parent(tom, bob).\nparent(bob, ann).\ngrand(X, Z) :- parent(X, Y), parent(Y, Z).\n"
+	orig, err := symbol.Load(ctx, []byte(kb), symbol.WithGoal("?- grand(tom, W)."))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	loaded, err := symbol.Load(ctx, orig.Snapshot())
+	if err != nil {
+		t.Fatalf("Load snapshot: %v", err)
+	}
+	if loaded.Goal() != "grand(tom, W)." {
+		t.Fatalf("goal = %q", loaded.Goal())
+	}
+	if loaded.Source() != kb {
+		t.Fatalf("source = %q", loaded.Source())
+	}
+	want, err := orig.RunContext(ctx)
+	if err != nil {
+		t.Fatalf("compiled run: %v", err)
+	}
+	got, err := loaded.RunContext(ctx)
+	if err != nil {
+		t.Fatalf("snapshot run: %v", err)
+	}
+	if got.Output != want.Output || got.Output != "W = ann\n" {
+		t.Fatalf("output %q / %q, want %q", got.Output, want.Output, "W = ann\n")
+	}
+	// A goal cannot be combined with a snapshot input.
+	if _, err := symbol.Load(ctx, orig.Snapshot(), symbol.WithGoal("parent(X, Y)")); err == nil {
+		t.Fatal("Load(snapshot, WithGoal) did not fail")
+	}
+}
+
+// TestSnapshotFaultParity: faults must surface identically from compiled
+// and snapshot-loaded programs — same typed error, same text.
+func TestSnapshotFaultParity(t *testing.T) {
+	ctx := context.Background()
+	const src = "main :- X is 1 // 0, write(X)."
+	orig, err := symbol.Load(ctx, []byte(src))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	loaded, err := symbol.Load(ctx, orig.Snapshot())
+	if err != nil {
+		t.Fatalf("Load snapshot: %v", err)
+	}
+	for _, mode := range []symbol.Dispatch{
+		symbol.DispatchLegacy, symbol.DispatchNoFuse,
+		symbol.DispatchFused, symbol.DispatchThreaded,
+	} {
+		_, werr := orig.RunContext(ctx, symbol.WithDispatch(mode))
+		_, gerr := loaded.RunContext(ctx, symbol.WithDispatch(mode))
+		if werr == nil || gerr == nil {
+			t.Fatalf("%v: expected zero-divide fault, got %v / %v", mode, werr, gerr)
+		}
+		if !errors.Is(gerr, symbol.ErrZeroDivide) || gerr.Error() != werr.Error() {
+			t.Fatalf("%v: fault differs: %q vs %q", mode, gerr, werr)
+		}
+	}
+}
+
+// TestSnapshotEmbeddedProfile: a snapshot written after Profile() carries
+// the profile, and the loaded program schedules without rerunning it.
+func TestSnapshotEmbeddedProfile(t *testing.T) {
+	ctx := context.Background()
+	b, err := benchprog.Get("qsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := symbol.Load(ctx, []byte(b.Source))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	bare := orig.Snapshot() // pre-profile: no profile section
+	wantProf, err := orig.Profile()
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	full := orig.Snapshot() // post-profile: profile embedded
+	if len(full) <= len(bare) {
+		t.Fatalf("profiled snapshot (%d bytes) not larger than bare (%d)", len(full), len(bare))
+	}
+	info, err := symbol.SnapshotInfo(full)
+	if err != nil {
+		t.Fatalf("SnapshotInfo: %v", err)
+	}
+	var names []string
+	for _, s := range info.Sections {
+		names = append(names, s.Name)
+	}
+	if !reflect.DeepEqual(names, []string{"meta", "source", "program", "exec", "profile"}) {
+		t.Fatalf("sections = %v", names)
+	}
+	loaded, err := symbol.Load(ctx, full)
+	if err != nil {
+		t.Fatalf("Load snapshot: %v", err)
+	}
+	gotProf, err := loaded.Profile()
+	if err != nil {
+		t.Fatalf("loaded Profile: %v", err)
+	}
+	if !reflect.DeepEqual(gotProf.Expect, wantProf.Expect) || !reflect.DeepEqual(gotProf.Taken, wantProf.Taken) {
+		t.Fatal("embedded profile differs from computed profile")
+	}
+	// The profile must be good enough to schedule and simulate with.
+	sched, err := loaded.ScheduleWith(symbol.DefaultMachine(3))
+	if err != nil {
+		t.Fatalf("ScheduleWith: %v", err)
+	}
+	res, err := sched.Simulate()
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Output != b.Expect {
+		t.Fatalf("simulated output %q, want %q", res.Output, b.Expect)
+	}
+}
+
+// TestSnapshotCorruptionTyped flips bytes across a real corpus snapshot
+// and checks Load's error contract: typed snapshot errors, never a panic,
+// never a silently-wrong program.
+func TestSnapshotCorruptionTyped(t *testing.T) {
+	ctx := context.Background()
+	b, err := benchprog.Get("reverse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := symbol.Load(ctx, []byte(b.Source))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	data := orig.Snapshot()
+	stride := 7 // sample positions; the exhaustive sweep lives in internal/snapshot
+	for i := 0; i < len(data); i += stride {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x55
+		_, err := symbol.Load(ctx, mut, symbol.WithoutRecompileFallback())
+		if i < 8 {
+			// Magic flips stop looking like a snapshot, so Load treats the
+			// bytes as Prolog source — binary garbage must still error.
+			if err == nil {
+				t.Fatalf("byte %d: corrupt magic loaded successfully", i)
+			}
+			continue
+		}
+		var fe *symbol.SnapshotFormatError
+		var ce *symbol.SnapshotChecksumError
+		var ve *symbol.SnapshotVersionError
+		if !errors.As(err, &fe) && !errors.As(err, &ce) && !errors.As(err, &ve) {
+			t.Fatalf("byte %d: error %T %v is not a typed snapshot error", i, err, err)
+		}
+	}
+}
+
+// TestSnapshotVersionFallback: a version-skewed snapshot recompiles from
+// its embedded source by default, and surfaces the typed error when the
+// fallback is disabled.
+func TestSnapshotVersionFallback(t *testing.T) {
+	ctx := context.Background()
+	b, err := benchprog.Get("reverse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := symbol.Load(ctx, []byte(b.Source))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	data := orig.Snapshot()
+	data[8]++ // format version field (little-endian u32 at offset 8)
+
+	var ve *symbol.SnapshotVersionError
+	if _, err := symbol.Load(ctx, data, symbol.WithoutRecompileFallback()); !errors.As(err, &ve) {
+		t.Fatalf("WithoutRecompileFallback: got %v, want SnapshotVersionError", err)
+	}
+	if ve.Source != b.Source {
+		t.Fatal("version error did not recover the embedded source")
+	}
+
+	prog, err := symbol.Load(ctx, data)
+	if err != nil {
+		t.Fatalf("fallback load: %v", err)
+	}
+	res, err := prog.RunContext(ctx)
+	if err != nil {
+		t.Fatalf("fallback run: %v", err)
+	}
+	if res.Output != b.Expect {
+		t.Fatalf("fallback output %q, want %q", res.Output, b.Expect)
+	}
+}
+
+// TestSnapshotCache: the content-addressed cache produces a .sym file on
+// miss, serves hits, survives corruption, and misses when inputs change.
+func TestSnapshotCache(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	b, err := benchprog.Get("qsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := func() *symbol.Program {
+		t.Helper()
+		p, err := symbol.Load(ctx, []byte(b.Source), symbol.WithSnapshotCache(dir))
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		return p
+	}
+	load()
+	files, err := filepath.Glob(filepath.Join(dir, "*.sym"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache files = %v, %v; want exactly one", files, err)
+	}
+	first, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hit: same inputs, file untouched, program still correct.
+	p2 := load()
+	res, err := p2.RunContext(ctx)
+	if err != nil || res.Output != b.Expect {
+		t.Fatalf("cached run = %q, %v; want %q", res.Output, err, b.Expect)
+	}
+	second, err := os.ReadFile(files[0])
+	if err != nil || !bytes.Equal(first, second) {
+		t.Fatal("cache hit rewrote the cache file")
+	}
+
+	// Corrupt cache entry: load falls back to compiling and repairs it.
+	if err := os.WriteFile(files[0], first[:len(first)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p3 := load()
+	if res, err := p3.RunContext(ctx); err != nil || res.Output != b.Expect {
+		t.Fatalf("run after corrupt cache = %v, %v", res, err)
+	}
+	repaired, err := os.ReadFile(files[0])
+	if err != nil || !bytes.Equal(repaired, first) {
+		t.Fatal("corrupt cache entry was not rewritten")
+	}
+
+	// Different options key differently.
+	if _, err := symbol.Load(ctx, []byte(b.Source), symbol.WithSnapshotCache(dir),
+		symbol.WithCompileOptions(symbol.Options{ArithChecks: false})); err != nil {
+		t.Fatalf("Load with options: %v", err)
+	}
+	files, _ = filepath.Glob(filepath.Join(dir, "*.sym"))
+	if len(files) != 2 {
+		t.Fatalf("after options change: %d cache files, want 2", len(files))
+	}
+}
+
+// BenchmarkSnapshotLoad and BenchmarkSourceCompile are the two sides of
+// the cold-start comparison -snapbench reports, exposed as Go benchmarks
+// so the load path can be profiled in isolation.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	bench, err := benchprog.Get("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := symbol.Load(context.Background(), []byte(bench.Source))
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := prog.Snapshot()
+	b.SetBytes(int64(len(snap)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := symbol.Load(context.Background(), snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSourceCompile(b *testing.B) {
+	bench, err := benchprog.Get("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := []byte(bench.Source)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := symbol.Load(context.Background(), src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,12 +11,19 @@
 //
 // Quick start:
 //
-//	prog, err := symbol.Compile(src)
+//	prog, err := symbol.Load(ctx, src)            // Prolog source or snapshot
 //	res, err := prog.RunContext(ctx)              // sequential answers
 //	fmt.Print(res.Stats)                          // paper-style op-class mix
 //	prof, err := prog.Profile()                   // Expect / Probability
 //	sched, err := prog.ScheduleWith(symbol.DefaultMachine(3))
 //	sim, err := prog.SimulateContext(ctx)         // measured VLIW cycles
+//
+// Load is the single compile/load entry point: it accepts Prolog source or
+// a binary snapshot (sniffed by magic header), compiles queries against a
+// knowledge base via WithGoal, and skips compilation entirely through
+// WithSnapshotCache. Programs round-trip through prog.Snapshot() and
+// symbolc -o prog.sym. The older Compile/CompileQuery/Run generations
+// survive as thin deprecated wrappers in deprecated.go.
 //
 // Runs accept functional options:
 //
@@ -37,6 +44,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"symbol/internal/bam"
@@ -46,7 +54,6 @@ import (
 	"symbol/internal/fault"
 	"symbol/internal/ic"
 	"symbol/internal/obs"
-	"symbol/internal/parse"
 	"symbol/internal/rename"
 	"symbol/internal/term"
 )
@@ -239,11 +246,6 @@ func WithTrailWords(n int64) RunOption { return func(o *RunOptions) { o.TrailWor
 // WithPDLWords sizes the unification push-down list in words.
 func WithPDLWords(n int64) RunOption { return func(o *RunOptions) { o.PDLWords = n } }
 
-// WithNoFuse disables superinstruction fusion for the run.
-//
-// Deprecated: use WithDispatch(DispatchNoFuse).
-func WithNoFuse() RunOption { return func(o *RunOptions) { o.NoFuse = true } }
-
 // WithDispatch selects the sequential emulator's execution core for the run
 // (see Dispatch).
 func WithDispatch(d Dispatch) RunOption { return func(o *RunOptions) { o.Dispatch = d } }
@@ -372,39 +374,28 @@ func DefaultOptions() Options {
 }
 
 // Program is a compiled Prolog program ready for emulation and scheduling.
-// It is immutable after CompileWith and safe to share across goroutines:
-// the only lazily computed piece of state, the execution profile, is built
-// under a sync.Once.
+// It is immutable after Load and safe to share across goroutines: the only
+// lazily computed piece of state, the execution profile, is built under a
+// sync.Once.
 type Program struct {
 	opts      Options
-	bam       *bam.Unit
+	bam       *bam.Unit // nil for snapshot-loaded programs
 	icp       *ic.Program
 	undefined []string
+	src       string // source text (embedded in snapshots; "" if unavailable)
+	goal      string // query goal for CompileQuery/WithGoal programs
 
-	profOnce sync.Once
-	profile  *emu.Profile
-	profErr  error
-}
-
-// Compile parses and compiles src (which must define main/0) with default
-// options.
-func Compile(src string) (*Program, error) {
-	return CompileWith(src, DefaultOptions())
-}
-
-// CompileWith parses and compiles src with explicit options.
-func CompileWith(src string, opts Options) (_ *Program, err error) {
-	defer guard(&err)
-	clauses, err := parse.All(src)
-	if err != nil {
-		return nil, fmt.Errorf("symbol: %w", err)
-	}
-	return compileClauses(clauses, opts)
+	profOnce  sync.Once
+	profile   *emu.Profile
+	profErr   error
+	profBuilt atomic.Bool // profile computed successfully (for snapshot embedding)
 }
 
 // compileClauses is the shared back half of compilation: parsed clauses →
-// BAM → ICI → Program. CompileWith and CompileQuery both end here.
-func compileClauses(clauses []term.Term, opts Options) (*Program, error) {
+// BAM → ICI → Program. Every compile path (Load on source, the deprecated
+// Compile/CompileQuery wrappers) ends here. src and goal are recorded on
+// the Program so snapshots can embed them for the recompile fallback.
+func compileClauses(clauses []term.Term, opts Options, src, goal string) (*Program, error) {
 	c := compile.New(compile.Options{ArithChecks: opts.ArithChecks})
 	if err := c.AddProgram(clauses); err != nil {
 		return nil, fmt.Errorf("symbol: %w", err)
@@ -421,15 +412,31 @@ func compileClauses(clauses []term.Term, opts Options) (*Program, error) {
 	for _, pi := range c.Undefined() {
 		undef = append(undef, pi.String())
 	}
-	return &Program{opts: opts, bam: unit, icp: prog, undefined: undef}, nil
+	return &Program{opts: opts, bam: unit, icp: prog, undefined: undef, src: src, goal: goal}, nil
 }
 
 // Undefined lists predicates that are called but never defined (calls to
 // them fail at run time).
 func (p *Program) Undefined() []string { return p.undefined }
 
-// BAMListing returns the BAM assembly produced by the front end.
-func (p *Program) BAMListing() string { return p.bam.Listing() }
+// Source returns the Prolog source the program was compiled from (the
+// knowledge base for query programs), or "" when it is unavailable — a
+// snapshot written without an embedded source section.
+func (p *Program) Source() string { return p.src }
+
+// Goal returns the query goal for programs built by Load's WithGoal (or
+// the deprecated CompileQuery), and "" for whole-program compiles.
+func (p *Program) Goal() string { return p.goal }
+
+// BAMListing returns the BAM assembly produced by the front end, or "" for
+// snapshot-loaded programs (the BAM stage is not preserved in snapshots —
+// only its ICI expansion is).
+func (p *Program) BAMListing() string {
+	if p.bam == nil {
+		return ""
+	}
+	return p.bam.Listing()
+}
 
 // ICListing returns the Intermediate Code disassembly.
 func (p *Program) ICListing() string { return p.icp.Listing() }
@@ -456,54 +463,6 @@ func (p *Program) RunContext(ctx context.Context, opts ...RunOption) (*Result, e
 // schedule is computed once.
 func (p *Program) SimulateContext(ctx context.Context, opts ...RunOption) (*SimResult, error) {
 	return NewEngine(p).Simulate(ctx, buildRunOptions(opts))
-}
-
-// Run executes the program sequentially and returns its observable result.
-//
-// Deprecated: use RunContext, which adds cancellation and functional
-// options. Run remains as a thin wrapper and behaves identically.
-func (p *Program) Run() (*Result, error) {
-	return p.RunWith(RunOptions{})
-}
-
-// RunWith executes the program sequentially under explicit resource bounds.
-// Resource faults surface as typed errors (errors.Is against ErrHeapOverflow
-// and friends) unless the program catches them with catch/3.
-//
-// Deprecated: use RunContext, which adds cancellation and functional
-// options. RunWith remains as a thin wrapper and behaves identically.
-func (p *Program) RunWith(opts RunOptions) (_ *Result, err error) {
-	defer guard(&err)
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	maxSteps := opts.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = p.opts.MaxSteps
-	}
-	var trace *obs.Trace
-	if opts.TraceEvents > 0 {
-		trace = obs.NewTrace(opts.TraceEvents)
-	}
-	legacy, noFuse, threaded := opts.emuMode()
-	res, err := emu.Run(p.icp, emu.Options{
-		MaxSteps: maxSteps,
-		Layout:   opts.layout(),
-		Deadline: opts.Deadline,
-		Legacy:   legacy,
-		NoFuse:   noFuse,
-		Threaded: threaded,
-		Events:   trace,
-	})
-	if err != nil {
-		return nil, err
-	}
-	r := &Result{Succeeded: res.Status == 0, Output: res.Output, Steps: res.Steps, Stats: res.Stats}
-	if trace != nil {
-		r.Events = trace.Events()
-		r.EventsDropped = trace.Dropped()
-	}
-	return r, nil
 }
 
 // Result is the observable outcome of a program run.
@@ -550,6 +509,7 @@ func (p *Program) Profile() (*emu.Profile, error) {
 			return
 		}
 		p.profile = res.Profile
+		p.profBuilt.Store(true)
 	})
 	return p.profile, p.profErr
 }
